@@ -1,0 +1,143 @@
+//! Minimal ASCII line/scatter charts for figure reproduction in terminals
+//! and text logs.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot symbol.
+    pub symbol: char,
+    /// The data.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(label: impl Into<String>, symbol: char, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), symbol, points }
+    }
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartOptions {
+    /// Plot area width in characters.
+    pub width: usize,
+    /// Plot area height in characters.
+    pub height: usize,
+    /// Log-scale the x axis.
+    pub log_x: bool,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        Self { width: 72, height: 20, log_x: false, log_y: false }
+    }
+}
+
+fn transform(v: f64, log: bool) -> f64 {
+    if log {
+        v.max(f64::MIN_POSITIVE).ln()
+    } else {
+        v
+    }
+}
+
+/// Render the series into an ASCII chart with axis annotations.
+#[must_use]
+pub fn render(title: &str, series: &[Series], opts: ChartOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        let tx = transform(x, opts.log_x);
+        let ty = transform(y, opts.log_y);
+        x0 = x0.min(tx);
+        x1 = x1.max(tx);
+        y0 = y0.min(ty);
+        y1 = y1.max(ty);
+    }
+    if x1 - x0 < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if y1 - y0 < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let (w, h) = (opts.width.max(8), opts.height.max(4));
+    let mut grid = vec![vec![' '; w]; h];
+    for s in series {
+        for &(x, y) in &s.points {
+            let tx = transform(x, opts.log_x);
+            let ty = transform(y, opts.log_y);
+            let col = (((tx - x0) / (x1 - x0)) * (w - 1) as f64).round() as usize;
+            let row = (((ty - y0) / (y1 - y0)) * (h - 1) as f64).round() as usize;
+            grid[h - 1 - row][col] = s.symbol;
+        }
+    }
+    let y_hi = if opts.log_y { y1.exp() } else { y1 };
+    let y_lo = if opts.log_y { y0.exp() } else { y0 };
+    for (i, line) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:>10.3}")
+        } else if i == h - 1 {
+            format!("{y_lo:>10.3}")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let x_hi = if opts.log_x { x1.exp() } else { x1 };
+    let x_lo = if opts.log_x { x0.exp() } else { x0 };
+    let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(w));
+    let _ = writeln!(out, "{} {x_lo:<12.3}{}{x_hi:>12.3}", " ".repeat(10), " ".repeat(w.saturating_sub(24)));
+    for s in series {
+        let _ = writeln!(out, "    {} = {}", s.symbol, s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_symbols() {
+        let s1 = Series::new("up", '*', (0..10).map(|i| (i as f64, i as f64)).collect());
+        let s2 = Series::new("down", 'o', (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect());
+        let out = render("two lines", &[s1, s2], ChartOptions::default());
+        assert!(out.contains('*') && out.contains('o'));
+        assert!(out.contains("up") && out.contains("down"));
+        assert!(out.contains("two lines"));
+    }
+
+    #[test]
+    fn empty_series_ok() {
+        let out = render("empty", &[], ChartOptions::default());
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn log_scales_dont_panic_on_zero() {
+        let s = Series::new("z", '#', vec![(0.0, 0.0), (10.0, 100.0)]);
+        let out = render("log", &[s], ChartOptions { log_x: true, log_y: true, ..Default::default() });
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn flat_series_ok() {
+        let s = Series::new("flat", '-', vec![(0.0, 1.0), (5.0, 1.0)]);
+        let out = render("flat", &[s], ChartOptions::default());
+        assert!(out.contains('-'));
+    }
+}

@@ -1,0 +1,107 @@
+//! ASCII Gantt rendering of schedules — one row per job, marking when the
+//! machine serves it, with a speed sparkline underneath.
+
+use ncss_sim::Schedule;
+use std::fmt::Write as _;
+
+/// Render `schedule` as a Gantt chart over `[0, horizon]` with one row per
+/// job id in `0..n_jobs`.
+#[must_use]
+pub fn render_gantt(schedule: &Schedule, n_jobs: usize, width: usize, horizon: f64) -> String {
+    let width = width.max(16);
+    let horizon = if horizon > 0.0 { horizon } else { schedule.end_time().max(1e-9) };
+    let col_time = |c: usize| horizon * (c as f64 + 0.5) / width as f64;
+
+    // Which job is served in each column (sampled at column centres)?
+    let mut serving: Vec<Option<usize>> = Vec::with_capacity(width);
+    for c in 0..width {
+        let t = col_time(c);
+        let job = schedule
+            .segments()
+            .iter()
+            .find(|s| s.start <= t && t < s.end)
+            .and_then(|s| s.job);
+        serving.push(job);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "time 0 {:->w$} {horizon:.3}", ">", w = width.saturating_sub(2));
+    for j in 0..n_jobs {
+        let row: String = serving
+            .iter()
+            .map(|s| if *s == Some(j) { '#' } else { '.' })
+            .collect();
+        let _ = writeln!(out, "job {j:>3} {row}");
+    }
+    // Speed sparkline in eight levels.
+    let max_speed = schedule.max_speed().max(f64::MIN_POSITIVE);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let spark: String = (0..width)
+        .map(|c| {
+            let s = schedule.speed_at(col_time(c));
+            let lvl = ((s / max_speed) * (glyphs.len() - 1) as f64).round() as usize;
+            glyphs[lvl.min(glyphs.len() - 1)]
+        })
+        .collect();
+    let _ = writeln!(out, "speed   {spark}  (max {max_speed:.3})");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::{PowerLaw, Schedule, Segment, SpeedLaw};
+
+    fn sched() -> Schedule {
+        let law = PowerLaw::new(2.0).unwrap();
+        Schedule::new(
+            law,
+            vec![
+                Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 2.0 }),
+                Segment::new(1.0, 3.0, Some(1), SpeedLaw::Constant { speed: 1.0 }),
+                // idle gap, then job 0 resumes
+                Segment::new(4.0, 5.0, Some(0), SpeedLaw::Constant { speed: 0.5 }),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_reflect_service_intervals() {
+        let g = render_gantt(&sched(), 2, 50, 5.0);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 jobs + sparkline
+        let job0 = lines[1];
+        let job1 = lines[2];
+        assert!(job0.contains('#'));
+        assert!(job1.contains('#'));
+        // Job 0 serves at the start, job 1 does not.
+        let first_cols = &job0[8..14];
+        assert!(first_cols.contains('#'));
+        assert!(!job1[8..14].contains('#'));
+    }
+
+    #[test]
+    fn idle_gap_has_no_service() {
+        let g = render_gantt(&sched(), 2, 100, 5.0);
+        let lines: Vec<&str> = g.lines().collect();
+        // Around t = 3.5 (column ~70 of 100) both rows are idle.
+        let col = 8 + 70;
+        assert_eq!(&lines[1][col..=col], ".");
+        assert_eq!(&lines[2][col..=col], ".");
+    }
+
+    #[test]
+    fn sparkline_scales_with_speed() {
+        let g = render_gantt(&sched(), 2, 50, 5.0);
+        let spark = g.lines().last().unwrap();
+        assert!(spark.contains('#')); // max speed region
+        assert!(spark.contains("max 2.000"));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let g = render_gantt(&sched(), 0, 1, 0.0);
+        assert!(g.contains("speed"));
+    }
+}

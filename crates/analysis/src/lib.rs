@@ -1,0 +1,27 @@
+//! # ncss-analysis — measurement harness
+//!
+//! Uniform machinery for the experiment binaries in `ncss-bench`:
+//!
+//! * [`ratio`] — competitive-ratio measurement against the certified OPT
+//!   dual bound (every reported ratio upper-bounds the true ratio),
+//! * [`sweep`] — order-preserving parallel parameter sweeps (crossbeam),
+//! * [`table`] / [`chart`] — aligned ASCII tables and charts,
+//! * [`stats`] — summary statistics.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod gantt;
+pub mod ratio;
+pub mod stats;
+pub mod svg;
+pub mod sweep;
+pub mod table;
+
+pub use chart::{render as render_chart, ChartOptions, Series};
+pub use gantt::render_gantt;
+pub use ratio::{measure_suite, RatioPoint, RatioReport};
+pub use stats::Summary;
+pub use svg::{render_svg, write_svg, SvgOptions};
+pub use sweep::{grid2, parallel_map};
+pub use table::{fmt_f, Table};

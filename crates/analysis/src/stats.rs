@@ -1,0 +1,73 @@
+//! Summary statistics for experiment reporting.
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (linear interpolation).
+    pub p50: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Summarise a sample; returns `None` for an empty slice.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| -> f64 {
+            let pos = p * (v.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Some(Self {
+            n: v.len(),
+            min: v[0],
+            max: *v.last().expect("non-empty"),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            p50: q(0.5),
+            p90: q(0.9),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of(&[2.5]).unwrap();
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert_eq!(s.p50, 2.5);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.5);
+        assert!((s.p90 - 3.7).abs() < 1e-12);
+    }
+}

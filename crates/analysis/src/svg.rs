@@ -1,0 +1,199 @@
+//! Self-contained SVG line charts — publication-style exports of the
+//! figure reproductions, written with `std` only.
+//!
+//! The ASCII charts in [`crate::chart`] live inside terminal reports; the
+//! experiment binaries additionally emit SVG files (under
+//! `target/experiments/`) so the reproduced Figures 1–3 can be compared
+//! with the paper side by side.
+
+use crate::chart::Series;
+use std::fmt::Write as _;
+
+/// SVG chart configuration.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Axis labels.
+    pub x_label: String,
+    /// Axis labels.
+    pub y_label: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self { width: 640.0, height: 400.0, x_label: "t".into(), y_label: "value".into() }
+    }
+}
+
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const MARGIN: f64 = 54.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render the series as a standalone SVG document.
+#[must_use]
+pub fn render_svg(title: &str, series: &[Series], opts: &SvgOptions) -> String {
+    let (w, h) = (opts.width, opts.height);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        esc(title)
+    );
+
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        let _ = writeln!(out, "</svg>");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 - x0 < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if y1 - y0 < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let px = |x: f64| MARGIN + (x - x0) / (x1 - x0) * (w - 2.0 * MARGIN);
+    let py = |y: f64| h - MARGIN - (y - y0) / (y1 - y0) * (h - 2.0 * MARGIN);
+
+    // Axes.
+    let _ = writeln!(
+        out,
+        r#"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="black"/>"#,
+        m = MARGIN,
+        b = h - MARGIN,
+        r = w - MARGIN,
+        t = MARGIN
+    );
+    // Tick labels (min/max on each axis).
+    let _ = writeln!(
+        out,
+        r#"<text x="{m}" y="{b}" font-family="sans-serif" font-size="11" text-anchor="start" dy="14">{x0:.3}</text>
+<text x="{r}" y="{b}" font-family="sans-serif" font-size="11" text-anchor="end" dy="14">{x1:.3}</text>
+<text x="{m}" y="{b}" font-family="sans-serif" font-size="11" text-anchor="end" dx="-4">{y0:.3}</text>
+<text x="{m}" y="{t}" font-family="sans-serif" font-size="11" text-anchor="end" dx="-4" dy="4">{y1:.3}</text>"#,
+        m = MARGIN,
+        b = h - MARGIN,
+        r = w - MARGIN,
+        t = MARGIN
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        h - 12.0,
+        esc(&opts.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="14" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        h / 2.0,
+        h / 2.0,
+        esc(&opts.y_label)
+    );
+
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(k, &(x, y))| format!("{}{:.2},{:.2}", if k == 0 { "M" } else { "L" }, px(x), py(y)))
+            .collect();
+        let _ = writeln!(
+            out,
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            path.join(" ")
+        );
+        // Legend entry.
+        let ly = MARGIN + 16.0 * i as f64;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="3"/><text x="{tx}" y="{ty}" font-family="sans-serif" font-size="11">{label}</text>"#,
+            x = w - MARGIN - 130.0,
+            x2 = w - MARGIN - 110.0,
+            tx = w - MARGIN - 104.0,
+            ty = ly + 4.0,
+            label = esc(&s.label)
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+/// Write an SVG chart under `target/experiments/<name>.svg`, creating the
+/// directory as needed; returns the path written.
+pub fn write_svg(
+    name: &str,
+    title: &str,
+    series: &[Series],
+    opts: &SvgOptions,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.svg"));
+    std::fs::write(&path, render_svg(title, series, opts))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series::new("up", '*', (0..20).map(|i| (i as f64, (i * i) as f64)).collect()),
+            Series::new("down", 'o', (0..20).map(|i| (i as f64, (400 - i * i) as f64)).collect()),
+        ]
+    }
+
+    #[test]
+    fn well_formed_svg() {
+        let svg = render_svg("demo", &series(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("#1f77b4"));
+        assert!(svg.contains("demo"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let s = vec![Series::new("a<b & c", 'x', vec![(0.0, 1.0), (1.0, 2.0)])];
+        let svg = render_svg("t<&>t", &s, &SvgOptions::default());
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("t<&>t"));
+    }
+
+    #[test]
+    fn empty_series_is_valid() {
+        let svg = render_svg("empty", &[], &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let path = write_svg("unit_test_chart", "t", &series(), &SvgOptions::default()).unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,94 @@
+//! Parallel parameter sweeps using crossbeam scoped threads.
+//!
+//! Experiments evaluate many independent `(instance, α, parameter)` cells;
+//! these helpers fan the cells out across cores while preserving input
+//! order in the results, which keeps the experiment output deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// Work is distributed dynamically via an atomic cursor, so uneven cell
+/// costs (e.g. OPT solves of different sizes) balance automatically.
+pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<U>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let val = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(val);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(slots);
+    out.into_iter().map(|v| v.expect("every slot filled")).collect()
+}
+
+/// Cartesian product helper for sweep grids.
+#[must_use]
+pub fn grid2<A: Clone, B: Clone>(xs: &[A], ys: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for x in xs {
+        for y in ys {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Mix trivial and heavy items; result must still be ordered.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| {
+            if x % 7 == 0 {
+                (0..50_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn grid_product() {
+        let g = grid2(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], (1, "a"));
+        assert_eq!(g[5], (2, "c"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion throughput benches for the single-machine algorithms.
+//!
+//! These quantify the cost model stated in DESIGN.md: Algorithm C is
+//! event-driven (near-linear in jobs with an O(n) accrual scan per event),
+//! Algorithm NC re-simulates C on prefixes (O(n²·log n)), and the
+//! non-uniform algorithm pays two nested C runs per integration step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncss_core::{run_c, run_nc_nonuniform, run_nc_uniform, NonUniformParams};
+use ncss_sim::PowerLaw;
+use ncss_workloads::{DensityDist, VolumeDist, WorkloadSpec};
+
+fn uniform_instance(n: usize) -> ncss_sim::Instance {
+    WorkloadSpec::uniform(n, 1.0, VolumeDist::Exponential { mean: 1.0 })
+        .generate(42)
+        .expect("valid spec")
+}
+
+fn bench_algorithm_c(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let mut group = c.benchmark_group("algorithm_c");
+    for n in [10usize, 100, 1000] {
+        let inst = uniform_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| run_c(inst, law).expect("C run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm_nc(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let mut group = c.benchmark_group("algorithm_nc_uniform");
+    for n in [10usize, 100, 400] {
+        let inst = uniform_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| run_nc_uniform(inst, law).expect("NC run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm_nc_nonuniform(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let mut group = c.benchmark_group("algorithm_nc_nonuniform");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let inst = WorkloadSpec {
+            n_jobs: n,
+            arrival_rate: 1.0,
+            volumes: VolumeDist::Exponential { mean: 1.0 },
+            densities: DensityDist::LogUniform { lo: 0.5, hi: 10.0 },
+        }
+        .generate(7)
+        .expect("valid spec");
+        let params = NonUniformParams { steps_per_job: 150, ..NonUniformParams::recommended(3.0) };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| run_nc_nonuniform(inst, law, params).expect("NC run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_evaluation(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let inst = uniform_instance(500);
+    let run = run_c(&inst, law).expect("C run");
+    c.bench_function("evaluate_schedule_500_jobs", |b| {
+        b.iter(|| ncss_sim::evaluate(&run.schedule, &inst).expect("evaluation"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm_c,
+    bench_algorithm_nc,
+    bench_algorithm_nc_nonuniform,
+    bench_schedule_evaluation
+);
+criterion_main!(benches);

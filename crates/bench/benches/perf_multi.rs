@@ -1,0 +1,43 @@
+//! Criterion benches for the parallel-machine algorithms and the
+//! lower-bound game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncss_multi::{immediate_dispatch_game, run_c_par, run_nc_par, RoundRobin};
+use ncss_sim::PowerLaw;
+use ncss_workloads::{VolumeDist, WorkloadSpec};
+
+fn bench_par_algorithms(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let inst = WorkloadSpec::uniform(60, 2.0, VolumeDist::Exponential { mean: 1.0 })
+        .generate(3)
+        .expect("valid spec");
+    let mut group = c.benchmark_group("parallel_machines_60_jobs");
+    group.sample_size(20);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("c_par", k), &k, |b, &k| {
+            b.iter(|| run_c_par(&inst, law, k).expect("C-PAR"));
+        });
+        group.bench_with_input(BenchmarkId::new("nc_par", k), &k, |b, &k| {
+            b.iter(|| run_nc_par(&inst, law, k).expect("NC-PAR"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_bound_game(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let mut group = c.benchmark_group("immediate_dispatch_game");
+    group.sample_size(10);
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut p = RoundRobin::default();
+                immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4).expect("game")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_algorithms, bench_lower_bound_game);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for the offline-optimum solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncss_opt::{single_job_opt, solve_fractional_opt, SolverOptions};
+use ncss_sim::PowerLaw;
+use ncss_workloads::{VolumeDist, WorkloadSpec};
+
+fn bench_closed_form(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    c.bench_function("single_job_opt_closed_form", |b| {
+        b.iter(|| single_job_opt(law, 1.3, 2.7).expect("closed form"));
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let law = PowerLaw::cube();
+    let mut group = c.benchmark_group("fractional_opt_solver");
+    group.sample_size(10);
+    for n in [2usize, 6, 12] {
+        let inst = WorkloadSpec::uniform(n, 1.0, VolumeDist::Uniform { lo: 0.3, hi: 1.8 })
+            .generate(5)
+            .expect("valid spec");
+        let opts = SolverOptions { steps: 500, max_iters: 300, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve_fractional_opt(inst, law, opts).expect("solver"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Reproduction suite as a bench target so that `cargo bench --workspace`
+//! regenerates every table and figure of the paper in one pass.
+fn main() {
+    print!("{}", ncss_bench::experiments::run_all());
+}

@@ -1,0 +1,14 @@
+//! Run the full reproduction suite and mirror the report to
+//! `target/experiments/report.txt` alongside the SVG figure exports.
+
+fn main() {
+    let report = ncss_bench::experiments::run_all();
+    print!("{report}");
+    let dir = std::path::Path::new("target").join("experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("report.txt");
+        if std::fs::write(&path, &report).is_ok() {
+            eprintln!("(report mirrored to {})", path.display());
+        }
+    }
+}

@@ -1,0 +1,3 @@
+fn main() {
+    print!("{}", ncss_bench::experiments::fig2::run());
+}

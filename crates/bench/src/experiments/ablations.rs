@@ -1,0 +1,194 @@
+//! E10 + A1–A3 — ablations of the design choices DESIGN.md calls out.
+//!
+//! * **E10** — the Section 5 reduction's ε: measured integral-cost factor
+//!   vs the proven `max((1+ε)^α, 1+1/ε)`, and the location of the optimum.
+//! * **A1** — the density-rounding base β of the non-uniform algorithm
+//!   (the analysis wants β > 4).
+//! * **A2** — the speed multiplier η, including the degeneration below the
+//!   cold-start threshold `η_min(α)`.
+//! * **A3** — FIFO vs newest-first information gathering under growth-law
+//!   speed rules (the Section 1.2 FIFO/HDF conflict).
+
+use ncss_analysis::{fmt_f, parallel_map, Table};
+use ncss_core::baselines::{run_active_count, run_newest_first};
+use ncss_core::{
+    reduce_to_integral, run_c, run_nc_nonuniform, run_nc_uniform, theory, NonUniformParams,
+};
+use ncss_sim::{Instance, PowerLaw};
+use ncss_workloads::fifo_stress;
+use ncss_workloads::suite::{nonuniform_suite, tiny_suite};
+
+use super::BASE_SEED;
+
+fn e10_reduction_sweep(out: &mut String) {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let suite = tiny_suite(BASE_SEED, true);
+    let base: Vec<_> = suite
+        .iter()
+        .map(|i| (i.clone(), run_nc_uniform(i, law).expect("NC base")))
+        .collect();
+
+    let mut table = Table::new(
+        format!("E10: reduction cost factor vs eps (alpha = {alpha})"),
+        &["eps", "max measured int/frac factor", "theory max((1+eps)^a, 1+1/eps)"],
+    );
+    let mut best = (f64::INFINITY, 0.0);
+    for &eps in &[0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0] {
+        let factor = base
+            .iter()
+            .map(|(inst, nc)| {
+                let red = reduce_to_integral(&nc.schedule, inst, eps).expect("reduction");
+                red.objective.integral() / nc.objective.fractional()
+            })
+            .fold(0.0, f64::max);
+        if factor < best.0 {
+            best = (factor, eps);
+        }
+        table.row(vec![fmt_f(eps), fmt_f(factor), fmt_f(theory::reduction_factor(alpha, eps))]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "best measured eps ~ {} (theory argmin: {})\n",
+        fmt_f(best.1),
+        fmt_f(theory::optimal_reduction_epsilon(alpha))
+    ));
+}
+
+fn a1_beta_sweep(out: &mut String) {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let suite: Vec<Instance> = nonuniform_suite(BASE_SEED).into_iter().filter(|i| i.len() <= 10).collect();
+    let betas = [2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0];
+    let rows: Vec<(f64, f64)> = parallel_map(&betas, |&beta| {
+        let params = NonUniformParams { rounding_base: beta, ..NonUniformParams::recommended(alpha) };
+        let worst = suite
+            .iter()
+            .map(|i| {
+                let nc = run_nc_nonuniform(i, law, params).expect("NC run");
+                let c = run_c(i, law).expect("C run");
+                nc.objective.fractional() / c.objective.fractional()
+            })
+            .fold(0.0, f64::max);
+        (beta, worst)
+    });
+    let mut table = Table::new(
+        format!("A1: rounding base beta sweep (alpha = {alpha}; analysis requires beta > 4)"),
+        &["beta", "worst cost vs Algorithm C"],
+    );
+    for (beta, worst) in rows {
+        table.row(vec![fmt_f(beta), fmt_f(worst)]);
+    }
+    out.push_str(&table.render());
+}
+
+fn a2_eta_sweep(out: &mut String) {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let eta_min = theory::nonuniform_eta_min(alpha);
+    let suite: Vec<Instance> = nonuniform_suite(BASE_SEED).into_iter().filter(|i| i.len() <= 5).collect();
+    let factors = [0.6, 0.9, 1.05, 1.25, 1.6, 2.5];
+    let rows: Vec<(f64, f64, f64)> = parallel_map(&factors, |&f| {
+        let params = NonUniformParams { eta: f * eta_min, ..NonUniformParams::default() };
+        let (mut flow, mut energy) = (0.0, 0.0);
+        for i in &suite {
+            let nc = run_nc_nonuniform(i, law, params).expect("NC run");
+            flow += nc.objective.frac_flow;
+            energy += nc.objective.energy;
+        }
+        (f, flow, energy)
+    });
+    let mut table = Table::new(
+        format!("A2: speed multiplier eta sweep (eta_min(alpha={alpha}) = {})", fmt_f(eta_min)),
+        &["eta/eta_min", "total frac flow", "total energy"],
+    );
+    for (f, flow, energy) in rows {
+        table.row(vec![fmt_f(f), fmt_f(flow), fmt_f(energy)]);
+    }
+    out.push_str(&table.render());
+    out.push_str("below eta/eta_min = 1 the flow-time blows up (the epsilon crawl); above, energy grows like eta^alpha.\n");
+}
+
+fn a3_fifo_vs_lifo(out: &mut String) {
+    let alpha = 2.0;
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let mut table = Table::new(
+        "A3: information-gathering order on FIFO-stress instances (cost vs Algorithm C)",
+        &["#small jobs", "NC (FIFO)", "newest-first (LIFO)", "active-count"],
+    );
+    for &n in &[4usize, 8, 16, 32] {
+        let inst = fifo_stress(n, 8.0, 0.05, 0.2).expect("instance");
+        let c = run_c(&inst, law).expect("C").objective.fractional();
+        let nc = run_nc_uniform(&inst, law).expect("NC").objective.fractional();
+        let lifo = run_newest_first(&inst, law).expect("LIFO").objective.fractional();
+        let ajc = run_active_count(&inst, law).expect("AJC").objective.fractional();
+        table.row(vec![format!("{n}"), fmt_f(nc / c), fmt_f(lifo / c), fmt_f(ajc / c)]);
+    }
+    out.push_str(&table.render());
+}
+
+/// A5: convergence of the non-uniform integrator — the only numerical
+/// component. The midpoint rule should show roughly second-order decay of
+/// the objective error against a fine reference.
+fn a5_integrator_convergence(out: &mut String) {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let inst = nonuniform_suite(BASE_SEED).into_iter().find(|i| i.len() >= 4).expect("instance");
+    let cost_at = |steps: usize| {
+        let params = NonUniformParams { steps_per_job: steps, ..NonUniformParams::recommended(alpha) };
+        run_nc_nonuniform(&inst, law, params).expect("NC run").objective.fractional()
+    };
+    let reference = cost_at(3200);
+    let mut table = Table::new(
+        "A5: integrator convergence (relative error vs 3200-step reference)",
+        &["steps/job", "fractional objective", "rel. error"],
+    );
+    for &steps in &[50usize, 100, 200, 400, 800] {
+        let c = cost_at(steps);
+        table.row(vec![
+            format!("{steps}"),
+            fmt_f(c),
+            fmt_f((c - reference).abs() / reference),
+        ]);
+    }
+    out.push_str(&table.render());
+}
+
+/// Run the experiment and return the report.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::from("\n==== E10 + A1-A3 (+A5): ablations ====\n");
+    e10_reduction_sweep(&mut out);
+    a1_beta_sweep(&mut out);
+    a2_eta_sweep(&mut out);
+    a3_fifo_vs_lifo(&mut out);
+    a5_integrator_convergence(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_factor_never_exceeds_theory() {
+        let alpha = 2.0;
+        let law = PowerLaw::new(alpha).unwrap();
+        let inst = tiny_suite(BASE_SEED, true).remove(2);
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        for eps in [0.2, 0.5, 1.0] {
+            let red = reduce_to_integral(&nc.schedule, &inst, eps).unwrap();
+            let factor = red.objective.integral() / nc.objective.fractional();
+            assert!(factor <= theory::reduction_factor(alpha, eps) * (1.0 + 1e-9), "eps {eps}: {factor}");
+        }
+    }
+
+    #[test]
+    fn fifo_beats_lifo_on_stress() {
+        let law = PowerLaw::new(2.0).unwrap();
+        let inst = fifo_stress(16, 8.0, 0.05, 0.2).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap().objective.fractional();
+        let lifo = run_newest_first(&inst, law).unwrap().objective.fractional();
+        assert!(nc < lifo, "FIFO {nc} vs LIFO {lifo}");
+    }
+}

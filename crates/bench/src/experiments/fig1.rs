@@ -1,0 +1,80 @@
+//! F1 — Figure 1: the single-job power curves.
+//!
+//! Figure 1a (clairvoyant): the power curve decays from `W` to zero;
+//! flow-time equals energy (the areas under and over the curve coincide by
+//! the `P = W` rule). Figure 1b (non-clairvoyant): the same curve run in
+//! reverse; energy is unchanged, and the ratio of flow-time to energy is
+//! `1/(1 − 1/α)` — *independent of the weight*, the paper's crucial
+//! single-job observation.
+
+use ncss_analysis::{fmt_f, render_chart, ChartOptions, Series, Table};
+use ncss_core::{run_c, run_nc_uniform, theory};
+use ncss_sim::{Instance, Job, PowerLaw};
+
+/// Run the experiment and return the report.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::from("\n==== F1: Figure 1 — single-job power curves ====\n");
+    let mut table = Table::new(
+        "single-job invariants (paper: E_NC = E_C, F_NC/E_NC = 1/(1-1/alpha), any W)",
+        &["alpha", "W", "E_C", "E_NC", "F_NC/E_NC", "theory", "F_C/E_C"],
+    );
+
+    for &alpha in &[2.0, 3.0] {
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+        for &w in &[1.0, 4.0, 16.0] {
+            let inst = Instance::new(vec![Job::unit_density(0.0, w)]).expect("valid instance");
+            let c = run_c(&inst, law).expect("C run");
+            let nc = run_nc_uniform(&inst, law).expect("NC run");
+            table.row(vec![
+                fmt_f(alpha),
+                fmt_f(w),
+                fmt_f(c.objective.energy),
+                fmt_f(nc.objective.energy),
+                fmt_f(nc.objective.frac_flow / nc.objective.energy),
+                fmt_f(theory::nc_over_c_flow_ratio(alpha)),
+                fmt_f(c.objective.frac_flow / c.objective.energy),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+
+    // The curves themselves for alpha = 3, W = 4 (Figure 1a/1b shapes).
+    let law = PowerLaw::new(3.0).expect("valid alpha");
+    let inst = Instance::new(vec![Job::unit_density(0.0, 4.0)]).expect("valid instance");
+    let c = run_c(&inst, law).expect("C run");
+    let nc = run_nc_uniform(&inst, law).expect("NC run");
+    let horizon = c.makespan().max(nc.makespan());
+    let c_curve: Vec<(f64, f64)> = c.schedule.sample(64, horizon).into_iter().map(|(t, _, p)| (t, p)).collect();
+    let nc_curve: Vec<(f64, f64)> = nc.schedule.sample(64, horizon).into_iter().map(|(t, _, p)| (t, p)).collect();
+    let series = [
+        Series::new("Algorithm C power", 'C', c_curve),
+        Series::new("Algorithm NC power", 'N', nc_curve),
+    ];
+    out.push_str(&render_chart(
+        "power curves, alpha=3, W=4 (C decays — Fig 1a; NC is its reverse — Fig 1b)",
+        &series,
+        ChartOptions::default(),
+    ));
+    if let Ok(path) = ncss_analysis::write_svg(
+        "fig1_power_curves",
+        "Figure 1: single-job power curves (alpha=3, W=4)",
+        &series,
+        &ncss_analysis::SvgOptions { y_label: "power".into(), ..Default::default() },
+    ) {
+        out.push_str(&format!("svg written: {}\n", path.display()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_invariants() {
+        let r = super::run();
+        assert!(r.contains("F1"));
+        assert!(r.contains("Algorithm NC power"));
+        // The flow/energy ratio column for alpha=2 should read 2.0000.
+        assert!(r.contains("2.0000"));
+    }
+}

@@ -1,0 +1,175 @@
+//! E1–E6 — the paper's exactly-quantified structural lemmas, measured.
+//!
+//! | id | claim | tested as |
+//! |----|-------|-----------|
+//! | E1 | Lemma 3/21: Energy(NC) = Energy(C)              | max relative error |
+//! | E2 | Lemma 4/22: F(NC) = F(C)/(1−1/α)                | max relative error |
+//! | E3 | Lemma 8: F_int(NC) ≤ (2 − 1/α)·F(NC)            | max margin ≤ 0 |
+//! | E4 | Lemma 6: speed profiles are rearrangements      | level-set distance |
+//! | E5 | Lemma 2: single-job Algorithm C identities      | max relative error |
+//! | E6 | Lemma 20: NC-PAR ≡ C-PAR assignments            | #mismatches |
+
+use ncss_analysis::{fmt_f, parallel_map, Table};
+use ncss_core::{run_c, run_nc_uniform, theory};
+use ncss_multi::{run_c_par, run_nc_par};
+use ncss_sim::kernel::DecayKernel;
+use ncss_sim::profile::rearrangement_distance;
+use ncss_sim::{Instance, PowerLaw};
+use ncss_workloads::suite::uniform_suite;
+
+use super::BASE_SEED;
+
+/// Per-(α, suite) lemma measurements.
+struct LemmaErrors {
+    e1: f64,
+    e2: f64,
+    e3_margin: f64,
+    e4: f64,
+}
+
+fn measure(instances: &[Instance], alpha: f64) -> LemmaErrors {
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let per: Vec<LemmaErrors> = parallel_map(instances, |inst| {
+        let c = run_c(inst, law).expect("C run");
+        let nc = run_nc_uniform(inst, law).expect("NC run");
+        let e1 = ncss_sim::numeric::rel_diff(nc.objective.energy, c.objective.energy);
+        let ratio = theory::nc_over_c_flow_ratio(alpha);
+        let e2 = ncss_sim::numeric::rel_diff(nc.objective.frac_flow, c.objective.frac_flow * ratio);
+        let bound = theory::nc_integral_over_fractional_flow_bound(alpha);
+        let e3_margin = nc.objective.int_flow / nc.objective.frac_flow - bound;
+        let scale = (1.0 + nc.makespan()).max(1.0);
+        let e4 = rearrangement_distance(&c.schedule, &nc.schedule, 256) / scale;
+        LemmaErrors { e1, e2, e3_margin, e4 }
+    });
+    per.into_iter().fold(
+        LemmaErrors { e1: 0.0, e2: 0.0, e3_margin: f64::NEG_INFINITY, e4: 0.0 },
+        |acc, x| LemmaErrors {
+            e1: acc.e1.max(x.e1),
+            e2: acc.e2.max(x.e2),
+            e3_margin: acc.e3_margin.max(x.e3_margin),
+            e4: acc.e4.max(x.e4),
+        },
+    )
+}
+
+/// E5: Lemma 2 identities over a parameter grid.
+fn lemma2_error() -> f64 {
+    let mut worst: f64 = 0.0;
+    for &alpha in &[1.5, 2.0, 2.5, 3.0, 4.0] {
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+        for &rho in &[0.5, 1.0, 3.0] {
+            for &w in &[0.25, 1.0, 10.0] {
+                let k = DecayKernel { law, w0: w, rho };
+                let t = k.time_to_empty();
+                let beta = 1.0 - 1.0 / alpha;
+                // (2): rho (1 - 1/alpha) t = W^{1-1/alpha}
+                worst = worst.max(ncss_sim::numeric::rel_diff(rho * beta * t, w.powf(beta)));
+                // (1)+(3): W/t = (1-1/alpha) dW/dt with dW/dt = rho W^{1/alpha}
+                worst = worst.max(ncss_sim::numeric::rel_diff(w / t, beta * rho * w.powf(1.0 / alpha)));
+            }
+        }
+    }
+    worst
+}
+
+/// E6: Lemma 20 assignment identity over the suite.
+fn lemma20_mismatches(instances: &[Instance], alpha: f64) -> usize {
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let small: Vec<&Instance> = instances.iter().filter(|i| i.len() <= 20).collect();
+    let counts: Vec<usize> = parallel_map(&small, |inst| {
+        let mut bad = 0;
+        for k in [2usize, 3, 4] {
+            let c = run_c_par(inst, law, k).expect("C-PAR");
+            let nc = run_nc_par(inst, law, k).expect("NC-PAR");
+            if c.assignment != nc.assignment {
+                bad += 1;
+            }
+        }
+        bad
+    });
+    counts.into_iter().sum()
+}
+
+/// Run the experiment and return the report.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::from("\n==== E1-E6: structural lemmas, measured on the uniform suite ====\n");
+    let suite = uniform_suite(BASE_SEED);
+    out.push_str(&format!("suite: {} instances, sizes 1..=40, seed {}\n", suite.len(), BASE_SEED));
+
+    let mut table = Table::new(
+        "maximum deviations over the suite (all should be ~1e-9 except E3's margin <= 0)",
+        &["alpha", "E1 energy rel.err", "E2 flow-ratio rel.err", "E3 margin (<=0 ok)", "E4 profile dist", "E6 mismatches"],
+    );
+    for &alpha in &[1.5, 2.0, 3.0] {
+        let e = measure(&suite, alpha);
+        let m = lemma20_mismatches(&suite, alpha);
+        table.row(vec![
+            fmt_f(alpha),
+            fmt_f(e.e1),
+            fmt_f(e.e2),
+            fmt_f(e.e3_margin),
+            fmt_f(e.e4),
+            format!("{m}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!("E5 Lemma 2 identity max rel.err over grid: {}\n", fmt_f(lemma2_error())));
+    out.push_str(&properties_section());
+    out
+}
+
+/// Lemmas 11–13 (full-version Properties A/B and the completion stretch):
+/// the empirical constants ζ, γ, ψ over the non-uniform suite.
+fn properties_section() -> String {
+    use ncss_core::properties::measure_properties;
+    use ncss_core::{run_nc_nonuniform, NonUniformParams};
+    use ncss_workloads::suite::nonuniform_suite;
+
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let params = NonUniformParams { steps_per_job: 150, ..NonUniformParams::recommended(alpha) };
+    let suite: Vec<Instance> = nonuniform_suite(BASE_SEED).into_iter().filter(|i| i.len() <= 10).collect();
+    let results: Vec<_> = parallel_map(&suite, |inst| {
+        let run = run_nc_nonuniform(inst, law, params).expect("NC run");
+        measure_properties(inst, law, params.rounding_base, &run, 16).expect("properties")
+    });
+    let (mut zeta, mut gamma, mut psi) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for p in &results {
+        zeta = zeta.min(p.zeta);
+        gamma = gamma.min(p.gamma);
+        psi = psi.min(p.psi);
+    }
+    let mut table = Table::new(
+        format!("Lemmas 11-13: empirical constants over {} non-uniform instances (alpha = {alpha}, eta = recommended)", suite.len()),
+        &["constant", "paper claim", "measured worst"],
+    );
+    table.row(vec!["zeta (Property A)".into(), "some constant > 0".into(), fmt_f(zeta)]);
+    table.row(vec!["gamma (Property B)".into(), "some constant > 0".into(), fmt_f(gamma)]);
+    table.row(vec!["psi (Lemma 13)".into(), "some constant > 0".into(), fmt_f(psi)]);
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_errors_are_tiny_on_a_subsuite() {
+        let suite: Vec<Instance> = uniform_suite(BASE_SEED).into_iter().take(12).collect();
+        for alpha in [2.0, 3.0] {
+            let e = measure(&suite, alpha);
+            assert!(e.e1 < 1e-7, "E1 {}", e.e1);
+            assert!(e.e2 < 1e-7, "E2 {}", e.e2);
+            assert!(e.e3_margin <= 1e-9, "E3 {}", e.e3_margin);
+            assert!(e.e4 < 1e-6, "E4 {}", e.e4);
+        }
+        assert!(lemma2_error() < 1e-9);
+    }
+
+    #[test]
+    fn no_assignment_mismatches_on_subsuite() {
+        let suite: Vec<Instance> = uniform_suite(BASE_SEED).into_iter().filter(|i| i.len() <= 8).take(6).collect();
+        assert_eq!(lemma20_mismatches(&suite, 2.0), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! E7 — the Section 6 immediate-dispatch lower bound `Ω(k^{1−1/α})`.
+//!
+//! Plays the adaptive-adversary game against deterministic dispatch
+//! policies for growing machine counts and fits the log-log slope of the
+//! measured ratio, which should track the paper's exponent `1 − 1/α`.
+
+use ncss_analysis::{fmt_f, parallel_map, render_chart, ChartOptions, Series, Table};
+use ncss_core::theory;
+use ncss_multi::{fit_loglog_slope, immediate_dispatch_game, LeastCount, RoundRobin};
+use ncss_sim::PowerLaw;
+
+const KS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Ratio curve for one (α, policy) combination.
+fn curve(alpha: f64, policy_name: &str) -> Vec<(usize, f64)> {
+    let law = PowerLaw::new(alpha).expect("valid alpha");
+    let ks: Vec<usize> = KS.to_vec();
+    parallel_map(&ks, |&k| {
+        let out = match policy_name {
+            "round-robin" => {
+                let mut p = RoundRobin::default();
+                immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4)
+            }
+            _ => {
+                let mut p = LeastCount::default();
+                immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4)
+            }
+        }
+        .expect("game");
+        (k, out.ratio)
+    })
+}
+
+/// Run the experiment and return the report.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::from("\n==== E7: immediate-dispatch lower bound Omega(k^{1-1/alpha}) ====\n");
+    let mut table = Table::new(
+        "measured ratio vs k (adaptive adversary, k^2 look-alike jobs)",
+        &["alpha", "policy", "k=2", "k=4", "k=8", "k=16", "k=32", "fitted slope", "theory 1-1/alpha"],
+    );
+    let mut series = Vec::new();
+    for &alpha in &[1.5, 2.0, 3.0] {
+        for policy in ["round-robin", "least-count"] {
+            let pts = curve(alpha, policy);
+            let slope = fit_loglog_slope(&pts);
+            let mut row = vec![fmt_f(alpha), policy.to_string()];
+            row.extend(pts.iter().map(|&(_, r)| fmt_f(r)));
+            row.push(fmt_f(slope));
+            row.push(fmt_f(theory::immediate_dispatch_lb_exponent(alpha)));
+            table.row(row);
+            if policy == "round-robin" {
+                series.push(Series::new(
+                    format!("alpha={alpha}"),
+                    char::from_digit(alpha as u32, 10).unwrap_or('*'),
+                    pts.iter().map(|&(k, r)| (k as f64, r)).collect(),
+                ));
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&render_chart(
+        "ratio vs k (log-log; straight lines with slope 1-1/alpha)",
+        &series,
+        ChartOptions { log_x: true, log_y: true, ..Default::default() },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_tracks_exponent() {
+        for &alpha in &[2.0, 3.0] {
+            let pts = curve(alpha, "round-robin");
+            let slope = fit_loglog_slope(&pts);
+            let theory = theory::immediate_dispatch_lb_exponent(alpha);
+            assert!(
+                (slope - theory).abs() < 0.2,
+                "alpha={alpha}: slope {slope} vs theory {theory}"
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # ncss-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper (see DESIGN.md §2 for
+//! the experiment index). Run individual experiments with the binaries
+//! (`cargo run -p ncss-bench --release --bin table1`, `fig1`, …) or all of
+//! them with `all_experiments`; `cargo bench` additionally runs the
+//! Criterion performance benches plus the same reproduction suite via the
+//! `repro_experiments` bench target.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,92 @@
+//! Minimal `--flag value` argument parsing (no external crates).
+
+use std::collections::BTreeMap;
+
+/// A parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// First positional token.
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Fetch an option or a default.
+    #[must_use]
+    pub fn get_or(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Fetch a required option.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.options.get(key).cloned().ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parse an f64 option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    /// Parse a usize option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+}
+
+/// Parse `args` (without the binary name).
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("no command given; try 'ncss help'")?.clone();
+    let mut options = BTreeMap::new();
+    while let Some(tok) = it.next() {
+        let key = tok
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got '{tok}'"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(ParsedArgs { command, options })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse_args(&v(&["run", "--alpha", "3", "--input", "t.csv"])).unwrap();
+        assert_eq!(p.command, "run");
+        assert_eq!(p.get_or("alpha", "2"), "3");
+        assert_eq!(p.require("input").unwrap(), "t.csv");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&v(&["run", "alpha", "3"])).is_err());
+        assert!(parse_args(&v(&["run", "--alpha"])).is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse_args(&v(&["x", "--a", "2.5", "--n", "7"])).unwrap();
+        assert_eq!(p.f64_or("a", 1.0).unwrap(), 2.5);
+        assert_eq!(p.f64_or("missing", 1.0).unwrap(), 1.0);
+        assert_eq!(p.usize_or("n", 3).unwrap(), 7);
+        assert!(p.f64_or("n", 0.0).is_ok());
+        let bad = parse_args(&v(&["x", "--a", "zzz"])).unwrap();
+        assert!(bad.f64_or("a", 1.0).is_err());
+        assert!(bad.require("nothere").is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Command implementations.
+
+use crate::args::{parse_args, ParsedArgs};
+use ncss_analysis::{fmt_f, Table};
+use ncss_core::baselines::{run_active_count, run_constant_speed, run_newest_first};
+use ncss_core::{run_c, run_nc_nonuniform, run_nc_uniform, theory, NonUniformParams};
+use ncss_opt::{solve_fractional_opt, SolverOptions};
+use ncss_sim::{Instance, Objective, PowerLaw};
+use ncss_workloads::{instance_from_csv, instance_to_csv, DensityDist, VolumeDist, WorkloadSpec};
+
+const HELP: &str = "\
+ncss — speed scaling in the non-clairvoyant model (SPAA 2015)
+
+commands:
+  generate --n N [--rate R] [--volumes DIST] [--densities DIST] [--seed S]
+           print an instance CSV to stdout
+           DIST for volumes:   fixed:V | uniform:LO:HI | exp:MEAN |
+                               pareto:SCALE:SHAPE | bimodal:SMALL:LARGE:P
+           DIST for densities: fixed:D | loguniform:LO:HI | powers:BASE:LEVELS
+  run      --algorithm A --input FILE [--alpha ALPHA]
+           A = c | nc | nc-nonuniform | active-count | newest-first | constant:SPEED
+  opt      --input FILE [--alpha ALPHA] [--steps N] [--iters N]
+           bracket the fractional offline optimum
+  compare  --input FILE [--alpha ALPHA]
+           run every applicable algorithm and print costs + certified ratios
+  gantt    --algorithm A --input FILE [--alpha ALPHA] [--width W]
+           render the schedule as an ASCII Gantt chart with a speed sparkline
+  sweep    --input FILE [--alphas LO:HI:N]
+           competitive-ratio curve of C and NC across power-law exponents
+  help     this message
+";
+
+fn parse_volumes(spec: &str) -> Result<VolumeDist, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let f = |s: &str| s.parse::<f64>().map_err(|_| format!("bad number '{s}' in '{spec}'"));
+    match parts.as_slice() {
+        ["fixed", v] => Ok(VolumeDist::Fixed(f(v)?)),
+        ["uniform", lo, hi] => Ok(VolumeDist::Uniform { lo: f(lo)?, hi: f(hi)? }),
+        ["exp", m] => Ok(VolumeDist::Exponential { mean: f(m)? }),
+        ["pareto", s, sh] => Ok(VolumeDist::Pareto { scale: f(s)?, shape: f(sh)? }),
+        ["bimodal", s, l, p] => Ok(VolumeDist::Bimodal { small: f(s)?, large: f(l)?, p_large: f(p)? }),
+        _ => Err(format!("unknown volume distribution '{spec}'")),
+    }
+}
+
+fn parse_densities(spec: &str) -> Result<DensityDist, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let f = |s: &str| s.parse::<f64>().map_err(|_| format!("bad number '{s}' in '{spec}'"));
+    match parts.as_slice() {
+        ["fixed", d] => Ok(DensityDist::Fixed(f(d)?)),
+        ["loguniform", lo, hi] => Ok(DensityDist::LogUniform { lo: f(lo)?, hi: f(hi)? }),
+        ["powers", b, l] => Ok(DensityDist::PowerLevels {
+            base: f(b)?,
+            levels: l.parse().map_err(|_| format!("bad level count '{l}'"))?,
+        }),
+        _ => Err(format!("unknown density distribution '{spec}'")),
+    }
+}
+
+fn load_instance(args: &ParsedArgs) -> Result<Instance, String> {
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    instance_from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn law_of(args: &ParsedArgs) -> Result<PowerLaw, String> {
+    PowerLaw::new(args.f64_or("alpha", 3.0)?).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &ParsedArgs) -> Result<String, String> {
+    let spec = WorkloadSpec {
+        n_jobs: args.usize_or("n", 10)?,
+        arrival_rate: args.f64_or("rate", 1.0)?,
+        volumes: parse_volumes(&args.get_or("volumes", "exp:1.0"))?,
+        densities: parse_densities(&args.get_or("densities", "fixed:1.0"))?,
+    };
+    let seed = args.usize_or("seed", 1)? as u64;
+    let inst = spec.generate(seed).map_err(|e| e.to_string())?;
+    Ok(instance_to_csv(&inst))
+}
+
+fn run_algorithm(name: &str, inst: &Instance, law: PowerLaw) -> Result<Objective, String> {
+    let err = |e: ncss_sim::SimError| e.to_string();
+    if let Some(speed) = name.strip_prefix("constant:") {
+        let s: f64 = speed.parse().map_err(|_| format!("bad speed '{speed}'"))?;
+        return Ok(run_constant_speed(inst, law, s).map_err(err)?.objective);
+    }
+    match name {
+        "c" => Ok(run_c(inst, law).map_err(err)?.objective),
+        "nc" => Ok(run_nc_uniform(inst, law).map_err(err)?.objective),
+        "nc-nonuniform" => Ok(run_nc_nonuniform(inst, law, NonUniformParams::recommended(law.alpha()))
+            .map_err(err)?
+            .objective),
+        "active-count" => Ok(run_active_count(inst, law).map_err(err)?.objective),
+        "newest-first" => Ok(run_newest_first(inst, law).map_err(err)?.objective),
+        _ => Err(format!("unknown algorithm '{name}'; see 'ncss help'")),
+    }
+}
+
+fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let law = law_of(args)?;
+    let name = args.require("algorithm")?;
+    let o = run_algorithm(&name, &inst, law)?;
+    let mut t = Table::new(
+        format!("{name} on {} jobs (alpha = {})", inst.len(), law.alpha()),
+        &["energy", "frac flow", "int flow", "frac objective", "int objective"],
+    );
+    t.row(vec![fmt_f(o.energy), fmt_f(o.frac_flow), fmt_f(o.int_flow), fmt_f(o.fractional()), fmt_f(o.integral())]);
+    Ok(t.render())
+}
+
+fn cmd_opt(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let law = law_of(args)?;
+    let opts = SolverOptions {
+        steps: args.usize_or("steps", 1200)?,
+        max_iters: args.usize_or("iters", 800)?,
+        ..Default::default()
+    };
+    let sol = solve_fractional_opt(&inst, law, opts).map_err(|e| e.to_string())?;
+    let mut t = Table::new(
+        format!("fractional OPT bracket for {} jobs (alpha = {})", inst.len(), law.alpha()),
+        &["certified lower bound", "feasible upper bound", "gap", "iterations"],
+    );
+    t.row(vec![
+        fmt_f(sol.dual_bound),
+        fmt_f(sol.primal_cost),
+        format!("{:.2}%", sol.gap() * 100.0),
+        format!("{}", sol.iterations),
+    ]);
+    Ok(t.render())
+}
+
+fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let law = law_of(args)?;
+    let sol = solve_fractional_opt(&inst, law, SolverOptions::default()).map_err(|e| e.to_string())?;
+    let lb = sol.dual_bound.max(f64::MIN_POSITIVE);
+
+    let mut algos: Vec<&str> = vec!["c", "active-count", "newest-first", "constant:1.0"];
+    if inst.is_uniform_density() {
+        algos.insert(1, "nc");
+    } else {
+        algos.insert(1, "nc-nonuniform");
+    }
+    let mut t = Table::new(
+        format!(
+            "comparison on {} jobs (alpha = {}), certified OPT lower bound = {}",
+            inst.len(),
+            law.alpha(),
+            fmt_f(sol.dual_bound)
+        ),
+        &["algorithm", "frac objective", "ratio vs OPT lb", "int objective"],
+    );
+    for name in &algos {
+        let o = run_algorithm(name, &inst, law)?;
+        t.row(vec![(*name).to_string(), fmt_f(o.fractional()), fmt_f(o.fractional() / lb), fmt_f(o.integral())]);
+    }
+    let mut out = t.render();
+    if inst.is_uniform_density() {
+        out.push_str(&format!(
+            "paper bounds at alpha={}: NC fractional {}, NC integral {}\n",
+            law.alpha(),
+            fmt_f(theory::nc_uniform_fractional_bound(law.alpha())),
+            fmt_f(theory::nc_uniform_integral_bound(law.alpha())),
+        ));
+    }
+    Ok(out)
+}
+
+fn schedule_of(name: &str, inst: &Instance, law: PowerLaw) -> Result<ncss_sim::Schedule, String> {
+    let err = |e: ncss_sim::SimError| e.to_string();
+    if let Some(speed) = name.strip_prefix("constant:") {
+        let s: f64 = speed.parse().map_err(|_| format!("bad speed '{speed}'"))?;
+        return Ok(run_constant_speed(inst, law, s).map_err(err)?.schedule);
+    }
+    match name {
+        "c" => Ok(run_c(inst, law).map_err(err)?.schedule),
+        "nc" => Ok(run_nc_uniform(inst, law).map_err(err)?.schedule),
+        "nc-nonuniform" => Ok(run_nc_nonuniform(inst, law, NonUniformParams::recommended(law.alpha()))
+            .map_err(err)?
+            .schedule),
+        "active-count" => Ok(run_active_count(inst, law).map_err(err)?.schedule),
+        "newest-first" => Ok(run_newest_first(inst, law).map_err(err)?.schedule),
+        _ => Err(format!("unknown algorithm '{name}'; see 'ncss help'")),
+    }
+}
+
+fn cmd_gantt(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let law = law_of(args)?;
+    let name = args.require("algorithm")?;
+    let width = args.usize_or("width", 96)?;
+    let schedule = schedule_of(&name, &inst, law)?;
+    let horizon = schedule.end_time();
+    let mut out = format!("{name} on {} jobs (alpha = {}):\n", inst.len(), law.alpha());
+    out.push_str(&ncss_analysis::render_gantt(&schedule, inst.len(), width, horizon));
+    Ok(out)
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let spec = args.get_or("alphas", "1.5:4.0:6");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [lo, hi, n] = parts.as_slice() else {
+        return Err(format!("--alphas expects LO:HI:N, got '{spec}'"));
+    };
+    let lo: f64 = lo.parse().map_err(|_| "bad LO".to_string())?;
+    let hi: f64 = hi.parse().map_err(|_| "bad HI".to_string())?;
+    let n: usize = n.parse().map_err(|_| "bad N".to_string())?;
+    if n < 2 || !(hi > lo) || !(lo > 1.0) {
+        return Err("--alphas needs 1 < LO < HI and N >= 2".into());
+    }
+    let mut t = Table::new(
+        format!("ratio sweep on {} jobs (vs certified OPT lower bound)", inst.len()),
+        &["alpha", "C ratio", "NC ratio", "paper NC bound"],
+    );
+    for i in 0..n {
+        let alpha = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+        let law = PowerLaw::new(alpha).map_err(|e| e.to_string())?;
+        let sol = solve_fractional_opt(
+            &inst,
+            law,
+            SolverOptions { steps: 500, max_iters: 300, ..Default::default() },
+        )
+        .map_err(|e| e.to_string())?;
+        let lb = sol.dual_bound.max(f64::MIN_POSITIVE);
+        let c = run_c(&inst, law).map_err(|e| e.to_string())?.objective.fractional();
+        let (nc, bound) = if inst.is_uniform_density() {
+            (
+                run_nc_uniform(&inst, law).map_err(|e| e.to_string())?.objective.fractional(),
+                theory::nc_uniform_fractional_bound(alpha),
+            )
+        } else {
+            (
+                run_nc_nonuniform(&inst, law, NonUniformParams::recommended(alpha))
+                    .map_err(|e| e.to_string())?
+                    .objective
+                    .fractional(),
+                theory::nc_nonuniform_indicative_bound(alpha),
+            )
+        };
+        t.row(vec![fmt_f(alpha), fmt_f(c / lb), fmt_f(nc / lb), fmt_f(bound)]);
+    }
+    Ok(t.render())
+}
+
+/// Run the CLI and return its stdout text.
+pub fn run_cli(raw: &[String]) -> Result<String, String> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
+        return Ok(HELP.to_string());
+    }
+    let args = parse_args(raw)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "run" => cmd_run(&args),
+        "opt" => cmd_opt(&args),
+        "compare" => cmd_compare(&args),
+        "gantt" => cmd_gantt(&args),
+        "sweep" => cmd_sweep(&args),
+        other => Err(format!("unknown command '{other}'; try 'ncss help'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn write_trace() -> String {
+        let dir = std::env::temp_dir().join("ncss_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let csv = run_cli(&v(&["generate", "--n", "5", "--seed", "3"])).unwrap();
+        std::fs::write(&path, csv).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(run_cli(&[]).unwrap().contains("commands:"));
+        assert!(run_cli(&v(&["help"])).unwrap().contains("generate"));
+        assert!(run_cli(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_produces_csv() {
+        let out = run_cli(&v(&["generate", "--n", "4", "--volumes", "fixed:2.0"])).unwrap();
+        assert!(out.starts_with("release,volume,density"));
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains(",2,") || out.contains(",2.0,") || out.contains(",2,1"));
+    }
+
+    #[test]
+    fn generate_rejects_bad_dists() {
+        assert!(run_cli(&v(&["generate", "--n", "2", "--volumes", "zipf:1"])).is_err());
+        assert!(run_cli(&v(&["generate", "--n", "2", "--densities", "powers:x:2"])).is_err());
+    }
+
+    #[test]
+    fn run_and_opt_and_compare_end_to_end() {
+        let path = write_trace();
+        for algo in ["c", "nc", "active-count", "newest-first", "constant:1.5"] {
+            let out = run_cli(&v(&["run", "--algorithm", algo, "--input", &path, "--alpha", "2"])).unwrap();
+            assert!(out.contains("frac objective"), "{algo}: {out}");
+        }
+        let out = run_cli(&v(&["opt", "--input", &path, "--steps", "300", "--iters", "150"])).unwrap();
+        assert!(out.contains("certified lower bound"));
+        let out = run_cli(&v(&["compare", "--input", &path, "--alpha", "2"])).unwrap();
+        assert!(out.contains("ratio vs OPT lb"));
+        assert!(out.contains("paper bounds"));
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let path = write_trace();
+        let out = run_cli(&v(&["gantt", "--algorithm", "nc", "--input", &path, "--alpha", "2", "--width", "60"])).unwrap();
+        assert!(out.contains("speed"));
+        assert!(out.contains("job   0"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn sweep_produces_curve() {
+        let path = write_trace();
+        let out = run_cli(&v(&["sweep", "--input", &path, "--alphas", "2.0:3.0:3"])).unwrap();
+        assert!(out.contains("NC ratio"));
+        assert_eq!(out.lines().filter(|l| l.starts_with("2.") || l.starts_with("3.")).count(), 3);
+        assert!(run_cli(&v(&["sweep", "--input", &path, "--alphas", "bad"])).is_err());
+        assert!(run_cli(&v(&["sweep", "--input", &path, "--alphas", "3:2:4"])).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_algorithm_and_missing_file() {
+        let path = write_trace();
+        assert!(run_cli(&v(&["run", "--algorithm", "magic", "--input", &path])).is_err());
+        assert!(run_cli(&v(&["run", "--algorithm", "c", "--input", "/nonexistent.csv"])).is_err());
+    }
+}

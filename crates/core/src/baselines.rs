@@ -1,0 +1,237 @@
+//! Non-clairvoyant baselines from the related-work landscape.
+//!
+//! These populate the comparison columns of the experiments:
+//!
+//! * [`run_constant_speed`] — the naive fixed-speed FIFO machine,
+//! * [`run_active_count`] — "power = number of active jobs", the natural
+//!   non-clairvoyant adaptation of the active-job-count speed rules of Lam
+//!   et al. (speed is observable without knowing volumes),
+//! * [`run_newest_first`] — preemptive LIFO with a reset growth power rule
+//!   (`P = processed weight of the current job`). This deliberately drops
+//!   the `W^{(C)}(r_j^-)` base term and the FIFO information-gathering
+//!   order, isolating the two design choices of Algorithm NC for the
+//!   ablation experiments (A3 in DESIGN.md).
+//!
+//! All three are genuinely implementable in the non-clairvoyant model: they
+//! consult only releases, densities, their own processed volumes, and
+//! completion signals.
+
+use ncss_sim::kernel::GrowthKernel;
+use ncss_sim::{
+    evaluate, Instance, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment, SimError,
+    SimResult, SpeedLaw,
+};
+
+/// Outcome of a baseline run: the schedule plus its evaluated objective.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// The machine schedule.
+    pub schedule: Schedule,
+    /// Evaluated objective.
+    pub objective: Objective,
+    /// Per-job outcomes.
+    pub per_job: PerJob,
+}
+
+fn finish(schedule: Schedule, instance: &Instance) -> SimResult<BaselineRun> {
+    let ev = evaluate(&schedule, instance)?;
+    Ok(BaselineRun { schedule, objective: ev.objective, per_job: ev.per_job })
+}
+
+/// FIFO processing at a fixed speed `s > 0`.
+pub fn run_constant_speed(instance: &Instance, law: PowerLaw, speed: f64) -> SimResult<BaselineRun> {
+    if !(speed.is_finite() && speed > 0.0) {
+        return Err(SimError::InvalidInstance { reason: "constant speed must be positive" });
+    }
+    let mut builder = ScheduleBuilder::new(law);
+    let mut t = 0.0f64;
+    for (j, job) in instance.jobs().iter().enumerate() {
+        t = t.max(job.release);
+        let tau = job.volume / speed;
+        builder.push(Segment::new(t, t + tau, Some(j), SpeedLaw::Constant { speed }));
+        t += tau;
+    }
+    finish(builder.build()?, instance)
+}
+
+/// FIFO processing with `P(s) = m(t)` where `m(t)` is the number of active
+/// jobs — the job-count analogue of the clairvoyant `P = W` rule, which is
+/// observable non-clairvoyantly.
+pub fn run_active_count(instance: &Instance, law: PowerLaw) -> SimResult<BaselineRun> {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.volume).collect();
+    let mut builder = ScheduleBuilder::new(law);
+    let mut next = 0usize;
+    let mut active: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut t = jobs.first().map_or(0.0, |j| j.release);
+
+    let admit = |t: f64, next: &mut usize, active: &mut std::collections::VecDeque<usize>| {
+        while *next < n && jobs[*next].release <= t {
+            active.push_back(*next);
+            *next += 1;
+        }
+    };
+    admit(t, &mut next, &mut active);
+
+    while !active.is_empty() || next < n {
+        if active.is_empty() {
+            t = jobs[next].release;
+            admit(t, &mut next, &mut active);
+            continue;
+        }
+        let cur = *active.front().expect("non-empty queue");
+        let speed = law.speed_for_power(active.len() as f64);
+        let t_complete = t + remaining[cur] / speed;
+        let t_release = if next < n { jobs[next].release } else { f64::INFINITY };
+        let completes = t_complete <= t_release;
+        let t_end = if completes { t_complete } else { t_release };
+        if t_end > t {
+            builder.push(Segment::new(t, t_end, Some(cur), SpeedLaw::Constant { speed }));
+            remaining[cur] -= speed * (t_end - t);
+        }
+        t = t_end;
+        if completes {
+            remaining[cur] = 0.0;
+            active.pop_front();
+        }
+        admit(t, &mut next, &mut active);
+    }
+    finish(builder.build()?, instance)
+}
+
+/// Preemptive newest-first (LIFO) with the reset power rule
+/// `P(s) = ρ_j · (volume of j processed so far)` for the job in service.
+pub fn run_newest_first(instance: &Instance, law: PowerLaw) -> SimResult<BaselineRun> {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let mut processed = vec![0.0f64; n];
+    let mut builder = ScheduleBuilder::new(law);
+    let mut next = 0usize;
+    // LIFO stack of active jobs (most recent release on top).
+    let mut stack: Vec<usize> = Vec::new();
+    let mut t = jobs.first().map_or(0.0, |j| j.release);
+
+    let admit = |t: f64, next: &mut usize, stack: &mut Vec<usize>| {
+        while *next < n && jobs[*next].release <= t {
+            stack.push(*next);
+            *next += 1;
+        }
+    };
+    admit(t, &mut next, &mut stack);
+
+    while !stack.is_empty() || next < n {
+        if stack.is_empty() {
+            t = jobs[next].release;
+            admit(t, &mut next, &mut stack);
+            continue;
+        }
+        let cur = *stack.last().expect("non-empty stack");
+        let rho = jobs[cur].density;
+        let u0 = rho * processed[cur];
+        let kernel = GrowthKernel { law, u0, rho };
+        let rem = jobs[cur].volume - processed[cur];
+        let t_complete = t + kernel.time_to_volume(rem);
+        let t_release = if next < n { jobs[next].release } else { f64::INFINITY };
+        let completes = t_complete <= t_release;
+        let t_end = if completes { t_complete } else { t_release };
+        if t_end > t {
+            builder.push(Segment::new(t, t_end, Some(cur), SpeedLaw::Growth { u0, rho }));
+            processed[cur] += kernel.volume(t_end - t);
+        }
+        t = t_end;
+        if completes {
+            processed[cur] = jobs[cur].volume;
+            stack.pop();
+        }
+        admit(t, &mut next, &mut stack);
+    }
+    finish(builder.build()?, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::numeric::approx_eq;
+    use ncss_sim::Job;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    fn inst() -> Instance {
+        Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.3, 0.5),
+            Job::unit_density(2.0, 1.5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn constant_speed_basics() {
+        let run = run_constant_speed(&inst(), pl(2.0), 2.0).unwrap();
+        // Total volume 3 at speed 2: busy time 1.5, energy = 4 * 1.5 = 6.
+        assert!(approx_eq(run.objective.energy, 6.0, 1e-9));
+        assert!(run.per_job.completion[0] < run.per_job.completion[1]);
+        assert!(run_constant_speed(&inst(), pl(2.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn active_count_speed_levels() {
+        // Single active job -> speed 1 for any alpha (P(s)=1).
+        let one = Instance::new(vec![Job::unit_density(0.0, 2.0)]).unwrap();
+        let run = run_active_count(&one, pl(3.0)).unwrap();
+        assert!(approx_eq(run.schedule.speed_at(0.5), 1.0, 1e-12));
+        assert!(approx_eq(run.per_job.completion[0], 2.0, 1e-9));
+
+        // Two overlapping jobs -> speed 2^{1/alpha} while both active.
+        let two = Instance::new(vec![Job::unit_density(0.0, 2.0), Job::unit_density(0.5, 1.0)]).unwrap();
+        let run = run_active_count(&two, pl(2.0)).unwrap();
+        assert!(approx_eq(run.schedule.speed_at(1.0), 2f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn newest_first_preempts() {
+        let i = Instance::new(vec![Job::unit_density(0.0, 5.0), Job::unit_density(0.5, 0.1)]).unwrap();
+        let run = run_newest_first(&i, pl(2.0)).unwrap();
+        // The later, tiny job jumps the queue.
+        assert!(run.per_job.completion[1] < run.per_job.completion[0]);
+        // Serving segments alternate 0, 1, 0.
+        let served: Vec<_> = run.schedule.segments().iter().map(|s| s.job).collect();
+        assert_eq!(served, vec![Some(0), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn all_baselines_complete_everything() {
+        let i = inst();
+        for run in [
+            run_constant_speed(&i, pl(2.5), 1.3).unwrap(),
+            run_active_count(&i, pl(2.5)).unwrap(),
+            run_newest_first(&i, pl(2.5)).unwrap(),
+        ] {
+            for c in &run.per_job.completion {
+                assert!(c.is_finite());
+            }
+            assert!(run.objective.fractional() > 0.0);
+            assert!(run.objective.fractional() <= run.objective.integral() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn newest_first_resumes_progress() {
+        // After preemption, the first job's progress is retained: its total
+        // service volume still equals its volume.
+        let i = Instance::new(vec![Job::unit_density(0.0, 2.0), Job::unit_density(0.4, 0.3)]).unwrap();
+        let run = run_newest_first(&i, pl(2.0)).unwrap();
+        let pl2 = pl(2.0);
+        let vol0: f64 = run
+            .schedule
+            .segments()
+            .iter()
+            .filter(|s| s.job == Some(0))
+            .map(|s| s.volume(pl2))
+            .sum();
+        assert!(approx_eq(vol0, 2.0, 1e-9));
+    }
+}

@@ -1,0 +1,106 @@
+//! The evolving "current instance" `I(T)` (Sections 3–4).
+//!
+//! For a non-clairvoyant run in progress at time `T`, the current instance
+//! has the original release times but each job's volume replaced by the
+//! amount the non-clairvoyant algorithm has processed so far — this is the
+//! instance the adversary could end at time `T`. Both the paper's inductive
+//! analysis and Algorithm NC's non-uniform speed rule are phrased in terms
+//! of Algorithm C run on `I(T)`.
+
+use ncss_sim::{Instance, Job, JobId, Schedule, SimResult};
+
+/// Processed volume of every job under `schedule` up to time `t`.
+#[must_use]
+pub fn processed_volumes(schedule: &Schedule, n_jobs: usize, t: f64) -> Vec<f64> {
+    let pl = schedule.power_law();
+    let mut v = vec![0.0; n_jobs];
+    for seg in schedule.segments() {
+        if seg.start >= t {
+            break;
+        }
+        if let Some(j) = seg.job {
+            v[j] += seg.volume_to(pl, t.min(seg.end));
+        }
+    }
+    v
+}
+
+/// Build `I(T)` from an original instance and the non-clairvoyant schedule
+/// that has been executed up to time `t`.
+///
+/// Jobs with zero processed volume are dropped (they have zero weight in
+/// `I(T)` and cannot affect Algorithm C); the second return value maps the
+/// new ids back to the original ids.
+pub fn current_instance(
+    instance: &Instance,
+    schedule: &Schedule,
+    t: f64,
+) -> SimResult<(Instance, Vec<JobId>)> {
+    let processed = processed_volumes(schedule, instance.len(), t);
+    let mut jobs = Vec::new();
+    let mut ids = Vec::new();
+    for (id, job) in instance.jobs().iter().enumerate() {
+        if processed[id] > 0.0 {
+            jobs.push(Job { release: job.release, volume: processed[id], density: job.density });
+            ids.push(id);
+        }
+    }
+    Ok((Instance::new(jobs)?, ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nc_uniform::run_nc_uniform;
+    use ncss_sim::numeric::approx_eq;
+    use ncss_sim::PowerLaw;
+
+    #[test]
+    fn processed_volumes_grow_monotonically() {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.5, 2.0),
+        ])
+        .unwrap();
+        let nc = run_nc_uniform(&inst, PowerLaw::new(2.0).unwrap()).unwrap();
+        let m = nc.makespan();
+        let mut prev = vec![0.0, 0.0];
+        for i in 1..=20 {
+            let t = m * i as f64 / 20.0;
+            let v = processed_volumes(&nc.schedule, 2, t);
+            assert!(v[0] >= prev[0] - 1e-12 && v[1] >= prev[1] - 1e-12);
+            prev = v;
+        }
+        assert!(approx_eq(prev[0], 1.0, 1e-9));
+        assert!(approx_eq(prev[1], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn current_instance_at_makespan_is_original() {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.5),
+            Job::unit_density(0.2, 0.7),
+        ])
+        .unwrap();
+        let nc = run_nc_uniform(&inst, PowerLaw::new(3.0).unwrap()).unwrap();
+        let (cur, ids) = current_instance(&inst, &nc.schedule, nc.makespan() + 1.0).unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        for (new_id, &orig) in ids.iter().enumerate() {
+            assert!(approx_eq(cur.job(new_id).volume, inst.job(orig).volume, 1e-9));
+            assert_eq!(cur.job(new_id).release, inst.job(orig).release);
+        }
+    }
+
+    #[test]
+    fn untouched_jobs_are_dropped() {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(100.0, 1.0),
+        ])
+        .unwrap();
+        let nc = run_nc_uniform(&inst, PowerLaw::new(2.0).unwrap()).unwrap();
+        let (cur, ids) = current_instance(&inst, &nc.schedule, 1.0).unwrap();
+        assert_eq!(ids, vec![0]);
+        assert!(cur.job(0).volume > 0.0 && cur.job(0).volume < 1.0);
+    }
+}

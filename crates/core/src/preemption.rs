@@ -1,0 +1,106 @@
+//! Preemption-interval structure of Algorithm C runs (Figure 3, Section 4).
+//!
+//! In the non-uniform analysis, the time a job `j*` spends in Algorithm C
+//! between its release and completion alternates between intervals where
+//! `j*` is in service and *preemption intervals* where strictly
+//! higher-density jobs run. The analysis tracks, per preemption interval
+//! `i`, its start `R̂_i` and the total preempting volume `V̂_i`; this module
+//! extracts exactly those quantities from a finished [`CRun`].
+
+use crate::clairvoyant::CRun;
+use ncss_sim::{Instance, JobId};
+
+/// One maximal interval during which `j*` was active but other (higher
+/// density) jobs were processed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptionInterval {
+    /// Start time `R̂_i`.
+    pub start: f64,
+    /// End time (service of `j*` resumes, or `j*`'s completion horizon).
+    pub end: f64,
+    /// Total volume of preempting jobs processed inside the interval `V̂_i`.
+    pub volume: f64,
+}
+
+/// Extract the chronological preemption intervals of job `target` in a run
+/// of Algorithm C.
+#[must_use]
+pub fn preemption_intervals(run: &CRun, instance: &Instance, target: JobId) -> Vec<PreemptionInterval> {
+    let pl = run.schedule.power_law();
+    let release = instance.job(target).release;
+    let completion = run.per_job.completion[target];
+    let mut out: Vec<PreemptionInterval> = Vec::new();
+    for seg in run.schedule.segments() {
+        if seg.end <= release || seg.start >= completion {
+            continue;
+        }
+        if seg.job == Some(target) {
+            continue;
+        }
+        // Clip to the active window of the target job.
+        let s = seg.start.max(release);
+        let e = seg.end.min(completion);
+        if e <= s {
+            continue;
+        }
+        let vol = seg.volume_to(pl, e) - seg.volume_to(pl, s);
+        match out.last_mut() {
+            Some(last) if (last.end - s).abs() <= 1e-12 => {
+                last.end = e;
+                last.volume += vol;
+            }
+            _ => out.push(PreemptionInterval { start: s, end: e, volume: vol }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clairvoyant::run_c;
+    use ncss_sim::numeric::approx_eq;
+    use ncss_sim::{Job, PowerLaw};
+
+    #[test]
+    fn no_preemption_for_highest_density_job() {
+        let inst = Instance::new(vec![Job::new(0.0, 1.0, 10.0), Job::new(0.1, 1.0, 1.0)]).unwrap();
+        let run = run_c(&inst, PowerLaw::new(2.0).unwrap()).unwrap();
+        assert!(preemption_intervals(&run, &inst, 0).is_empty());
+    }
+
+    #[test]
+    fn low_density_job_sees_preemptions() {
+        // j* = job 0 (density 1); two high-density jobs arrive while it runs.
+        let inst = Instance::new(vec![
+            Job::new(0.0, 4.0, 1.0),
+            Job::new(0.5, 0.2, 10.0),
+            Job::new(1.5, 0.3, 10.0),
+        ])
+        .unwrap();
+        let run = run_c(&inst, PowerLaw::new(2.0).unwrap()).unwrap();
+        let ivs = preemption_intervals(&run, &inst, 0);
+        assert_eq!(ivs.len(), 2, "{ivs:?}");
+        assert!(approx_eq(ivs[0].start, 0.5, 1e-9));
+        assert!(approx_eq(ivs[0].volume, 0.2, 1e-9));
+        assert!(approx_eq(ivs[1].start, 1.5, 1e-9));
+        assert!(approx_eq(ivs[1].volume, 0.3, 1e-9));
+        // Intervals are disjoint and chronological.
+        assert!(ivs[0].end <= ivs[1].start);
+    }
+
+    #[test]
+    fn back_to_back_preemptors_merge() {
+        // Two preemptors released at the same instant form one interval.
+        let inst = Instance::new(vec![
+            Job::new(0.0, 4.0, 1.0),
+            Job::new(0.5, 0.2, 10.0),
+            Job::new(0.5, 0.1, 20.0),
+        ])
+        .unwrap();
+        let run = run_c(&inst, PowerLaw::new(2.0).unwrap()).unwrap();
+        let ivs = preemption_intervals(&run, &inst, 0);
+        assert_eq!(ivs.len(), 1, "{ivs:?}");
+        assert!(approx_eq(ivs[0].volume, 0.3, 1e-9));
+    }
+}

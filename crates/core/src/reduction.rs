@@ -1,0 +1,176 @@
+//! The black-box fractional-to-integral reduction (Section 5, Lemma 15).
+//!
+//! Given any schedule produced by an algorithm `A_frac` for the fractional
+//! objective, algorithm `A_int` runs at `(1+ε)` times `A_frac`'s speed
+//! whenever the job `A_frac` is serving is still unfinished in `A_int`, and
+//! idles otherwise. `A_int` therefore finishes job `j` exactly when `A_frac`
+//! has processed a `1/(1+ε)` fraction of it, which upper-bounds the
+//! integral flow-time by `(1 + 1/ε)` times the fractional flow-time of
+//! `A_frac`, while the energy grows by at most `(1+ε)^α`.
+//!
+//! The construction is *online and non-clairvoyant* whenever `A_frac` is:
+//! at every instant it only needs `A_frac`'s current speed/job and whether
+//! `A_int` itself has finished that job (which `A_int` knows, having
+//! processed `(1+ε)×` `A_frac`'s volume — without ever learning the true
+//! volume before completion). Here we implement it as a schedule transform.
+
+use ncss_sim::{evaluate, Instance, Objective, PerJob, Schedule, ScheduleBuilder, SimError, SimResult};
+
+/// A schedule produced by the reduction, with its evaluated objective.
+#[derive(Debug, Clone)]
+pub struct IntegralRun {
+    /// The transformed (sped-up, idling) schedule.
+    pub schedule: Schedule,
+    /// Evaluated objective.
+    pub objective: Objective,
+    /// Per-job outcomes.
+    pub per_job: PerJob,
+    /// The speed-up parameter ε used.
+    pub epsilon: f64,
+}
+
+/// Apply the Section 5 reduction with speed-up `1 + ε` to `base`.
+pub fn reduce_to_integral(base: &Schedule, instance: &Instance, epsilon: f64) -> SimResult<IntegralRun> {
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(SimError::InvalidInstance { reason: "reduction epsilon must be positive" });
+    }
+    let pl = base.power_law();
+    let speedup = 1.0 + epsilon;
+    let n = instance.len();
+    // A_int finishes job j once the base schedule has processed V_j/(1+ε).
+    let target: Vec<f64> = instance.jobs().iter().map(|j| j.volume / speedup).collect();
+    let mut base_done = vec![0.0f64; n];
+    let mut builder = ScheduleBuilder::new(pl);
+
+    for seg in base.segments() {
+        let Some(j) = seg.job else {
+            continue; // idle stays idle
+        };
+        let cap = target[j] - base_done[j];
+        if cap <= 0.0 {
+            continue; // A_int already finished j: idle through this segment
+        }
+        let seg_vol = seg.volume(pl);
+        if seg_vol <= cap * (1.0 + 1e-12) {
+            builder.push(seg.with_scale(seg.scale * speedup));
+            base_done[j] += seg_vol;
+        } else {
+            // A_int's completion of j falls strictly inside this segment.
+            let t_split = seg
+                .time_at_volume(pl, cap)
+                .ok_or(SimError::MalformedSchedule { reason: "cannot invert volume in segment" })?;
+            if t_split > seg.start {
+                let (left, _) = seg.split_at(pl, t_split.min(seg.end - 0.0).max(seg.start));
+                builder.push(left.with_scale(seg.scale * speedup));
+            }
+            base_done[j] = target[j];
+        }
+    }
+
+    let schedule = builder.build()?;
+    let ev = evaluate(&schedule, instance)?;
+    Ok(IntegralRun { schedule, objective: ev.objective, per_job: ev.per_job, epsilon })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nc_uniform::run_nc_uniform;
+    use crate::theory;
+    use ncss_sim::numeric::approx_eq;
+    use ncss_sim::{Job, PowerLaw};
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    fn base_run(alpha: f64) -> (Instance, crate::nc_uniform::NcRun) {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.4, 2.0),
+            Job::unit_density(0.9, 0.7),
+        ])
+        .unwrap();
+        let nc = run_nc_uniform(&inst, pl(alpha)).unwrap();
+        (inst, nc)
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let (inst, nc) = base_run(2.0);
+        assert!(reduce_to_integral(&nc.schedule, &inst, 0.0).is_err());
+        assert!(reduce_to_integral(&nc.schedule, &inst, -0.1).is_err());
+    }
+
+    #[test]
+    fn completes_all_jobs_and_earlier() {
+        let (inst, nc) = base_run(3.0);
+        let red = reduce_to_integral(&nc.schedule, &inst, 0.3).unwrap();
+        for j in 0..inst.len() {
+            assert!(red.per_job.completion[j] <= nc.per_job.completion[j] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_bounded_by_speedup_power() {
+        for alpha in [2.0, 3.0] {
+            let (inst, nc) = base_run(alpha);
+            for eps in [0.1, 0.5, 1.0] {
+                let red = reduce_to_integral(&nc.schedule, &inst, eps).unwrap();
+                let bound = (1.0 + eps).powf(alpha) * nc.objective.energy;
+                assert!(red.objective.energy <= bound * (1.0 + 1e-9));
+                assert!(red.objective.energy > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn integral_flow_bounded_by_lemma15() {
+        // F_int(A_int) <= (1 + 1/eps) * F_frac(A_frac).
+        for alpha in [2.0, 3.0] {
+            let (inst, nc) = base_run(alpha);
+            for eps in [0.2, 0.5, 1.5] {
+                let red = reduce_to_integral(&nc.schedule, &inst, eps).unwrap();
+                let bound = (1.0 + 1.0 / eps) * nc.objective.frac_flow;
+                assert!(
+                    red.objective.int_flow <= bound * (1.0 + 1e-9),
+                    "alpha={alpha} eps={eps}: {} vs {bound}",
+                    red.objective.int_flow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_cost_bounded_by_reduction_factor() {
+        for alpha in [2.0, 3.0] {
+            let (inst, nc) = base_run(alpha);
+            let eps = theory::optimal_reduction_epsilon(alpha);
+            let red = reduce_to_integral(&nc.schedule, &inst, eps).unwrap();
+            let factor = theory::reduction_factor(alpha, eps);
+            assert!(red.objective.integral() <= factor * nc.objective.fractional() * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn completion_at_fractional_progress_point() {
+        // A_int finishes j exactly when base has processed V_j / (1+eps).
+        let inst = Instance::new(vec![Job::unit_density(0.0, 2.0)]).unwrap();
+        let nc = run_nc_uniform(&inst, pl(2.0)).unwrap();
+        let eps = 0.25;
+        let red = reduce_to_integral(&nc.schedule, &inst, eps).unwrap();
+        let c = red.per_job.completion[0];
+        // Base progress at c:
+        let base_prog = nc.schedule.segments()[0].volume_to(pl(2.0), c);
+        assert!(approx_eq(base_prog, 2.0 / 1.25, 1e-6));
+    }
+
+    #[test]
+    fn idles_after_own_completion() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let nc = run_nc_uniform(&inst, pl(2.0)).unwrap();
+        let red = reduce_to_integral(&nc.schedule, &inst, 1.0).unwrap();
+        // The reduced schedule ends strictly before the base schedule.
+        assert!(red.schedule.end_time() < nc.schedule.end_time() - 1e-9);
+    }
+}

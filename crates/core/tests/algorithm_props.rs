@@ -1,0 +1,127 @@
+//! Crate-level property tests for structural invariants of the algorithms
+//! that the workspace-level suites don't already cover.
+
+use ncss_core::preemption::preemption_intervals;
+use ncss_core::{reduce_to_integral, run_c, run_nc_uniform};
+use ncss_sim::{Instance, Job, PowerLaw};
+use proptest::prelude::*;
+
+fn uniform_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..10).prop_map(|jobs| {
+        Instance::new(jobs.into_iter().map(|(r, v)| Job::unit_density(r, v)).collect())
+            .expect("valid jobs")
+    })
+}
+
+fn mixed_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0.0f64..4.0, 0.05f64..2.0, 0.1f64..20.0), 2..8).prop_map(|jobs| {
+        Instance::new(jobs.into_iter().map(|(r, v, d)| Job::new(r, v, d)).collect())
+            .expect("valid jobs")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nc_is_work_conserving(inst in uniform_instance()) {
+        // NC idles only when no released job is unfinished: every gap
+        // between consecutive segments must contain no waiting work.
+        let law = PowerLaw::new(2.5).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        let segs = nc.schedule.segments();
+        for w in segs.windows(2) {
+            let (gap_start, gap_end) = (w[0].end, w[1].start);
+            if gap_end - gap_start <= 1e-12 {
+                continue;
+            }
+            let mid = 0.5 * (gap_start + gap_end);
+            for (j, job) in inst.jobs().iter().enumerate() {
+                let unfinished = nc.per_job.completion[j] > mid;
+                prop_assert!(
+                    !(job.release <= mid && unfinished),
+                    "job {j} waits during an idle gap at t = {mid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c_is_work_conserving(inst in mixed_instance()) {
+        let law = PowerLaw::new(2.0).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        let segs = c.schedule.segments();
+        for w in segs.windows(2) {
+            let (gap_start, gap_end) = (w[0].end, w[1].start);
+            if gap_end - gap_start <= 1e-12 {
+                continue;
+            }
+            let mid = 0.5 * (gap_start + gap_end);
+            for (j, job) in inst.jobs().iter().enumerate() {
+                prop_assert!(!(job.release <= mid && c.per_job.completion[j] > mid));
+            }
+        }
+    }
+
+    #[test]
+    fn preemption_intervals_are_disjoint_and_inside_window(inst in mixed_instance()) {
+        let law = PowerLaw::new(2.0).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        for j in 0..inst.len() {
+            let ivs = preemption_intervals(&c, &inst, j);
+            for w in ivs.windows(2) {
+                prop_assert!(w[0].end <= w[1].start + 1e-12);
+            }
+            for iv in &ivs {
+                prop_assert!(iv.start >= inst.job(j).release - 1e-12);
+                prop_assert!(iv.end <= c.per_job.completion[j] + 1e-12);
+                prop_assert!(iv.volume >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_flow_monotone_in_eps(inst in uniform_instance()) {
+        // Larger speed-up finishes jobs earlier, so the integral flow-time
+        // is non-increasing in eps (energy is non-decreasing).
+        let law = PowerLaw::new(3.0).unwrap();
+        let base = run_nc_uniform(&inst, law).unwrap();
+        let mut last_flow = f64::INFINITY;
+        let mut last_energy = 0.0f64;
+        for eps in [0.1, 0.4, 1.0, 2.5] {
+            let red = reduce_to_integral(&base.schedule, &inst, eps).unwrap();
+            prop_assert!(red.objective.int_flow <= last_flow * (1.0 + 1e-9));
+            prop_assert!(red.objective.energy >= last_energy * (1.0 - 1e-9));
+            last_flow = red.objective.int_flow;
+            last_energy = red.objective.energy;
+        }
+    }
+
+    #[test]
+    fn hdf_completion_dominance(inst in mixed_instance()) {
+        // In Algorithm C, among jobs released at the same time, a job with
+        // strictly higher density never finishes after a lower-density one
+        // of no larger remaining volume... simplest robust check: the
+        // highest-density job among those released at time 0 with minimal
+        // volume finishes first among them.
+        let law = PowerLaw::new(2.0).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        let zero: Vec<usize> = (0..inst.len()).filter(|&j| inst.job(j).release == 0.0).collect();
+        if zero.len() >= 2 {
+            let best = *zero
+                .iter()
+                .max_by(|&&a, &&b| {
+                    inst.job(a).density.partial_cmp(&inst.job(b).density).unwrap()
+                })
+                .unwrap();
+            for &other in &zero {
+                if inst.job(other).density < inst.job(best).density - 1e-12 {
+                    prop_assert!(
+                        c.per_job.completion[best] < c.per_job.completion[other] + 1e-9,
+                        "HDF violated: {best} vs {other}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Algorithm C-PAR: clairvoyant greedy immediate dispatch + per-machine
+//! Algorithm C (Section 6, Theorem 18; due to Anand–Garg–Kumar).
+//!
+//! Each arriving job is immediately assigned to the machine that minimises
+//! the increase in the fractional objective. By Lemma 19 this is exactly the
+//! machine with the **least remaining fractional weight** at the release
+//! time (the energy increase `((W + W_j)^{2−1/α} − W^{2−1/α})` is increasing
+//! in `W`, and flow-time equals energy for Algorithm C). Ties break by
+//! machine index — the total order the paper fixes.
+
+use ncss_core::run_c;
+use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, SimError, SimResult};
+
+/// Outcome of a parallel-machine run.
+#[derive(Debug, Clone)]
+pub struct ParOutcome {
+    /// Machine index assigned to each job (by original job id).
+    pub assignment: Vec<usize>,
+    /// Total objective summed over machines.
+    pub objective: Objective,
+    /// Per-job outcomes in original job ids.
+    pub per_job: PerJob,
+}
+
+/// Split an instance by a given assignment; returns per-machine instances
+/// plus the original ids of each machine's jobs.
+pub(crate) fn split_by_assignment(
+    instance: &Instance,
+    assignment: &[usize],
+    machines: usize,
+) -> SimResult<Vec<(Instance, Vec<usize>)>> {
+    let mut parts: Vec<(Vec<Job>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); machines];
+    for (j, job) in instance.jobs().iter().enumerate() {
+        let m = assignment[j];
+        if m >= machines {
+            return Err(SimError::InvalidInstance { reason: "assignment out of range" });
+        }
+        parts[m].0.push(*job);
+        parts[m].1.push(j);
+    }
+    parts
+        .into_iter()
+        .map(|(jobs, ids)| Ok((Instance::new(jobs)?, ids)))
+        .collect()
+}
+
+/// Merge per-machine per-job results into global vectors.
+pub(crate) fn merge_per_job(
+    n: usize,
+    machines: &[(Instance, Vec<usize>)],
+    runs: &[PerJob],
+) -> PerJob {
+    let mut completion = vec![f64::NAN; n];
+    let mut frac_flow = vec![0.0; n];
+    let mut int_flow = vec![0.0; n];
+    for ((_, ids), pj) in machines.iter().zip(runs) {
+        for (local, &orig) in ids.iter().enumerate() {
+            completion[orig] = pj.completion[local];
+            frac_flow[orig] = pj.frac_flow[local];
+            int_flow[orig] = pj.int_flow[local];
+        }
+    }
+    PerJob { completion, frac_flow, int_flow }
+}
+
+/// Run C-PAR on `machines` identical machines.
+pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResult<ParOutcome> {
+    if machines == 0 {
+        return Err(SimError::InvalidInstance { reason: "need at least one machine" });
+    }
+    let n = instance.len();
+    let mut assigned: Vec<Vec<Job>> = vec![Vec::new(); machines];
+    let mut assignment = vec![0usize; n];
+
+    for (j, job) in instance.jobs().iter().enumerate() {
+        // Remaining fractional weight of each machine just before r_j.
+        let mut best = 0usize;
+        let mut best_w = f64::INFINITY;
+        for (m, jobs) in assigned.iter().enumerate() {
+            // Remaining weight at r_j^-, counting same-instant earlier jobs
+            // at full weight (the distinct-release limit; see
+            // `ncss_core::nc_uniform::base_power`).
+            let strictly_before = if jobs.is_empty() {
+                0.0
+            } else {
+                run_c(&Instance::new(jobs.clone())?, law)?.remaining_weight_before(job.release)
+            };
+            let ties: f64 = jobs.iter().filter(|i| i.release == job.release).map(Job::weight).sum();
+            let w = strictly_before + ties;
+            if w < best_w - 1e-12 {
+                best_w = w;
+                best = m;
+            }
+        }
+        assignment[j] = best;
+        assigned[best].push(*job);
+    }
+
+    let parts = split_by_assignment(instance, &assignment, machines)?;
+    let mut objective = Objective::default();
+    let mut per_machine = Vec::with_capacity(machines);
+    for (inst, _) in &parts {
+        let run = run_c(inst, law)?;
+        objective.energy += run.objective.energy;
+        objective.frac_flow += run.objective.frac_flow;
+        objective.int_flow += run.objective.int_flow;
+        per_machine.push(run.per_job);
+    }
+    let per_job = merge_per_job(n, &parts, &per_machine);
+    Ok(ParOutcome { assignment, objective, per_job })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::numeric::approx_eq;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    #[test]
+    fn first_jobs_spread_across_machines() {
+        // Two jobs at distinct times while machine 0 is still loaded: the
+        // second goes to the empty machine 1.
+        let inst = Instance::new(vec![Job::unit_density(0.0, 4.0), Job::unit_density(0.1, 1.0)]).unwrap();
+        let out = run_c_par(&inst, pl(2.0), 2).unwrap();
+        assert_eq!(out.assignment, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_machine_equals_algorithm_c() {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.2, 2.0),
+            Job::unit_density(0.9, 0.5),
+        ])
+        .unwrap();
+        let par = run_c_par(&inst, pl(3.0), 1).unwrap();
+        let c = run_c(&inst, pl(3.0)).unwrap();
+        assert!(approx_eq(par.objective.fractional(), c.objective.fractional(), 1e-9));
+        assert!(par.assignment.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn greedy_prefers_least_loaded() {
+        // Load machine 0 heavily, then machine 1 lightly; a third job must
+        // pick machine 1.
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 10.0),
+            Job::unit_density(0.1, 0.1),
+            Job::unit_density(0.2, 1.0),
+        ])
+        .unwrap();
+        let out = run_c_par(&inst, pl(2.0), 2).unwrap();
+        assert_eq!(out.assignment[0], 0);
+        assert_eq!(out.assignment[1], 1);
+        // Machine 1's tiny job is done long before 0's; job 2 -> machine 1.
+        assert_eq!(out.assignment[2], 1);
+    }
+
+    #[test]
+    fn more_machines_never_hurt() {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.0, 1.0),
+        ])
+        .unwrap();
+        let one = run_c_par(&inst, pl(3.0), 1).unwrap().objective.fractional();
+        let two = run_c_par(&inst, pl(3.0), 2).unwrap().objective.fractional();
+        let four = run_c_par(&inst, pl(3.0), 4).unwrap().objective.fractional();
+        assert!(two <= one + 1e-9);
+        assert!(four <= two + 1e-9);
+    }
+
+    #[test]
+    fn zero_machines_rejected() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        assert!(run_c_par(&inst, pl(2.0), 0).is_err());
+    }
+
+    #[test]
+    fn energy_equals_flow_per_total() {
+        // Per-machine C has energy == fractional flow; so does the sum.
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.3, 2.0),
+            Job::unit_density(0.5, 0.7),
+            Job::unit_density(1.5, 1.2),
+        ])
+        .unwrap();
+        let out = run_c_par(&inst, pl(2.5), 3).unwrap();
+        assert!(approx_eq(out.objective.energy, out.objective.frac_flow, 1e-9));
+    }
+}

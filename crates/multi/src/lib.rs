@@ -1,0 +1,23 @@
+//! # ncss-multi — identical parallel machines (Section 6)
+//!
+//! * [`c_par`] — clairvoyant C-PAR: greedy least-remaining-weight immediate
+//!   dispatch with per-machine Algorithm C (Theorem 18 comparator),
+//! * [`nc_par`] — non-clairvoyant NC-PAR: global FIFO queue, dispatch on
+//!   machine availability, per-machine Algorithm NC (Theorem 17),
+//! * [`dispatch`] — immediate-dispatch policies behind a volume-blind trait,
+//! * [`lower_bound`] — the adaptive-adversary game realising the paper's
+//!   `Ω(k^{1−1/α})` lower bound for immediate dispatch.
+
+#![warn(missing_docs)]
+
+pub mod c_par;
+pub mod dispatch;
+pub mod lazy_hdf;
+pub mod lower_bound;
+pub mod nc_par;
+
+pub use c_par::{run_c_par, ParOutcome};
+pub use dispatch::{collect_assignment, run_immediate_dispatch, ImmediateDispatch, LeastCount, RoundRobin, SeededRandom};
+pub use lazy_hdf::run_lazy_hdf;
+pub use lower_bound::{fit_loglog_slope, immediate_dispatch_game, GameOutcome};
+pub use nc_par::{run_nc_par, run_nc_with_assignment, run_nonuniform_with_assignment};

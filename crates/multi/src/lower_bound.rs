@@ -1,0 +1,177 @@
+//! The Section 6 adaptive-adversary lower bound for immediate dispatch.
+//!
+//! The game: `k²` unit-density, identical-looking jobs are released at time
+//! 0. The policy must dispatch them immediately — without volumes, it
+//! cannot tell the jobs apart. Some machine receives at least `k` jobs; the
+//! adversary then declares exactly those `k` co-located jobs to be **huge**
+//! and everything else negligible. The overloaded machine now serially
+//! processes `k` huge jobs (cost ≈ the single-job cost of volume `k·V`,
+//! which scales as `(kV)^{(2α−1)/α}`), while the optimum spreads the huge
+//! jobs one per machine (cost ≈ `k · V^{(2α−1)/α}`). The ratio grows as
+//! `k^{1−1/α}` — super-constant for every α > 1.
+//!
+//! The measured ratio divides the algorithm's actual fractional cost by a
+//! *feasible* (hence ≥ OPT) spread solution evaluated in closed form, so
+//! every reported ratio **under**-states the true competitive ratio — the
+//! safe direction when exhibiting a lower bound.
+
+use crate::dispatch::{collect_assignment, ImmediateDispatch};
+use crate::nc_par::run_nc_with_assignment;
+use ncss_opt::batch_uniform_opt;
+use ncss_sim::{PowerLaw, SimError, SimResult};
+use ncss_workloads::lookalike_batch;
+
+/// Outcome of one round of the lower-bound game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameOutcome {
+    /// Number of machines `k` (the batch has `k²` jobs).
+    pub k: usize,
+    /// Fractional cost incurred by the policy's schedule.
+    pub algorithm_cost: f64,
+    /// Cost of the adversary-aware spread solution (an upper bound on OPT).
+    pub opt_upper_bound: f64,
+    /// `algorithm_cost / opt_upper_bound` — a lower bound on the policy's
+    /// competitive ratio on this instance.
+    pub ratio: f64,
+    /// How many jobs landed on the most-loaded machine.
+    pub max_colocated: usize,
+}
+
+/// Play the immediate-dispatch game against `policy` with `k` machines.
+///
+/// `high_volume` is the adversary's huge volume; `low_volume` should be
+/// negligible in comparison (the paper sends it to 0).
+pub fn immediate_dispatch_game(
+    law: PowerLaw,
+    k: usize,
+    policy: &mut dyn ImmediateDispatch,
+    high_volume: f64,
+    low_volume: f64,
+) -> SimResult<GameOutcome> {
+    if k == 0 {
+        return Err(SimError::InvalidInstance { reason: "need k >= 1 machines" });
+    }
+    if !(high_volume > low_volume && low_volume > 0.0) {
+        return Err(SimError::InvalidInstance { reason: "need high > low > 0 volumes" });
+    }
+    let n = k * k;
+    // Phase 1: the policy dispatches the look-alike batch. Volumes are not
+    // fixed yet — the probe instance only conveys releases and densities,
+    // and the trait signature hides volumes anyway.
+    let probe = lookalike_batch(k, &[], 1.0, 1.0)?;
+    let assignment = collect_assignment(&probe, k, policy);
+
+    // Phase 2: adversary picks the most-loaded machine and inflates exactly
+    // k of its jobs (any machine with >= k jobs exists by pigeonhole).
+    let mut counts = vec![0usize; k];
+    for &m in &assignment {
+        counts[m] += 1;
+    }
+    let (target, &max_colocated) = counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("k >= 1");
+    let high_ids: Vec<usize> = (0..n).filter(|&j| assignment[j] == target).take(k).collect();
+    let instance = lookalike_batch(k, &high_ids, high_volume, low_volume)?;
+
+    // Phase 3: the policy's committed assignment runs to completion.
+    let run = run_nc_with_assignment(&instance, law, &assignment, k)?;
+    let algorithm_cost = run.objective.fractional();
+
+    // Adversary-aware spread solution: one high job per machine, low jobs
+    // spread evenly; per machine everything is a time-0 uniform batch, so
+    // the per-machine optimum is the merged closed form.
+    let n_high = high_ids.len();
+    let n_low = n - n_high;
+    let mut opt_upper_bound = 0.0;
+    for m in 0..k {
+        let lows = n_low / k + usize::from(m < n_low % k);
+        let vol = if m < n_high { high_volume } else { 0.0 } + lows as f64 * low_volume;
+        if vol > 0.0 {
+            opt_upper_bound += batch_uniform_opt(law, 1.0, vol)?.cost();
+        }
+    }
+
+    Ok(GameOutcome {
+        k,
+        algorithm_cost,
+        opt_upper_bound,
+        ratio: algorithm_cost / opt_upper_bound,
+        max_colocated,
+    })
+}
+
+/// Least-squares slope of `ln(ratio)` against `ln(k)` — compare with the
+/// paper's exponent `1 − 1/α`.
+#[must_use]
+pub fn fit_loglog_slope(points: &[(usize, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let xs: Vec<f64> = points.iter().map(|&(k, _)| (k as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, r)| r.ln()).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    sxy / sxx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{LeastCount, RoundRobin};
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    #[test]
+    fn pigeonhole_guarantees_k_colocated() {
+        for k in [2usize, 4, 8] {
+            let mut p = RoundRobin::default();
+            let out = immediate_dispatch_game(pl(2.0), k, &mut p, 1.0, 1e-4).unwrap();
+            assert!(out.max_colocated >= k);
+        }
+    }
+
+    #[test]
+    fn ratio_grows_with_k() {
+        let mut ratios = Vec::new();
+        for k in [2usize, 4, 8, 16] {
+            let mut p = RoundRobin::default();
+            let out = immediate_dispatch_game(pl(2.0), k, &mut p, 1.0, 1e-4).unwrap();
+            ratios.push((k, out.ratio));
+        }
+        assert!(ratios.windows(2).all(|w| w[1].1 > w[0].1), "{ratios:?}");
+        // Exponent close to 1 - 1/alpha = 0.5 (finite-size effects allowed).
+        let slope = fit_loglog_slope(&ratios);
+        assert!((slope - 0.5).abs() < 0.2, "slope {slope}");
+    }
+
+    #[test]
+    fn exponent_tracks_alpha() {
+        let slope_for = |alpha: f64| {
+            let pts: Vec<(usize, f64)> = [4usize, 8, 16]
+                .iter()
+                .map(|&k| {
+                    let mut p = LeastCount::default();
+                    let out = immediate_dispatch_game(pl(alpha), k, &mut p, 1.0, 1e-4).unwrap();
+                    (k, out.ratio)
+                })
+                .collect();
+            fit_loglog_slope(&pts)
+        };
+        // Larger alpha -> larger exponent 1 - 1/alpha.
+        assert!(slope_for(3.0) > slope_for(1.5));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut p = RoundRobin::default();
+        assert!(immediate_dispatch_game(pl(2.0), 0, &mut p, 1.0, 0.1).is_err());
+        assert!(immediate_dispatch_game(pl(2.0), 2, &mut p, 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn slope_fit_recovers_power_law() {
+        let pts: Vec<(usize, f64)> = [2usize, 4, 8, 16].iter().map(|&k| (k, (k as f64).powf(0.7))).collect();
+        let s = fit_loglog_slope(&pts);
+        assert!((s - 0.7).abs() < 1e-9);
+    }
+}

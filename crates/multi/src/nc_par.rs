@@ -1,0 +1,231 @@
+//! Algorithm NC-PAR: non-clairvoyant scheduling on identical parallel
+//! machines without immediate dispatch (Section 6, Theorem 17).
+//!
+//! A single global FIFO queue holds unassigned jobs. Whenever a machine is
+//! *available* (every job previously assigned to it has completed), the
+//! queue head is assigned to it; once started, a job never migrates. Each
+//! machine runs Algorithm NC over the jobs it has been assigned, so a
+//! machine serves one job at a time with the growth-law speed rule
+//! `P(s) = W^{(C)}(r_j^-) + W̆_j(t)`, where the inner C run is over that
+//! machine's own previously-assigned jobs.
+//!
+//! Lemma 20 — verified by the tests and experiment E6 — shows the resulting
+//! assignment is *identical* to clairvoyant C-PAR's, which is what lets the
+//! single-machine Lemmas 3 and 4 lift to Theorem 17.
+
+use crate::c_par::{merge_per_job, split_by_assignment, ParOutcome};
+use ncss_sim::kernel::GrowthKernel;
+use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, SimError, SimResult};
+
+/// Run NC-PAR on `machines` identical machines (uniform densities only,
+/// matching the paper's Theorem 17 setting).
+pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResult<ParOutcome> {
+    if machines == 0 {
+        return Err(SimError::InvalidInstance { reason: "need at least one machine" });
+    }
+    if !instance.is_uniform_density() {
+        return Err(SimError::NonUniformDensity);
+    }
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let mut assignment = vec![0usize; n];
+    // Per machine: availability time and assigned jobs so far.
+    let mut avail = vec![0.0f64; machines];
+    let mut assigned: Vec<Vec<Job>> = vec![Vec::new(); machines];
+    let mut completion = vec![f64::NAN; n];
+    let mut frac_flow = vec![0.0; n];
+    let mut int_flow = vec![0.0; n];
+    let mut energy = 0.0;
+
+    // Jobs leave the global FIFO queue in release order; the dispatch time
+    // of the queue head is max(its release, earliest machine availability),
+    // and the machine is the lowest-indexed one available then.
+    for (j, job) in jobs.iter().enumerate() {
+        let earliest = avail.iter().copied().fold(f64::INFINITY, f64::min);
+        let t_start = job.release.max(earliest);
+        let m = (0..machines)
+            .find(|&m| avail[m] <= t_start + 1e-12)
+            .expect("some machine is available at t_start");
+        assignment[j] = m;
+
+        // K_j = W^C(r_j^-) over this machine's previously-assigned jobs,
+        // with simultaneous releases handled as the distinct-release limit
+        // (same tie semantics as the single-machine algorithm).
+        let mut with_j = assigned[m].clone();
+        with_j.push(*job);
+        let machine_inst = Instance::new(with_j)?;
+        let k_j = ncss_core::nc_uniform::base_power(&machine_inst, law, machine_inst.len() - 1)?;
+        let rho = job.density;
+        let kernel = GrowthKernel { law, u0: k_j, rho };
+        let tau = kernel.time_to_volume(job.volume);
+        energy += kernel.energy(tau);
+        frac_flow[j] = rho * job.volume * (t_start - job.release)
+            + rho * (job.volume * tau - kernel.volume_integral(tau));
+        completion[j] = t_start + tau;
+        int_flow[j] = job.weight() * (completion[j] - job.release);
+        avail[m] = completion[j];
+        assigned[m].push(*job);
+    }
+
+    let objective = Objective {
+        energy,
+        frac_flow: frac_flow.iter().sum(),
+        int_flow: int_flow.iter().sum(),
+    };
+    Ok(ParOutcome { assignment, objective, per_job: PerJob { completion, frac_flow, int_flow } })
+}
+
+/// Run per-machine Algorithm NC under a **fixed** assignment (used by the
+/// immediate-dispatch policies and the lower-bound game).
+pub fn run_nc_with_assignment(
+    instance: &Instance,
+    law: PowerLaw,
+    assignment: &[usize],
+    machines: usize,
+) -> SimResult<ParOutcome> {
+    if assignment.len() != instance.len() {
+        return Err(SimError::InvalidInstance { reason: "assignment length mismatch" });
+    }
+    let parts = split_by_assignment(instance, assignment, machines)?;
+    let mut objective = Objective::default();
+    let mut per_machine = Vec::with_capacity(machines);
+    for (inst, _) in &parts {
+        let run = ncss_core::run_nc_uniform(inst, law)?;
+        objective.energy += run.objective.energy;
+        objective.frac_flow += run.objective.frac_flow;
+        objective.int_flow += run.objective.int_flow;
+        per_machine.push(run.per_job);
+    }
+    let per_job = merge_per_job(instance.len(), &parts, &per_machine);
+    Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job })
+}
+
+/// Run per-machine **non-uniform** Algorithm NC under a fixed assignment —
+/// the Section 7 open-problem heuristic (HDF with dispatch-as-needed is
+/// approximated by an explicit dispatch policy feeding per-machine NC).
+pub fn run_nonuniform_with_assignment(
+    instance: &Instance,
+    law: PowerLaw,
+    assignment: &[usize],
+    machines: usize,
+    params: ncss_core::NonUniformParams,
+) -> SimResult<ParOutcome> {
+    if assignment.len() != instance.len() {
+        return Err(SimError::InvalidInstance { reason: "assignment length mismatch" });
+    }
+    let parts = split_by_assignment(instance, assignment, machines)?;
+    let mut objective = Objective::default();
+    let mut per_machine = Vec::with_capacity(machines);
+    for (inst, _) in &parts {
+        if inst.is_empty() {
+            per_machine.push(PerJob { completion: vec![], frac_flow: vec![], int_flow: vec![] });
+            continue;
+        }
+        let run = ncss_core::run_nc_nonuniform(inst, law, params)?;
+        objective.energy += run.objective.energy;
+        objective.frac_flow += run.objective.frac_flow;
+        objective.int_flow += run.objective.int_flow;
+        per_machine.push(run.per_job);
+    }
+    let per_job = merge_per_job(instance.len(), &parts, &per_machine);
+    Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c_par::run_c_par;
+    use ncss_core::theory;
+    use ncss_sim::numeric::approx_eq;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    fn instances() -> Vec<Instance> {
+        vec![
+            Instance::new(vec![
+                Job::unit_density(0.0, 1.0),
+                Job::unit_density(0.2, 2.0),
+                Job::unit_density(0.5, 0.4),
+                Job::unit_density(0.9, 1.1),
+                Job::unit_density(2.5, 0.8),
+            ])
+            .unwrap(),
+            Instance::new(vec![
+                Job::unit_density(0.0, 3.0),
+                Job::unit_density(0.1, 0.2),
+                Job::unit_density(0.15, 0.2),
+                Job::unit_density(0.4, 1.0),
+            ])
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn rejects_non_uniform_and_zero_machines() {
+        let mixed = Instance::new(vec![Job::new(0.0, 1.0, 1.0), Job::new(0.1, 1.0, 2.0)]).unwrap();
+        assert!(run_nc_par(&mixed, pl(2.0), 2).is_err());
+        let ok = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        assert!(run_nc_par(&ok, pl(2.0), 0).is_err());
+    }
+
+    #[test]
+    fn lemma20_assignments_match_c_par() {
+        for inst in instances() {
+            for k in [2usize, 3] {
+                for alpha in [2.0, 3.0] {
+                    let c = run_c_par(&inst, pl(alpha), k).unwrap();
+                    let nc = run_nc_par(&inst, pl(alpha), k).unwrap();
+                    assert_eq!(c.assignment, nc.assignment, "k={k} alpha={alpha}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma21_energy_equality() {
+        for inst in instances() {
+            for k in [2usize, 3] {
+                let c = run_c_par(&inst, pl(3.0), k).unwrap();
+                let nc = run_nc_par(&inst, pl(3.0), k).unwrap();
+                assert!(approx_eq(c.objective.energy, nc.objective.energy, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma22_flow_ratio() {
+        for inst in instances() {
+            for k in [2usize, 3] {
+                for alpha in [2.0, 3.0] {
+                    let c = run_c_par(&inst, pl(alpha), k).unwrap();
+                    let nc = run_nc_par(&inst, pl(alpha), k).unwrap();
+                    let ratio = theory::nc_over_c_flow_ratio(alpha);
+                    assert!(
+                        approx_eq(nc.objective.frac_flow, c.objective.frac_flow * ratio, 1e-8),
+                        "k={k} alpha={alpha}: {} vs {}",
+                        nc.objective.frac_flow,
+                        c.objective.frac_flow * ratio
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_equals_nc() {
+        let inst = instances().remove(0);
+        let nc1 = run_nc_par(&inst, pl(2.0), 1).unwrap();
+        let nc = ncss_core::run_nc_uniform(&inst, pl(2.0)).unwrap();
+        assert!(approx_eq(nc1.objective.fractional(), nc.objective.fractional(), 1e-9));
+    }
+
+    #[test]
+    fn fixed_assignment_round_trip() {
+        let inst = instances().remove(1);
+        let nc = run_nc_par(&inst, pl(2.0), 2).unwrap();
+        let fixed = run_nc_with_assignment(&inst, pl(2.0), &nc.assignment, 2).unwrap();
+        assert!(approx_eq(fixed.objective.fractional(), nc.objective.fractional(), 1e-9));
+    }
+}

@@ -1,0 +1,171 @@
+//! Closed-form offline optimum for a single job (and for uniform-density
+//! batches, which reduce to it).
+//!
+//! For one job of density ρ and volume V released at time 0 under
+//! `P(s) = s^α`, the fractional-objective optimum is a calculus-of-variations
+//! problem: minimise `∫ (ρV(t) + P(s(t))) dt` with `V' = −s`. The
+//! Euler–Lagrange equation gives `d P'(s)/dt = −ρ`, and the transversality
+//! condition at the free horizon `T` forces `s(T) = 0`, so
+//!
+//! ```text
+//! P'(s(t)) = ρ (T − t),    s(t) = (ρ(T − t)/α)^{1/(α−1)},
+//! ```
+//!
+//! with `T` fixed by the volume constraint. Two exact identities follow and
+//! are used as test oracles throughout the workspace:
+//!
+//! * `flow-time = (α − 1) · energy` for the single-job optimum,
+//! * total cost scales as `V^{(2α−1)/α}`.
+
+use ncss_sim::{PowerLaw, SimError, SimResult};
+
+/// The single-job optimum in closed form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleJobOpt {
+    /// Optimal processing horizon `T` (the job finishes exactly at `T`).
+    pub horizon: f64,
+    /// Energy of the optimal schedule.
+    pub energy: f64,
+    /// Fractional flow-time of the optimal schedule (= `(α−1) ·` energy).
+    pub frac_flow: f64,
+    alpha: f64,
+    rho: f64,
+}
+
+impl SingleJobOpt {
+    /// Total fractional objective.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.energy + self.frac_flow
+    }
+
+    /// Optimal speed at time `t ∈ [0, T]` after release.
+    #[must_use]
+    pub fn speed_at(&self, t: f64) -> f64 {
+        if t >= self.horizon {
+            return 0.0;
+        }
+        (self.rho * (self.horizon - t) / self.alpha).powf(1.0 / (self.alpha - 1.0))
+    }
+}
+
+/// Compute the fractional-objective optimum for a single job of density
+/// `rho > 0` and volume `volume > 0` (released at time 0; shift-invariant).
+pub fn single_job_opt(law: PowerLaw, rho: f64, volume: f64) -> SimResult<SingleJobOpt> {
+    if !(rho.is_finite() && rho > 0.0 && volume.is_finite() && volume > 0.0) {
+        return Err(SimError::InvalidInstance { reason: "single_job_opt needs positive rho and volume" });
+    }
+    let a = law.alpha();
+    let g = a / (a - 1.0); // exponent of T in the volume integral
+    // V = (rho/alpha)^{1/(alpha-1)} * (alpha-1)/alpha * T^{alpha/(alpha-1)}
+    let coef = (rho / a).powf(1.0 / (a - 1.0)) * (a - 1.0) / a;
+    let horizon = (volume / coef).powf(1.0 / g);
+    // E = (rho/alpha)^{alpha/(alpha-1)} * (alpha-1)/(2 alpha - 1) * T^{(2 alpha - 1)/(alpha - 1)}
+    let energy = (rho / a).powf(a / (a - 1.0)) * (a - 1.0) / (2.0 * a - 1.0)
+        * horizon.powf((2.0 * a - 1.0) / (a - 1.0));
+    let frac_flow = (a - 1.0) * energy;
+    Ok(SingleJobOpt { horizon, energy, frac_flow, alpha: a, rho })
+}
+
+/// Fractional-objective optimum for a **batch**: any number of jobs of the
+/// same density ρ all released at time 0 with total volume `total_volume`.
+///
+/// For the fractional objective with uniform density, the cost depends only
+/// on the total-remaining-volume trajectory (`F = ρ ∫ ΣV_j(t) dt` and the
+/// processing order is irrelevant), so the batch is cost-equivalent to a
+/// single job carrying the whole volume.
+pub fn batch_uniform_opt(law: PowerLaw, rho: f64, total_volume: f64) -> SimResult<SingleJobOpt> {
+    single_job_opt(law, rho, total_volume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::numeric::approx_eq;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    /// Numerically evaluate the cost of the closed-form speed profile and
+    /// compare with the reported energy/flow-time.
+    #[test]
+    fn closed_form_is_self_consistent() {
+        for &(alpha, rho, v) in &[(2.0, 1.0, 1.0), (3.0, 2.0, 5.0), (1.7, 0.4, 0.3)] {
+            let opt = single_job_opt(pl(alpha), rho, v).unwrap();
+            let n = 200_000;
+            let h = opt.horizon / n as f64;
+            let mut vol = 0.0;
+            let mut energy = 0.0;
+            let mut flow = 0.0;
+            let mut rem = v;
+            for i in 0..n {
+                let t = (i as f64 + 0.5) * h;
+                let s = opt.speed_at(t);
+                vol += s * h;
+                energy += s.powf(alpha) * h;
+                flow += rho * rem * h;
+                rem -= s * h;
+            }
+            assert!(approx_eq(vol, v, 1e-4), "volume: {vol} vs {v}");
+            assert!(approx_eq(energy, opt.energy, 1e-4));
+            assert!(approx_eq(flow, opt.frac_flow, 1e-4));
+        }
+    }
+
+    #[test]
+    fn flow_is_alpha_minus_one_times_energy() {
+        for alpha in [1.5, 2.0, 3.0, 4.0] {
+            let opt = single_job_opt(pl(alpha), 1.3, 2.7).unwrap();
+            assert!(approx_eq(opt.frac_flow, (alpha - 1.0) * opt.energy, 1e-12));
+        }
+    }
+
+    #[test]
+    fn cost_scaling_in_volume() {
+        // cost ∝ V^{(2α−1)/α}: the exponent behind the Section 6 lower bound.
+        let alpha = 3.0;
+        let c1 = single_job_opt(pl(alpha), 1.0, 1.0).unwrap().cost();
+        let c8 = single_job_opt(pl(alpha), 1.0, 8.0).unwrap().cost();
+        let expect = 8f64.powf((2.0 * alpha - 1.0) / alpha);
+        assert!(approx_eq(c8 / c1, expect, 1e-10));
+    }
+
+    #[test]
+    fn speed_profile_shape() {
+        let opt = single_job_opt(pl(2.0), 1.0, 1.0).unwrap();
+        // Speed decreasing, hitting zero at the horizon.
+        assert!(opt.speed_at(0.0) > opt.speed_at(opt.horizon * 0.5));
+        assert_eq!(opt.speed_at(opt.horizon), 0.0);
+        assert_eq!(opt.speed_at(opt.horizon + 1.0), 0.0);
+    }
+
+    #[test]
+    fn optimum_beats_clairvoyant_algorithm() {
+        // Algorithm C is 2-competitive; on a single job its cost must be
+        // within [OPT, 2 OPT].
+        use ncss_core::run_c;
+        use ncss_sim::{Instance, Job};
+        for alpha in [1.5, 2.0, 3.0] {
+            let inst = Instance::new(vec![Job::new(0.0, 2.0, 1.5)]).unwrap();
+            let c = run_c(&inst, pl(alpha)).unwrap();
+            let opt = single_job_opt(pl(alpha), 1.5, 2.0).unwrap();
+            let ratio = c.objective.fractional() / opt.cost();
+            assert!(ratio >= 1.0 - 1e-9, "alpha={alpha}: C beat OPT?! {ratio}");
+            assert!(ratio <= 2.0 + 1e-9, "alpha={alpha}: Theorem 1 violated: {ratio}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(single_job_opt(pl(2.0), 0.0, 1.0).is_err());
+        assert!(single_job_opt(pl(2.0), 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn batch_equals_merged_single() {
+        let a = batch_uniform_opt(pl(2.5), 2.0, 3.0).unwrap();
+        let b = single_job_opt(pl(2.5), 2.0, 3.0).unwrap();
+        assert_eq!(a.cost(), b.cost());
+    }
+}

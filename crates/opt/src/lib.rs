@@ -1,0 +1,28 @@
+//! # ncss-opt — offline optimum for flow-time plus energy
+//!
+//! Two complementary tools for the SPAA 2015 reproduction:
+//!
+//! * [`closed_form`] — the exact single-job (and uniform-density batch)
+//!   optimum from the Euler–Lagrange conditions,
+//! * [`solver`] — a projected-gradient convex solver for the fractional
+//!   objective on arbitrary instances, producing a feasible primal schedule
+//!   *and* a certified dual lower bound on the continuous-time optimum.
+//!
+//! Integral-objective optima are NP-hard to pin down exactly; per standard
+//! practice (and the paper's own analysis), the fractional optimum is used
+//! as the lower bound for integral-objective competitive ratios.
+
+#![warn(missing_docs)]
+// `!(x > 1.0)`-style validation is deliberate: unlike `x <= 1.0`, it also
+// rejects NaN, which is exactly what input validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod closed_form;
+pub mod integral;
+pub mod solver;
+pub mod yds;
+
+pub use closed_form::{batch_uniform_opt, single_job_opt, SingleJobOpt};
+pub use integral::{integral_opt_upper, IntegralUpperBound};
+pub use solver::{solve_fractional_opt, FracOpt, SolverOptions};
+pub use yds::{yds, DeadlineJob, YdsSchedule};

@@ -1,0 +1,440 @@
+//! Numerical offline optimum for the fractional objective on one machine.
+//!
+//! The fractional weighted flow-time plus energy problem is convex once
+//! phrased in *allocations*: let `x_{ij}` be the volume of job `j` processed
+//! in grid step `i` (left endpoint `t_i`, width `h_i`). Then
+//!
+//! ```text
+//! minimise   Σ_i h_i · P(σ_i / h_i)  +  Σ_{ij} c_{ij} x_{ij}
+//! subject to Σ_i x_{ij} = V_j,   x_{ij} ≥ 0,   x_{ij} = 0 for t_i < r_j,
+//! ```
+//!
+//! with `σ_i = Σ_j x_{ij}` and `c_{ij} = ρ_j (t_i − r_j)` (the fractional
+//! flow cost of a unit of `j`'s volume finished around `t_i`). The solver is
+//! projected gradient descent with per-job simplex projections and Armijo
+//! backtracking, warm-started from Algorithm C's allocation.
+//!
+//! **Certified lower bound.** For any multipliers `λ`, weak duality against
+//! the *continuous-time* problem gives
+//!
+//! ```text
+//! OPT ≥ Σ_j λ_j V_j − ∫ P*( max_{j: r_j ≤ t} (λ_j − ρ_j(t − r_j))_+ ) dt,
+//! ```
+//!
+//! where `P*` is the convex conjugate of the power function. The integrand
+//! is non-increasing between release times, so a left-endpoint Riemann sum
+//! over-subtracts and the computed bound stays valid; it also vanishes for
+//! `t ≥ max_j (r_j + λ_j/ρ_j)`, so a finite grid suffices. Experiments
+//! measure "competitive ratios" against this bound, which makes every
+//! reported ratio an *upper* bound on the true ratio — the conservative
+//! direction for checking the paper's guarantees.
+
+use ncss_core::run_c;
+use ncss_sim::{Instance, PowerLaw, SimError, SimResult};
+
+/// Solver knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Number of uniform grid steps (release times are always added).
+    pub steps: usize,
+    /// Maximum projected-gradient iterations.
+    pub max_iters: usize,
+    /// Horizon as a multiple of Algorithm C's busy span.
+    pub horizon_factor: f64,
+    /// Dual-grid refinement factor relative to the primal grid.
+    pub dual_refine: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self { steps: 1200, max_iters: 800, horizon_factor: 3.0, dual_refine: 4 }
+    }
+}
+
+/// Result of the fractional-OPT solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FracOpt {
+    /// Cost of the feasible primal schedule found (upper bound on OPT).
+    pub primal_cost: f64,
+    /// Certified lower bound on the continuous-time OPT.
+    pub dual_bound: f64,
+    /// Gradient iterations performed.
+    pub iterations: usize,
+    /// Grid horizon used.
+    pub horizon: f64,
+    /// KKT stationarity residual (spread of active marginal costs,
+    /// relative); small values certify near-optimality of the primal.
+    pub kkt_residual: f64,
+}
+
+impl FracOpt {
+    /// Relative primal–dual gap.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        if self.primal_cost <= 0.0 {
+            0.0
+        } else {
+            (self.primal_cost - self.dual_bound) / self.primal_cost
+        }
+    }
+}
+
+/// Euclidean projection of `v` onto the scaled simplex
+/// `{x ≥ 0, Σ x = total}` (in place).
+pub fn project_simplex(v: &mut [f64], total: f64) {
+    debug_assert!(total >= 0.0);
+    if v.is_empty() {
+        return;
+    }
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let mut cum = 0.0;
+    let mut theta = 0.0;
+    let mut found = false;
+    for (k, &uk) in u.iter().enumerate() {
+        cum += uk;
+        let cand = (cum - total) / (k + 1) as f64;
+        if uk - cand > 0.0 {
+            theta = cand;
+        } else {
+            found = true;
+            break;
+        }
+    }
+    let _ = found;
+    for x in v.iter_mut() {
+        *x = (*x - theta).max(0.0);
+    }
+}
+
+/// The grid: step edges (len = steps + 1) aligned at release times.
+fn build_edges(t0: f64, t1: f64, steps: usize, releases: &[f64]) -> Vec<f64> {
+    let mut edges: Vec<f64> = (0..=steps).map(|i| t0 + (t1 - t0) * i as f64 / steps as f64).collect();
+    edges.extend(releases.iter().copied().filter(|&r| r > t0 && r < t1));
+    edges.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    edges.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * (1.0 + t1.abs()));
+    edges
+}
+
+/// Solve the fractional-objective offline optimum on `instance`.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_opt::{solve_fractional_opt, single_job_opt, SolverOptions};
+/// use ncss_sim::{Instance, Job, PowerLaw};
+///
+/// let law = PowerLaw::new(2.0).unwrap();
+/// let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+/// let opts = SolverOptions { steps: 400, max_iters: 300, ..Default::default() };
+/// let sol = solve_fractional_opt(&inst, law, opts).unwrap();
+/// let exact = single_job_opt(law, 1.0, 1.0).unwrap().cost();
+/// // The certified bracket contains the closed-form optimum.
+/// assert!(sol.dual_bound <= exact * (1.0 + 1e-9));
+/// assert!(sol.primal_cost >= exact * (1.0 - 1e-2));
+/// ```
+pub fn solve_fractional_opt(instance: &Instance, law: PowerLaw, opts: SolverOptions) -> SimResult<FracOpt> {
+    let n = instance.len();
+    if n == 0 {
+        return Ok(FracOpt { primal_cost: 0.0, dual_bound: 0.0, iterations: 0, horizon: 0.0, kkt_residual: 0.0 });
+    }
+    if opts.steps < 2 || opts.dual_refine == 0 || !(opts.horizon_factor > 1.0) {
+        return Err(SimError::InvalidInstance { reason: "bad solver options" });
+    }
+    let jobs = instance.jobs();
+    let releases: Vec<f64> = jobs.iter().map(|j| j.release).collect();
+    let c_run = run_c(instance, law)?;
+    let t0 = releases[0];
+    let span = (c_run.makespan() - t0).max(1e-9);
+    let horizon = t0 + opts.horizon_factor * span;
+    let edges = build_edges(t0, horizon, opts.steps, &releases);
+    let m = edges.len() - 1;
+    let h: Vec<f64> = edges.windows(2).map(|w| w[1] - w[0]).collect();
+
+    // Allowed window start per job.
+    let start: Vec<usize> = jobs
+        .iter()
+        .map(|j| edges.partition_point(|&e| e < j.release - 1e-12).min(m - 1))
+        .collect();
+    // Flow cost coefficients at left endpoints.
+    let cost_c: Vec<Vec<f64>> = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| (start[j]..m).map(|i| job.density * (edges[i] - job.release).max(0.0)).collect())
+        .collect();
+
+    // Warm start from Algorithm C's allocation.
+    let mut x: Vec<Vec<f64>> = jobs.iter().enumerate().map(|(j, _)| vec![0.0; m - start[j]]).collect();
+    let pl = law;
+    for seg in c_run.schedule.segments() {
+        let Some(j) = seg.job else { continue };
+        // Distribute this segment's volume over the overlapped grid steps.
+        let i_first = edges.partition_point(|&e| e <= seg.start) - 1;
+        let i_last = edges.partition_point(|&e| e < seg.end).min(m);
+        for i in i_first..i_last {
+            let a = edges[i].max(seg.start);
+            let b = edges[i + 1].min(seg.end);
+            if b > a && i >= start[j] {
+                x[j][i - start[j]] += seg.volume_to(pl, b) - seg.volume_to(pl, a);
+            }
+        }
+    }
+    for (j, job) in jobs.iter().enumerate() {
+        project_simplex(&mut x[j], job.volume);
+    }
+
+    let sigma = |x: &[Vec<f64>]| -> Vec<f64> {
+        let mut s = vec![0.0; m];
+        for (j, xs) in x.iter().enumerate() {
+            for (k, &v) in xs.iter().enumerate() {
+                s[start[j] + k] += v;
+            }
+        }
+        s
+    };
+    let f_of = |x: &[Vec<f64>], sig: &[f64]| -> f64 {
+        let mut f = 0.0;
+        for i in 0..m {
+            f += h[i] * law.power(sig[i] / h[i]);
+        }
+        for (j, xs) in x.iter().enumerate() {
+            for (k, &v) in xs.iter().enumerate() {
+                f += cost_c[j][k] * v;
+            }
+        }
+        f
+    };
+
+    let total_volume: f64 = jobs.iter().map(|j| j.volume).sum();
+    let mut lr = 0.1 * total_volume / m as f64;
+    let mut sig = sigma(&x);
+    let mut f = f_of(&x, &sig);
+    let mut iters = 0usize;
+    let mut stall = 0usize;
+    while iters < opts.max_iters {
+        iters += 1;
+        // Gradient.
+        let pd: Vec<f64> = (0..m).map(|i| law.power_deriv(sig[i] / h[i])).collect();
+        let mut accepted = false;
+        for _ in 0..60 {
+            let mut xn = x.clone();
+            for (j, xs) in xn.iter_mut().enumerate() {
+                for (k, v) in xs.iter_mut().enumerate() {
+                    *v -= lr * (pd[start[j] + k] + cost_c[j][k]);
+                }
+                project_simplex(xs, jobs[j].volume);
+            }
+            let sn = sigma(&xn);
+            let fn_ = f_of(&xn, &sn);
+            if fn_ <= f {
+                let improve = f - fn_;
+                x = xn;
+                sig = sn;
+                f = fn_;
+                lr *= 1.15;
+                accepted = true;
+                if improve < 1e-11 * f.abs().max(1e-12) {
+                    stall += 1;
+                } else {
+                    stall = 0;
+                }
+                break;
+            }
+            lr *= 0.5;
+        }
+        if !accepted || stall > 12 {
+            break;
+        }
+    }
+
+    // Exact continuous cost of the (fluid time-shared) primal schedule.
+    let mut primal = 0.0;
+    for i in 0..m {
+        primal += h[i] * law.power(sig[i] / h[i]);
+    }
+    for (j, job) in jobs.iter().enumerate() {
+        let mut rem = job.volume;
+        for (k, &v) in x[j].iter().enumerate() {
+            let i = start[j] + k;
+            primal += job.density * (rem - 0.5 * v) * h[i];
+            rem -= v;
+        }
+    }
+
+    // KKT multipliers: volume-weighted mean marginal cost on the support.
+    let mut lambda = vec![0.0; n];
+    let mut kkt_residual: f64 = 0.0;
+    for (j, job) in jobs.iter().enumerate() {
+        let mut wsum = 0.0;
+        let mut msum = 0.0;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (k, &v) in x[j].iter().enumerate() {
+            if v > 1e-9 * job.volume {
+                let marg = law.power_deriv(sig[start[j] + k] / h[start[j] + k]) + cost_c[j][k];
+                wsum += v;
+                msum += v * marg;
+                lo = lo.min(marg);
+                hi = hi.max(marg);
+            }
+        }
+        lambda[j] = if wsum > 0.0 { msum / wsum } else { 0.0 };
+        if wsum > 0.0 && lambda[j] > 0.0 {
+            kkt_residual = kkt_residual.max((hi - lo) / lambda[j]);
+        }
+    }
+
+    // Certified dual lower bound on a (possibly longer) refined grid.
+    let t_star = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| job.release + lambda[j] / job.density)
+        .fold(horizon, f64::max);
+    let dual_edges = build_edges(t0, t_star + 1e-9, opts.steps * opts.dual_refine, &releases);
+    let mut dual = jobs.iter().enumerate().map(|(j, job)| lambda[j] * job.volume).sum::<f64>();
+    for w in dual_edges.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let mut best = 0.0f64;
+        for (j, job) in jobs.iter().enumerate() {
+            if job.release <= a + 1e-12 {
+                best = best.max(lambda[j] - job.density * (a - job.release));
+            }
+        }
+        dual -= (b - a) * law.conjugate(best);
+    }
+
+    Ok(FracOpt { primal_cost: primal, dual_bound: dual.max(0.0), iterations: iters, horizon, kkt_residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::single_job_opt;
+    use ncss_sim::numeric::approx_eq;
+    use ncss_sim::Job;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    fn quick() -> SolverOptions {
+        SolverOptions { steps: 500, max_iters: 400, ..Default::default() }
+    }
+
+    #[test]
+    fn projection_basics() {
+        let mut v = vec![0.5, 0.5];
+        project_simplex(&mut v, 1.0);
+        assert!(approx_eq(v[0], 0.5, 1e-12) && approx_eq(v[1], 0.5, 1e-12));
+
+        let mut v = vec![2.0, 0.0, 0.0];
+        project_simplex(&mut v, 1.0);
+        assert!(approx_eq(v[0], 1.0, 1e-12));
+        assert_eq!(v[1], 0.0);
+
+        let mut v = vec![1.0, 1.0, 1.0];
+        project_simplex(&mut v, 1.5);
+        let s: f64 = v.iter().sum();
+        assert!(approx_eq(s, 1.5, 1e-12));
+        assert!(v.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+
+        // Negative entries get clipped.
+        let mut v = vec![-5.0, 3.0];
+        project_simplex(&mut v, 1.0);
+        assert_eq!(v[0], 0.0);
+        assert!(approx_eq(v[1], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn projection_preserves_total_randomized() {
+        let mut seed = 12345u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+        };
+        for _ in 0..50 {
+            let mut v: Vec<f64> = (0..20).map(|_| rng() * 4.0).collect();
+            project_simplex(&mut v, 2.5);
+            let s: f64 = v.iter().sum();
+            assert!(approx_eq(s, 2.5, 1e-9));
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn single_job_brackets_closed_form() {
+        for alpha in [2.0, 3.0] {
+            let inst = Instance::new(vec![Job::new(0.0, 1.0, 1.0)]).unwrap();
+            let sol = solve_fractional_opt(&inst, pl(alpha), quick()).unwrap();
+            let exact = single_job_opt(pl(alpha), 1.0, 1.0).unwrap().cost();
+            assert!(sol.dual_bound <= exact * (1.0 + 1e-9), "dual {} vs exact {exact}", sol.dual_bound);
+            assert!(sol.primal_cost >= exact * (1.0 - 2e-3), "primal {} vs exact {exact}", sol.primal_cost);
+            assert!(sol.gap() < 0.03, "gap {}", sol.gap());
+        }
+    }
+
+    #[test]
+    fn batch_matches_merged_closed_form() {
+        // Three unit-density jobs at t=0 == one job with the total volume.
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 0.5),
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.0, 1.5),
+        ])
+        .unwrap();
+        let sol = solve_fractional_opt(&inst, pl(2.0), quick()).unwrap();
+        let exact = single_job_opt(pl(2.0), 1.0, 3.0).unwrap().cost();
+        assert!(sol.dual_bound <= exact * (1.0 + 1e-9));
+        assert!(sol.primal_cost >= exact * (1.0 - 2e-3));
+        assert!(sol.gap() < 0.04, "gap {}", sol.gap());
+    }
+
+    #[test]
+    fn dual_never_exceeds_primal() {
+        let inst = Instance::new(vec![
+            Job::new(0.0, 1.0, 1.0),
+            Job::new(0.3, 0.5, 4.0),
+            Job::new(1.1, 2.0, 0.5),
+        ])
+        .unwrap();
+        let sol = solve_fractional_opt(&inst, pl(3.0), quick()).unwrap();
+        assert!(sol.dual_bound <= sol.primal_cost * (1.0 + 1e-9));
+        assert!(sol.dual_bound > 0.0);
+        assert!(sol.kkt_residual < 0.5, "kkt {}", sol.kkt_residual);
+    }
+
+    #[test]
+    fn theorem1_c_is_two_competitive_vs_solver() {
+        // Algorithm C must sit between OPT and 2·OPT: dual ≤ C ≤ 2·primal.
+        let instances = vec![
+            Instance::new(vec![Job::unit_density(0.0, 1.0), Job::unit_density(0.2, 2.0)]).unwrap(),
+            Instance::new(vec![Job::new(0.0, 1.0, 2.0), Job::new(0.5, 1.0, 0.5), Job::new(0.6, 0.3, 5.0)])
+                .unwrap(),
+        ];
+        for inst in instances {
+            for alpha in [2.0, 3.0] {
+                let c = run_c(&inst, pl(alpha)).unwrap().objective.fractional();
+                let sol = solve_fractional_opt(&inst, pl(alpha), quick()).unwrap();
+                assert!(c >= sol.dual_bound * (1.0 - 1e-9));
+                assert!(c <= 2.0 * sol.primal_cost * (1.0 + 1e-6), "c {c} vs 2x {}", sol.primal_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![]).unwrap();
+        let sol = solve_fractional_opt(&inst, pl(2.0), quick()).unwrap();
+        assert_eq!(sol.primal_cost, 0.0);
+        assert_eq!(sol.dual_bound, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let bad = SolverOptions { steps: 1, ..Default::default() };
+        assert!(solve_fractional_opt(&inst, pl(2.0), bad).is_err());
+        let bad = SolverOptions { horizon_factor: 0.5, ..Default::default() };
+        assert!(solve_fractional_opt(&inst, pl(2.0), bad).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! The Yao–Demers–Shenker (YDS) minimum-energy schedule for jobs with
+//! deadlines — the classic speed-scaling substrate (the paper's reference
+//! \[3\], FOCS'95).
+//!
+//! Given jobs with release times, deadlines and volumes, YDS produces the
+//! schedule of minimum total energy `∫P(s)dt` (for any convex `P`) that
+//! finishes every job inside its window: repeatedly find the interval of
+//! maximum *intensity* (total volume of jobs whose windows sit inside it,
+//! divided by its length), run exactly those jobs there at the intensity
+//! speed, then collapse the interval and recurse.
+//!
+//! Here it powers the integral-objective optimum bracket in
+//! [`crate::integral`]: for fixed completion times, the cheapest energy is
+//! a YDS instance with deadlines at the completion times.
+
+use ncss_sim::{PowerLaw, SimError, SimResult};
+
+/// A deadline-constrained job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineJob {
+    /// Release time.
+    pub release: f64,
+    /// Deadline (`> release`).
+    pub deadline: f64,
+    /// Volume (`> 0`).
+    pub volume: f64,
+}
+
+/// One block of the YDS schedule: a set of jobs run at one constant speed.
+///
+/// `start`/`end` delimit the block's *span* in original time coordinates;
+/// higher-speed blocks peeled in earlier rounds may sit inside that span,
+/// so the actual running time at this speed is `duration ≤ end − start`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YdsBlock {
+    /// Span start (original time coordinates).
+    pub start: f64,
+    /// Span end (original time coordinates).
+    pub end: f64,
+    /// Running time at this speed inside the span.
+    pub duration: f64,
+    /// Constant speed (the interval's critical intensity).
+    pub speed: f64,
+}
+
+/// The YDS optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YdsSchedule {
+    /// Blocks in decreasing-speed (peeling) order.
+    pub blocks: Vec<YdsBlock>,
+    /// Minimum total energy.
+    pub energy: f64,
+}
+
+/// Compute the YDS minimum-energy schedule.
+pub fn yds(jobs: &[DeadlineJob], law: PowerLaw) -> SimResult<YdsSchedule> {
+    for j in jobs {
+        if !(j.release.is_finite() && j.deadline.is_finite() && j.volume.is_finite()) {
+            return Err(SimError::InvalidInstance { reason: "non-finite deadline job" });
+        }
+        if j.deadline <= j.release || j.volume <= 0.0 {
+            return Err(SimError::InvalidInstance { reason: "deadline job needs deadline > release and volume > 0" });
+        }
+    }
+    let mut remaining: Vec<DeadlineJob> = jobs.to_vec();
+    let mut blocks = Vec::new();
+    let mut energy = 0.0;
+    // Removed-measure bookkeeping: map collapsed coordinates back to the
+    // original timeline by accumulating removed intervals.
+    let mut removed: Vec<(f64, f64)> = Vec::new(); // disjoint, sorted (original coords)
+
+    // Map a collapsed coordinate back to original time by re-inserting the
+    // removed measure that lies at or before it.
+    let uncollapse = |x: f64, removed: &[(f64, f64)]| -> f64 {
+        let mut t = x;
+        for &(a, b) in removed {
+            if a <= t + 1e-12 {
+                t += b - a;
+            } else {
+                break;
+            }
+        }
+        t
+    };
+
+    let mut guard = 0;
+    while !remaining.is_empty() {
+        guard += 1;
+        if guard > jobs.len() + 2 {
+            return Err(SimError::NonConvergence { what: "YDS peeling" });
+        }
+        // Critical interval over endpoint pairs (collapsed coordinates).
+        let mut points: Vec<f64> = remaining.iter().flat_map(|j| [j.release, j.deadline]).collect();
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        points.dedup_by(|a, b| (*a - *b).abs() <= 1e-15);
+        let mut best = (0.0f64, 0.0f64, f64::NEG_INFINITY); // (a, b, intensity)
+        for (i, &a) in points.iter().enumerate() {
+            for &b in &points[i + 1..] {
+                let vol: f64 = remaining
+                    .iter()
+                    .filter(|j| j.release >= a - 1e-12 && j.deadline <= b + 1e-12)
+                    .map(|j| j.volume)
+                    .sum();
+                if vol > 0.0 {
+                    let g = vol / (b - a);
+                    if g > best.2 {
+                        best = (a, b, g);
+                    }
+                }
+            }
+        }
+        let (a, b, g) = best;
+        if !(g > 0.0) {
+            return Err(SimError::NonConvergence { what: "YDS critical interval" });
+        }
+        energy += law.power(g) * (b - a);
+        blocks.push(YdsBlock {
+            start: uncollapse(a, &removed),
+            end: uncollapse(b, &removed),
+            duration: b - a,
+            speed: g,
+        });
+
+        // Remove the scheduled jobs and collapse [a, b].
+        remaining.retain(|j| !(j.release >= a - 1e-12 && j.deadline <= b + 1e-12));
+        for j in &mut remaining {
+            let clip = |t: f64| {
+                if t <= a {
+                    t
+                } else if t >= b {
+                    t - (b - a)
+                } else {
+                    a
+                }
+            };
+            j.release = clip(j.release);
+            j.deadline = clip(j.deadline);
+        }
+        // Record the removed interval in ORIGINAL coordinates, keeping the
+        // list sorted and disjoint.
+        let (oa, ob) = (uncollapse(a, &removed), uncollapse(a, &removed) + (b - a));
+        removed.push((oa, ob));
+        removed.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite"));
+    }
+    Ok(YdsSchedule { blocks, energy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::numeric::approx_eq;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    #[test]
+    fn single_job_runs_flat() {
+        let jobs = [DeadlineJob { release: 0.0, deadline: 4.0, volume: 2.0 }];
+        let s = yds(&jobs, pl(3.0)).unwrap();
+        assert_eq!(s.blocks.len(), 1);
+        assert!(approx_eq(s.blocks[0].speed, 0.5, 1e-12));
+        assert!(approx_eq(s.energy, 0.125 * 4.0, 1e-12));
+    }
+
+    #[test]
+    fn nested_tight_job_forms_peak() {
+        // A loose job [0,10]x4 and a tight job [4,6]x4: the tight window is
+        // the critical interval at speed (4)/(2) = 2; the loose job then
+        // spreads its volume over the remaining 8 time units at speed 0.5.
+        let jobs = [
+            DeadlineJob { release: 0.0, deadline: 10.0, volume: 4.0 },
+            DeadlineJob { release: 4.0, deadline: 6.0, volume: 4.0 },
+        ];
+        let s = yds(&jobs, pl(2.0)).unwrap();
+        assert_eq!(s.blocks.len(), 2);
+        assert!(approx_eq(s.blocks[0].speed, 2.0, 1e-12));
+        assert!(approx_eq(s.blocks[0].start, 4.0, 1e-12));
+        assert!(approx_eq(s.blocks[0].end, 6.0, 1e-12));
+        assert!(approx_eq(s.blocks[1].speed, 0.5, 1e-12));
+        // Energy: 4*2 (peak) + 0.25*8 = 10.
+        assert!(approx_eq(s.energy, 10.0, 1e-12));
+    }
+
+    #[test]
+    fn disjoint_windows_independent() {
+        let jobs = [
+            DeadlineJob { release: 0.0, deadline: 1.0, volume: 2.0 },
+            DeadlineJob { release: 5.0, deadline: 7.0, volume: 2.0 },
+        ];
+        let s = yds(&jobs, pl(2.0)).unwrap();
+        // Speeds 2 and 1.
+        let speeds: Vec<f64> = s.blocks.iter().map(|b| b.speed).collect();
+        assert!(speeds.contains(&2.0));
+        assert!(speeds.iter().any(|&x| approx_eq(x, 1.0, 1e-12)));
+        assert!(approx_eq(s.energy, 4.0 + 2.0, 1e-12));
+    }
+
+    #[test]
+    fn relaxing_deadlines_never_costs_more() {
+        let tight = [
+            DeadlineJob { release: 0.0, deadline: 1.0, volume: 1.0 },
+            DeadlineJob { release: 0.5, deadline: 2.0, volume: 1.0 },
+        ];
+        let loose = [
+            DeadlineJob { release: 0.0, deadline: 2.0, volume: 1.0 },
+            DeadlineJob { release: 0.5, deadline: 4.0, volume: 1.0 },
+        ];
+        let e_tight = yds(&tight, pl(3.0)).unwrap().energy;
+        let e_loose = yds(&loose, pl(3.0)).unwrap().energy;
+        assert!(e_loose <= e_tight + 1e-12);
+    }
+
+    #[test]
+    fn speeds_are_peeled_in_decreasing_order() {
+        let jobs = [
+            DeadlineJob { release: 0.0, deadline: 8.0, volume: 2.0 },
+            DeadlineJob { release: 1.0, deadline: 3.0, volume: 3.0 },
+            DeadlineJob { release: 5.0, deadline: 6.0, volume: 1.5 },
+        ];
+        let s = yds(&jobs, pl(2.0)).unwrap();
+        let speeds: Vec<f64> = s.blocks.iter().map(|b| b.speed).collect();
+        assert!(speeds.windows(2).all(|w| w[0] >= w[1] - 1e-12), "{speeds:?}");
+        // Total volume conserved.
+        let vol: f64 = s.blocks.iter().map(|b| b.speed * b.duration).sum();
+        assert!(vol >= 6.5 - 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_jobs() {
+        assert!(yds(&[DeadlineJob { release: 1.0, deadline: 1.0, volume: 1.0 }], pl(2.0)).is_err());
+        assert!(yds(&[DeadlineJob { release: 0.0, deadline: 1.0, volume: 0.0 }], pl(2.0)).is_err());
+    }
+}

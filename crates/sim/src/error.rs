@@ -1,0 +1,94 @@
+//! Error types for the simulation substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors raised by instance validation, schedule construction, and
+/// objective evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The power-law exponent must satisfy `α > 1`.
+    InvalidAlpha {
+        /// The offending exponent.
+        alpha: f64,
+    },
+    /// A job failed validation (non-positive volume/density, negative or
+    /// non-finite release, ...).
+    InvalidJob {
+        /// Index of the offending job.
+        index: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The instance as a whole is unusable (e.g. empty where an algorithm
+    /// requires at least one job).
+    InvalidInstance {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An algorithm requiring uniform densities was given a mixed-density
+    /// instance.
+    NonUniformDensity,
+    /// A schedule did not complete every job, so a flow-time objective is
+    /// undefined (would be infinite).
+    IncompleteSchedule {
+        /// Index of a job left unfinished.
+        job: usize,
+        /// Volume still remaining for that job.
+        remaining: f64,
+    },
+    /// Schedule segments are malformed (overlapping or reversed in time).
+    MalformedSchedule {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An iterative routine failed to converge within its budget.
+    NonConvergence {
+        /// Which routine.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidAlpha { alpha } => {
+                write!(f, "power-law exponent must be finite and > 1, got {alpha}")
+            }
+            Self::InvalidJob { index, reason } => write!(f, "job {index} invalid: {reason}"),
+            Self::InvalidInstance { reason } => write!(f, "invalid instance: {reason}"),
+            Self::NonUniformDensity => {
+                write!(f, "algorithm requires uniform job densities")
+            }
+            Self::IncompleteSchedule { job, remaining } => {
+                write!(f, "schedule leaves job {job} with {remaining} volume unprocessed")
+            }
+            Self::MalformedSchedule { reason } => write!(f, "malformed schedule: {reason}"),
+            Self::NonConvergence { what } => write!(f, "{what} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidAlpha { alpha: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+        let e = SimError::IncompleteSchedule { job: 3, remaining: 1.25 };
+        assert!(e.to_string().contains("job 3"));
+        assert!(e.to_string().contains("1.25"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::NonUniformDensity);
+    }
+}

@@ -1,0 +1,299 @@
+//! Objective values: energy, fractional and integral weighted flow-time.
+//!
+//! The simulators in `ncss-core` account for these quantities incrementally
+//! with closed forms; [`evaluate`] here recomputes them *independently* from
+//! a finished [`Schedule`] and the ground-truth [`Instance`]. The tests use
+//! both paths against each other, so a bookkeeping bug in either one is
+//! caught immediately.
+
+use crate::error::{SimError, SimResult};
+use crate::job::Instance;
+use crate::schedule::Schedule;
+
+/// The three cost components of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Objective {
+    /// Total energy `∫ P(s(t)) dt`.
+    pub energy: f64,
+    /// Fractional weighted flow-time `Σ_j ρ_j ∫ V_j(t) dt`.
+    pub frac_flow: f64,
+    /// Integral weighted flow-time `Σ_j W_j (c_j − r_j)`.
+    pub int_flow: f64,
+}
+
+impl Objective {
+    /// The fractional objective `G_frac = E + Σ F_j`.
+    #[must_use]
+    pub fn fractional(&self) -> f64 {
+        self.energy + self.frac_flow
+    }
+
+    /// The integral objective `G_int = E + Σ F_int[j]`.
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        self.energy + self.int_flow
+    }
+}
+
+/// Per-job outcomes of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerJob {
+    /// Completion time of each job.
+    pub completion: Vec<f64>,
+    /// Fractional flow-time `ρ_j ∫ V_j(t) dt` of each job.
+    pub frac_flow: Vec<f64>,
+    /// Integral flow-time `W_j (c_j − r_j)` of each job.
+    pub int_flow: Vec<f64>,
+}
+
+/// A fully evaluated schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// Aggregate objective.
+    pub objective: Objective,
+    /// Per-job breakdown.
+    pub per_job: PerJob,
+}
+
+/// Relative volume tolerance under which a job counts as completed.
+const COMPLETION_RTOL: f64 = 1e-6;
+
+/// Evaluate a schedule against an instance from first principles.
+///
+/// Walks the merged timeline of segment boundaries and release times,
+/// accruing waiting-job flow-time exactly (remaining volumes are constant
+/// for jobs not in service) and in-service flow-time via the segments'
+/// closed-form volume integrals. Completion points are located inside
+/// segments with the analytic inverse volume map.
+///
+/// Fails with [`SimError::IncompleteSchedule`] if any job's volume is not
+/// fully processed by the end of the schedule.
+pub fn evaluate(schedule: &Schedule, instance: &Instance) -> SimResult<Evaluated> {
+    let pl = schedule.power_law();
+    let n = instance.len();
+    let mut remaining: Vec<f64> = instance.jobs().iter().map(|j| j.volume).collect();
+    let mut completion = vec![f64::NAN; n];
+    let mut frac_flow = vec![0.0; n];
+
+    // Event times: all segment boundaries plus all release times.
+    let mut times: Vec<f64> = Vec::with_capacity(2 * schedule.segments().len() + n);
+    for s in schedule.segments() {
+        times.push(s.start);
+        times.push(s.end);
+    }
+    for j in instance.jobs() {
+        times.push(j.release);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.dedup_by(|a, b| (*a - *b).abs() <= 1e-15);
+
+    let mut energy = 0.0;
+    let mut seg_idx = 0;
+    let segs = schedule.segments();
+
+    for w in times.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b <= a {
+            continue;
+        }
+        // Advance to the segment covering [a, b], if any.
+        while seg_idx < segs.len() && segs[seg_idx].end <= a + 1e-15 {
+            seg_idx += 1;
+        }
+        let seg = segs.get(seg_idx).filter(|s| s.start <= a + 1e-12 && s.end >= b - 1e-12);
+
+        // Which job is actually receiving service in this interval?
+        let in_service = seg.and_then(|s| s.job).filter(|&j| {
+            instance.job(j).release <= a + 1e-12 && remaining[j] > 0.0
+        });
+
+        // Waiting accrual: every released, unfinished job except the one in
+        // service has constant remaining volume over [a, b].
+        for (j, job) in instance.jobs().iter().enumerate() {
+            if job.release <= a + 1e-12 && remaining[j] > 0.0 && in_service != Some(j) {
+                frac_flow[j] += job.density * remaining[j] * (b - a);
+            }
+        }
+
+        let Some(seg) = seg else {
+            continue; // gap: idle, no energy
+        };
+
+        // Energy always accrues over the active segment slice.
+        energy += seg.energy_to(pl, b) - seg.energy_to(pl, a);
+
+        let Some(jid) = in_service else {
+            continue;
+        };
+        let job = instance.job(jid);
+        let v_a = seg.volume_to(pl, a);
+        let v_b = seg.volume_to(pl, b);
+        let dv = v_b - v_a;
+        let rem = remaining[jid];
+
+        if dv >= rem * (1.0 - COMPLETION_RTOL) && dv > 0.0 {
+            // Completion inside (or at the end of) this interval.
+            let c = seg
+                .time_at_volume(pl, (v_a + rem).min(seg.volume_to(pl, seg.end)))
+                .unwrap_or(b)
+                .clamp(a, b);
+            // Exact accrual up to completion:
+            // rho * ∫_a^c V_j dt with V_j(t) = rem − (vol(t) − v_a).
+            let vi = seg.volume_integral_to(pl, c) - seg.volume_integral_to(pl, a);
+            frac_flow[jid] += job.density * ((rem + v_a) * (c - a) - vi);
+            remaining[jid] = 0.0;
+            completion[jid] = c;
+            // Any residual service in [c, b] is wasted work (energy already
+            // counted above); correct schedules do not produce it.
+        } else {
+            let vi = seg.volume_integral_to(pl, b) - seg.volume_integral_to(pl, a);
+            frac_flow[jid] += job.density * ((rem + v_a) * (b - a) - vi);
+            remaining[jid] -= dv;
+        }
+    }
+
+    for (j, &rem) in remaining.iter().enumerate() {
+        if rem > COMPLETION_RTOL * instance.job(j).volume {
+            return Err(SimError::IncompleteSchedule { job: j, remaining: rem });
+        }
+        if completion[j].is_nan() {
+            // Completed exactly at the horizon within tolerance.
+            completion[j] = schedule.end_time();
+        }
+    }
+
+    let int_flow: Vec<f64> = instance
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(j, job)| job.weight() * (completion[j] - job.release))
+        .collect();
+
+    let objective = Objective {
+        energy,
+        frac_flow: frac_flow.iter().sum(),
+        int_flow: int_flow.iter().sum(),
+    };
+    Ok(Evaluated { objective, per_job: PerJob { completion, frac_flow, int_flow } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::numeric::approx_eq;
+    use crate::power::PowerLaw;
+    use crate::schedule::{Segment, SpeedLaw};
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    #[test]
+    fn single_job_constant_speed() {
+        // Job of volume 2 at t=0, density 3, processed at speed 1 over [0,2].
+        let inst = Instance::new(vec![Job::new(0.0, 2.0, 3.0)]).unwrap();
+        let law = pl(2.0);
+        let seg = Segment::new(0.0, 2.0, Some(0), SpeedLaw::Constant { speed: 1.0 });
+        let sched = Schedule::new(law, vec![seg]).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        // Energy = 1^2 * 2 = 2. Frac flow = rho * ∫ V dt = 3 * ∫ (2 - t) dt over [0,2] = 3*2 = 6.
+        assert!(approx_eq(ev.objective.energy, 2.0, 1e-12));
+        assert!(approx_eq(ev.objective.frac_flow, 6.0, 1e-12));
+        // Int flow = W * c = 6 * 2 = 12.
+        assert!(approx_eq(ev.objective.int_flow, 12.0, 1e-12));
+        assert!(approx_eq(ev.per_job.completion[0], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn waiting_job_accrues_before_service() {
+        // Two unit jobs at t=0; job 0 served [0,1], job 1 served [1,2], speed 1.
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0), Job::unit_density(0.0, 1.0)]).unwrap();
+        let law = pl(2.0);
+        let segs = vec![
+            Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 1.0 }),
+            Segment::new(1.0, 2.0, Some(1), SpeedLaw::Constant { speed: 1.0 }),
+        ];
+        let sched = Schedule::new(law, segs).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        // Job 0: ∫(1-t) over [0,1] = 0.5. Job 1: waits 1 unit (1.0) + ∫(1-t) = 0.5 -> 1.5.
+        assert!(approx_eq(ev.per_job.frac_flow[0], 0.5, 1e-12));
+        assert!(approx_eq(ev.per_job.frac_flow[1], 1.5, 1e-12));
+        assert!(approx_eq(ev.per_job.completion[1], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn incomplete_schedule_is_an_error() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 5.0)]).unwrap();
+        let law = pl(2.0);
+        let seg = Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 1.0 });
+        let sched = Schedule::new(law, vec![seg]).unwrap();
+        match evaluate(&sched, &inst) {
+            Err(SimError::IncompleteSchedule { job: 0, remaining }) => {
+                assert!(approx_eq(remaining, 4.0, 1e-9));
+            }
+            other => panic!("expected IncompleteSchedule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completion_mid_segment_is_located_exactly() {
+        // Volume 1 at speed 2 completes at t = 0.5 inside a [0,2] segment.
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let law = pl(2.0);
+        let seg = Segment::new(0.0, 2.0, Some(0), SpeedLaw::Constant { speed: 2.0 });
+        let sched = Schedule::new(law, vec![seg]).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        assert!(approx_eq(ev.per_job.completion[0], 0.5, 1e-9));
+        // Frac flow: ∫ (1 - 2t) dt over [0, 0.5] = 0.25.
+        assert!(approx_eq(ev.per_job.frac_flow[0], 0.25, 1e-9));
+        // Energy still counts the whole segment's burn: 4 * 2 = 8.
+        assert!(approx_eq(ev.objective.energy, 8.0, 1e-12));
+    }
+
+    #[test]
+    fn release_inside_segment_starts_accrual_late() {
+        // Job released at t = 1 while an unrelated segment runs [0, 2].
+        let inst = Instance::new(vec![Job::unit_density(0.0, 2.0), Job::unit_density(1.0, 1.0)]).unwrap();
+        let law = pl(2.0);
+        let segs = vec![
+            Segment::new(0.0, 2.0, Some(0), SpeedLaw::Constant { speed: 1.0 }),
+            Segment::new(2.0, 3.0, Some(1), SpeedLaw::Constant { speed: 1.0 }),
+        ];
+        let sched = Schedule::new(law, segs).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        // Job 1 waits [1,2] with volume 1 (accrues 1), then ∫(1-t)dt = 0.5.
+        assert!(approx_eq(ev.per_job.frac_flow[1], 1.5, 1e-12));
+        // Integral flow of job 1: completion 3 - release 1 = 2, weight 1.
+        assert!(approx_eq(ev.per_job.int_flow[1], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn fractional_never_exceeds_integral_flow() {
+        // General sanity on a decay-law schedule with two jobs.
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0), Job::unit_density(0.5, 1.0)]).unwrap();
+        let law = pl(3.0);
+        // Serve job 0 with decay law from total weight 1 until its weight is
+        // exhausted, then job 1. (Not a real Algorithm C run; evaluation only.)
+        let k0 = crate::kernel::DecayKernel { law, w0: 1.0, rho: 1.0 };
+        let t0 = k0.time_to_volume(1.0);
+        let k1w = 1.0;
+        let k1 = crate::kernel::DecayKernel { law, w0: k1w, rho: 1.0 };
+        let t1 = k1.time_to_volume(1.0);
+        let segs = vec![
+            Segment::new(0.0, t0, Some(0), SpeedLaw::Decay { w0: 1.0, rho: 1.0 }),
+            Segment::new(t0, t0 + t1, Some(1), SpeedLaw::Decay { w0: k1w, rho: 1.0 }),
+        ];
+        let sched = Schedule::new(law, segs).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        assert!(ev.objective.frac_flow <= ev.objective.int_flow + 1e-9);
+        assert!(ev.objective.fractional() <= ev.objective.integral() + 1e-9);
+    }
+
+    #[test]
+    fn objective_combinators() {
+        let o = Objective { energy: 1.0, frac_flow: 2.0, int_flow: 3.0 };
+        assert_eq!(o.fractional(), 3.0);
+        assert_eq!(o.integral(), 4.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The power function `P(s) = s^α`.
+//!
+//! The paper analyses power-law functions with α > 1 (typically α ≈ 3 for
+//! CMOS dynamic power). All closed forms in [`crate::kernel`] specialise to
+//! this family; [`PowerLaw`] centralises the exponent arithmetic so that the
+//! many `1 - 1/α` style constants appear exactly once.
+
+use crate::error::{SimError, SimResult};
+
+/// Power-law power function `P(s) = s^α` with `α > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_sim::PowerLaw;
+///
+/// let p = PowerLaw::cube(); // P(s) = s³, the CMOS rule of thumb
+/// assert_eq!(p.power(2.0), 8.0);
+/// // The paper's speed-setting rule: run so that power equals weight.
+/// assert!((p.speed_for_power(27.0) - 3.0).abs() < 1e-12);
+/// assert!(PowerLaw::new(0.9).is_err()); // needs α > 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    alpha: f64,
+}
+
+impl PowerLaw {
+    /// Construct `P(s) = s^α`. Fails unless `α > 1` and finite: the paper's
+    /// algorithms (and the convexity arguments behind them) need a strictly
+    /// super-linear power function.
+    pub fn new(alpha: f64) -> SimResult<Self> {
+        if !(alpha.is_finite() && alpha > 1.0) {
+            return Err(SimError::InvalidAlpha { alpha });
+        }
+        Ok(Self { alpha })
+    }
+
+    /// The cube law `P(s) = s³` that dominates practice.
+    #[must_use]
+    pub fn cube() -> Self {
+        Self { alpha: 3.0 }
+    }
+
+    /// The exponent α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `β = 1 − 1/α ∈ (0, 1)`, the exponent governing every weight-evolution
+    /// closed form (`W^β` is linear in time under both C and NC dynamics).
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        1.0 - 1.0 / self.alpha
+    }
+
+    /// Instantaneous power at speed `s`.
+    #[must_use]
+    pub fn power(&self, s: f64) -> f64 {
+        debug_assert!(s >= 0.0);
+        s.powf(self.alpha)
+    }
+
+    /// The speed whose power equals `p`, i.e. `P⁻¹(p) = p^{1/α}`.
+    ///
+    /// This is the paper's ubiquitous speed-setting rule "run so that the
+    /// power equals (some) weight".
+    #[must_use]
+    pub fn speed_for_power(&self, p: f64) -> f64 {
+        debug_assert!(p >= 0.0);
+        p.powf(1.0 / self.alpha)
+    }
+
+    /// Marginal power `P'(s) = α s^{α−1}`; used by the offline-optimum KKT
+    /// conditions.
+    #[must_use]
+    pub fn power_deriv(&self, s: f64) -> f64 {
+        debug_assert!(s >= 0.0);
+        self.alpha * s.powf(self.alpha - 1.0)
+    }
+
+    /// Inverse of the marginal power: the speed with `P'(s) = y`.
+    #[must_use]
+    pub fn speed_for_power_deriv(&self, y: f64) -> f64 {
+        debug_assert!(y >= 0.0);
+        (y / self.alpha).powf(1.0 / (self.alpha - 1.0))
+    }
+
+    /// Convex conjugate `P*(y) = sup_{s ≥ 0} (s·y − P(s))`.
+    ///
+    /// For `P(s) = s^α`: `P*(y) = (α−1) · (y/α)^{α/(α−1)}` for `y ≥ 0`, and
+    /// `0` for `y < 0`. This is the building block of the certified dual
+    /// lower bound in `ncss-opt`.
+    #[must_use]
+    pub fn conjugate(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        (self.alpha - 1.0) * (y / self.alpha).powf(self.alpha / (self.alpha - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+
+    #[test]
+    fn rejects_invalid_alpha() {
+        assert!(PowerLaw::new(1.0).is_err());
+        assert!(PowerLaw::new(0.5).is_err());
+        assert!(PowerLaw::new(f64::NAN).is_err());
+        assert!(PowerLaw::new(f64::INFINITY).is_err());
+        assert!(PowerLaw::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn cube_law() {
+        let p = PowerLaw::cube();
+        assert_eq!(p.alpha(), 3.0);
+        assert_eq!(p.power(2.0), 8.0);
+        assert!(approx_eq(p.speed_for_power(8.0), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn power_and_inverse_roundtrip() {
+        for &alpha in &[1.5, 2.0, 2.5, 3.0, 4.0] {
+            let p = PowerLaw::new(alpha).unwrap();
+            for &s in &[0.1, 0.7, 1.0, 3.3, 100.0] {
+                assert!(approx_eq(p.speed_for_power(p.power(s)), s, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn deriv_matches_finite_difference() {
+        let p = PowerLaw::new(2.7).unwrap();
+        let s = 1.9;
+        let h = 1e-6;
+        let fd = (p.power(s + h) - p.power(s - h)) / (2.0 * h);
+        assert!(approx_eq(p.power_deriv(s), fd, 1e-7));
+    }
+
+    #[test]
+    fn deriv_inverse_roundtrip() {
+        let p = PowerLaw::new(3.0).unwrap();
+        for &s in &[0.2, 1.0, 5.0] {
+            assert!(approx_eq(p.speed_for_power_deriv(p.power_deriv(s)), s, 1e-12));
+        }
+    }
+
+    #[test]
+    fn conjugate_via_supremum() {
+        // Check P*(y) against a numeric supremum over a fine grid of s.
+        let p = PowerLaw::new(2.5).unwrap();
+        for &y in &[0.5, 1.0, 4.0] {
+            let mut best = f64::NEG_INFINITY;
+            let mut s = 0.0;
+            while s < 50.0 {
+                best = best.max(s * y - p.power(s));
+                s += 1e-4;
+            }
+            assert!(approx_eq(p.conjugate(y), best, 1e-6), "y = {y}");
+        }
+        assert_eq!(p.conjugate(-1.0), 0.0);
+    }
+
+    #[test]
+    fn beta_range() {
+        for &alpha in &[1.01, 2.0, 10.0] {
+            let b = PowerLaw::new(alpha).unwrap().beta();
+            assert!(b > 0.0 && b < 1.0);
+        }
+    }
+}

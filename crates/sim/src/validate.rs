@@ -1,0 +1,136 @@
+//! A deliberately naive discrete-time reference simulator, for
+//! differential testing.
+//!
+//! Every exact closed-form result in this workspace is cross-checked in
+//! tests against this independent oracle: a fixed-step Euler integrator
+//! that knows nothing about decay/growth kernels or event scheduling. It
+//! executes an arbitrary *speed policy* — a callback deciding `(job,
+//! speed)` from the full ground-truth state — with first-order accuracy,
+//! and accounts energy and flow-times by simple Riemann sums.
+//!
+//! If the exact simulators and this oracle ever disagree beyond O(h), one
+//! of them is wrong; historically this style of differential test catches
+//! sign errors and off-by-one event handling that unit tests miss.
+
+use crate::job::Instance;
+use crate::objective::Objective;
+use crate::power::PowerLaw;
+
+/// Ground-truth state handed to a reference policy at every step.
+#[derive(Debug)]
+pub struct RefState<'a> {
+    /// Current time.
+    pub time: f64,
+    /// Remaining volume per job (release-ordered ids).
+    pub remaining: &'a [f64],
+    /// The instance being executed.
+    pub instance: &'a Instance,
+}
+
+/// Outcome of a reference simulation.
+#[derive(Debug, Clone)]
+pub struct RefRun {
+    /// Riemann-sum objective.
+    pub objective: Objective,
+    /// First-order completion times.
+    pub completion: Vec<f64>,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+/// Execute `policy` with fixed step `dt` until all jobs complete (or
+/// `max_steps` is exhausted, which panics — reference runs are test-only).
+///
+/// The policy returns `(job, speed)`; `None` idles the step. Jobs released
+/// strictly after the current time are invisible to progress (the driver
+/// clamps service to released, unfinished jobs).
+pub fn reference_run(
+    instance: &Instance,
+    law: PowerLaw,
+    dt: f64,
+    max_steps: usize,
+    mut policy: impl FnMut(&RefState<'_>) -> Option<(usize, f64)>,
+) -> RefRun {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.volume).collect();
+    let mut completion = vec![f64::NAN; n];
+    let mut t = 0.0;
+    let mut energy = 0.0;
+    let mut frac = 0.0;
+    let mut steps = 0;
+
+    while completion.iter().any(|c| c.is_nan()) {
+        steps += 1;
+        assert!(steps <= max_steps, "reference run exceeded {max_steps} steps");
+        let action = {
+            let state = RefState { time: t, remaining: &remaining, instance };
+            policy(&state)
+        };
+        // Accrue flow for all released, unfinished jobs at the step start.
+        for (j, job) in jobs.iter().enumerate() {
+            if job.release <= t && remaining[j] > 0.0 {
+                frac += job.density * remaining[j] * dt;
+            }
+        }
+        if let Some((j, speed)) = action {
+            if j < n && jobs[j].release <= t && remaining[j] > 0.0 && speed > 0.0 {
+                energy += law.power(speed) * dt;
+                remaining[j] -= speed * dt;
+                if remaining[j] <= 0.0 {
+                    remaining[j] = 0.0;
+                    completion[j] = t + dt;
+                }
+            }
+        }
+        t += dt;
+    }
+
+    let int_flow = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| job.weight() * (completion[j] - job.release))
+        .sum();
+    RefRun {
+        objective: Objective { energy, frac_flow: frac, int_flow },
+        completion,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::numeric::approx_eq;
+
+    #[test]
+    fn constant_speed_oracle_is_first_order_accurate() {
+        // One unit job at speed 1: exact energy 1, frac flow 1/2.
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let law = PowerLaw::new(2.0).unwrap();
+        let run = reference_run(&inst, law, 1e-4, 10_000_000, |state| {
+            state.remaining.iter().position(|&r| r > 0.0).map(|j| (j, 1.0))
+        });
+        assert!(approx_eq(run.objective.energy, 1.0, 1e-3));
+        assert!(approx_eq(run.objective.frac_flow, 0.5, 1e-3));
+        assert!(approx_eq(run.completion[0], 1.0, 1e-3));
+    }
+
+    #[test]
+    fn respects_release_times() {
+        let inst = Instance::new(vec![Job::unit_density(2.0, 1.0)]).unwrap();
+        let law = PowerLaw::new(2.0).unwrap();
+        let run = reference_run(&inst, law, 1e-3, 10_000_000, |_| Some((0, 1.0)));
+        // Service cannot start before release.
+        assert!(run.completion[0] >= 3.0 - 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn stalled_policy_panics() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let law = PowerLaw::new(2.0).unwrap();
+        let _ = reference_run(&inst, law, 1e-3, 100, |_| None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Adversarial instance constructions from the paper.
+
+use ncss_opt::single_job_opt;
+use ncss_sim::numeric::solve_increasing;
+use ncss_sim::{Instance, Job, PowerLaw, SimError, SimResult};
+
+/// The Section 6 lower-bound batch: `k²` unit-density jobs released at time
+/// 0 whose volumes the adversary fixes *after* seeing the dispatch: jobs in
+/// `high_ids` get `high_volume`, the rest `low_volume`.
+pub fn lookalike_batch(k: usize, high_ids: &[usize], high_volume: f64, low_volume: f64) -> SimResult<Instance> {
+    let n = k * k;
+    if high_ids.iter().any(|&i| i >= n) {
+        return Err(SimError::InvalidInstance { reason: "high id out of range" });
+    }
+    let mut volumes = vec![low_volume; n];
+    for &i in high_ids {
+        volumes[i] = high_volume;
+    }
+    Instance::new(volumes.into_iter().map(|v| Job::unit_density(0.0, v)).collect())
+}
+
+/// The Section 7 construction: `l` jobs released at time 0 with densities
+/// `1, ρ, ρ², …, ρ^{l−1}`, volumes chosen so that each job *alone* has
+/// single-job optimal cost exactly `unit_cost`.
+///
+/// The paper's "somewhat surprising fact": processing all of them on a
+/// single machine costs at most `4·l·unit_cost` when `ρ ≥ 4`, so density
+/// spread (unlike the uniform-density case) cannot force load balancing.
+pub fn geometric_density_chain(law: PowerLaw, l: usize, rho_base: f64, unit_cost: f64) -> SimResult<Instance> {
+    if l == 0 || !(rho_base > 1.0) || !(unit_cost > 0.0) {
+        return Err(SimError::InvalidInstance { reason: "bad geometric chain parameters" });
+    }
+    let mut jobs = Vec::with_capacity(l);
+    for i in 0..l {
+        let rho = rho_base.powi(i as i32);
+        // Invert V -> cost(V; rho) numerically (cost is increasing in V).
+        let v = solve_increasing(
+            |v| single_job_opt(law, rho, v.max(1e-300)).map(|o| o.cost()).unwrap_or(0.0),
+            unit_cost,
+            0.0,
+            1.0,
+            1e-12,
+        );
+        jobs.push(Job { release: 0.0, volume: v, density: rho });
+    }
+    Instance::new(jobs)
+}
+
+/// A FIFO-stress staircase for the information-gathering ablation (A3): a
+/// long job released first, then a stream of short jobs at increasing
+/// times. Newest-first policies keep abandoning the long job's accumulated
+/// speed ramp, while FIFO finishes it once.
+pub fn fifo_stress(n_small: usize, long_volume: f64, small_volume: f64, gap: f64) -> SimResult<Instance> {
+    let mut jobs = vec![Job::unit_density(0.0, long_volume)];
+    for i in 0..n_small {
+        jobs.push(Job::unit_density(gap * (i + 1) as f64, small_volume));
+    }
+    Instance::new(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::numeric::approx_eq;
+
+    #[test]
+    fn lookalike_batch_shape() {
+        let inst = lookalike_batch(3, &[0, 4, 8], 10.0, 0.1).unwrap();
+        assert_eq!(inst.len(), 9);
+        assert!(inst.jobs().iter().all(|j| j.release == 0.0 && j.density == 1.0));
+        let n_high = inst.jobs().iter().filter(|j| j.volume == 10.0).count();
+        assert_eq!(n_high, 3);
+        assert!(lookalike_batch(2, &[5], 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn geometric_chain_calibrated_costs() {
+        let law = PowerLaw::new(3.0).unwrap();
+        let inst = geometric_density_chain(law, 4, 4.0, 2.5).unwrap();
+        assert_eq!(inst.len(), 4);
+        for job in inst.jobs() {
+            let c = single_job_opt(law, job.density, job.volume).unwrap().cost();
+            assert!(approx_eq(c, 2.5, 1e-8), "cost {c}");
+        }
+        // Densities form the ladder 1, 4, 16, 64 — and Instance sorting by
+        // (release, input order) preserves it.
+        let d: Vec<f64> = inst.jobs().iter().map(|j| j.density).collect();
+        assert_eq!(d, vec![1.0, 4.0, 16.0, 64.0]);
+        // Higher density + equal cost => smaller volume.
+        assert!(inst.job(3).volume < inst.job(0).volume);
+    }
+
+    #[test]
+    fn geometric_chain_rejects_bad_params() {
+        let law = PowerLaw::new(2.0).unwrap();
+        assert!(geometric_density_chain(law, 0, 4.0, 1.0).is_err());
+        assert!(geometric_density_chain(law, 3, 1.0, 1.0).is_err());
+        assert!(geometric_density_chain(law, 3, 4.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn fifo_stress_shape() {
+        let inst = fifo_stress(5, 10.0, 0.1, 0.5).unwrap();
+        assert_eq!(inst.len(), 6);
+        assert_eq!(inst.job(0).volume, 10.0);
+        assert!(approx_eq(inst.job(5).release, 2.5, 1e-12));
+    }
+}

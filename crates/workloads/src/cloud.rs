@@ -1,0 +1,141 @@
+//! Synthetic cloud-billing traces — the paper's Section 1 motivation.
+//!
+//! "Typically, a customer pays at a rate `(λ − ρ·t_delay)` for each unit
+//! volume of a submitted job", so the provider's revenue is
+//! `Σ_j V_j (λ_j − ρ_j · F_j)` where `F_j` is the job's flow-time — the
+//! only schedule-dependent term being the weighted flow-time `ρ_j V_j F_j`
+//! with weight `ρ_j V_j` (density × volume). The penalty rate ρ is public
+//! at submission (it is in the contract) while the volume is not: exactly
+//! the known-density/unknown-weight non-clairvoyant model.
+
+use crate::distributions::VolumeDist;
+use ncss_sim::{Instance, Job, PerJob, SimResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spec for a synthetic multi-tenant cloud trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudSpec {
+    /// Number of jobs submitted.
+    pub n_jobs: usize,
+    /// Poisson arrival rate of submissions.
+    pub arrival_rate: f64,
+    /// Payment rate λ per unit volume (uniform across tenants here).
+    pub base_payment: f64,
+    /// Range of contractual penalty rates ρ (sampled log-uniformly).
+    pub penalty_range: (f64, f64),
+    /// Volume distribution of submitted jobs.
+    pub volumes: VolumeDist,
+}
+
+/// A generated trace: the scheduling instance plus the payment rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudTrace {
+    /// The scheduling instance (density = contractual penalty rate ρ).
+    pub instance: Instance,
+    /// Payment rate λ_j of each job.
+    pub payment_rates: Vec<f64>,
+}
+
+impl CloudSpec {
+    /// Generate a trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> SimResult<CloudTrace> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lo, hi) = self.penalty_range;
+        let mut t = 0.0;
+        let mut jobs = Vec::with_capacity(self.n_jobs);
+        for _ in 0..self.n_jobs {
+            if self.arrival_rate > 0.0 {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / self.arrival_rate;
+            }
+            let rho = (rng.gen_range(lo.ln()..=hi.ln())).exp();
+            jobs.push(Job { release: t, volume: self.volumes.sample(&mut rng), density: rho });
+        }
+        let instance = Instance::new(jobs)?;
+        let payment_rates = vec![self.base_payment; instance.len()];
+        Ok(CloudTrace { instance, payment_rates })
+    }
+}
+
+impl CloudTrace {
+    /// Gross revenue of a schedule outcome:
+    /// `Σ_j V_j λ_j − Σ_j (integral weighted flow-time)_j`.
+    #[must_use]
+    pub fn revenue(&self, per_job: &PerJob) -> f64 {
+        let base: f64 = self
+            .instance
+            .jobs()
+            .iter()
+            .zip(&self.payment_rates)
+            .map(|(j, &lam)| j.volume * lam)
+            .sum();
+        let penalty: f64 = per_job.int_flow.iter().sum();
+        base - penalty
+    }
+
+    /// Net profit after paying `energy_price` per unit of energy.
+    #[must_use]
+    pub fn profit(&self, per_job: &PerJob, energy: f64, energy_price: f64) -> f64 {
+        self.revenue(per_job) - energy_price * energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_core::{run_c, run_nc_nonuniform, NonUniformParams};
+    use ncss_sim::PowerLaw;
+
+    fn spec() -> CloudSpec {
+        CloudSpec {
+            n_jobs: 12,
+            arrival_rate: 2.0,
+            base_payment: 30.0,
+            penalty_range: (0.5, 8.0),
+            volumes: VolumeDist::Exponential { mean: 0.5 },
+        }
+    }
+
+    #[test]
+    fn trace_generation_deterministic() {
+        let a = spec().generate(5).unwrap();
+        let b = spec().generate(5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.instance.len(), 12);
+        assert!(!a.instance.is_uniform_density());
+    }
+
+    #[test]
+    fn densities_within_contract_range() {
+        let t = spec().generate(1).unwrap();
+        assert!(t.instance.jobs().iter().all(|j| (0.5..=8.0).contains(&j.density)));
+    }
+
+    #[test]
+    fn profit_accounting_is_consistent() {
+        // Revenue can favour the energy-hungry fast schedule (NC runs η×
+        // faster and so delays less), but *profit at unit energy price* is
+        // exactly `Σ λ_j V_j − integral objective`, so the profit ordering
+        // must match the integral-objective ordering.
+        let law = PowerLaw::new(3.0).unwrap();
+        let t = spec().generate(9).unwrap();
+        let c = run_c(&t.instance, law).unwrap();
+        let nc = run_nc_nonuniform(&t.instance, law, NonUniformParams::recommended(3.0)).unwrap();
+        let ideal: f64 = t
+            .instance
+            .jobs()
+            .iter()
+            .zip(&t.payment_rates)
+            .map(|(j, &lam)| j.volume * lam)
+            .sum();
+        assert!(t.revenue(&c.per_job) <= ideal && t.revenue(&nc.per_job) <= ideal);
+        let profit_c = t.profit(&c.per_job, c.objective.energy, 1.0);
+        let profit_nc = t.profit(&nc.per_job, nc.objective.energy, 1.0);
+        use ncss_sim::numeric::approx_eq;
+        assert!(approx_eq(ideal - profit_c, c.objective.integral(), 1e-9));
+        assert!(approx_eq(ideal - profit_nc, nc.objective.integral(), 1e-6));
+        // The 2-competitive clairvoyant run beats the 2^{O(α)} NC run here.
+        assert!(profit_c >= profit_nc, "C profit {profit_c} vs NC profit {profit_nc}");
+    }
+}

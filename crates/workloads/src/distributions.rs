@@ -1,0 +1,166 @@
+//! Sampling distributions for job volumes and densities.
+//!
+//! The paper's guarantees quantify over *all* instances; the workload
+//! generators probe representative corners: light-tailed, heavy-tailed, and
+//! bimodal volumes (bimodal is what the Section 6 lower bound exploits), and
+//! density spreads from uniform to geometric ladders.
+
+use rand::Rng;
+
+/// Volume distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VolumeDist {
+    /// Every job has exactly this volume.
+    Fixed(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean volume.
+        mean: f64,
+    },
+    /// Pareto (heavy tail): `scale · U^{-1/shape}`.
+    Pareto {
+        /// Minimum volume.
+        scale: f64,
+        /// Tail index (smaller = heavier; must be > 1 for finite mean).
+        shape: f64,
+    },
+    /// Two-point mixture — the adversarial texture of Section 6.
+    Bimodal {
+        /// The small volume.
+        small: f64,
+        /// The large volume.
+        large: f64,
+        /// Probability of drawing `large`.
+        p_large: f64,
+    },
+}
+
+impl VolumeDist {
+    /// Draw one volume.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Self::Fixed(v) => v,
+            Self::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            Self::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            Self::Pareto { scale, shape } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                scale * u.powf(-1.0 / shape)
+            }
+            Self::Bimodal { small, large, p_large } => {
+                if rng.gen_bool(p_large) {
+                    large
+                } else {
+                    small
+                }
+            }
+        }
+    }
+}
+
+/// Density distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DensityDist {
+    /// All densities equal (the Section 3 setting).
+    Fixed(f64),
+    /// Log-uniform on `[lo, hi]`.
+    LogUniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Geometric ladder `base^k`, `k` uniform in `0..levels` — matches the
+    /// rounded-density structure of Section 4.
+    PowerLevels {
+        /// Ladder base (> 1).
+        base: f64,
+        /// Number of levels.
+        levels: usize,
+    },
+}
+
+impl DensityDist {
+    /// Draw one density.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Self::Fixed(d) => d,
+            Self::LogUniform { lo, hi } => {
+                let u: f64 = rng.gen_range(lo.ln()..=hi.ln());
+                u.exp()
+            }
+            Self::PowerLevels { base, levels } => base.powi(rng.gen_range(0..levels.max(1)) as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn volumes_positive_and_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(VolumeDist::Fixed(2.0).sample(&mut r), 2.0);
+            let u = VolumeDist::Uniform { lo: 0.5, hi: 1.5 }.sample(&mut r);
+            assert!((0.5..=1.5).contains(&u));
+            assert!(VolumeDist::Exponential { mean: 1.0 }.sample(&mut r) > 0.0);
+            let p = VolumeDist::Pareto { scale: 1.0, shape: 2.0 }.sample(&mut r);
+            assert!(p >= 1.0);
+            let b = VolumeDist::Bimodal { small: 0.1, large: 10.0, p_large: 0.3 }.sample(&mut r);
+            assert!(b == 0.1 || b == 10.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = rng();
+        let d = VolumeDist::Exponential { mean: 2.0 };
+        let m: f64 = (0..20000).map(|_| d.sample(&mut r)).sum::<f64>() / 20000.0;
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut r = rng();
+        let d = VolumeDist::Pareto { scale: 1.0, shape: 1.5 };
+        let samples: Vec<f64> = (0..20000).map(|_| d.sample(&mut r)).collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 50.0, "heavy tail should produce large values, max {max}");
+    }
+
+    #[test]
+    fn density_ladders() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = DensityDist::PowerLevels { base: 5.0, levels: 3 }.sample(&mut r);
+            assert!(d == 1.0 || d == 5.0 || d == 25.0);
+            let l = DensityDist::LogUniform { lo: 0.1, hi: 10.0 }.sample(&mut r);
+            assert!((0.1..=10.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = VolumeDist::Exponential { mean: 1.0 };
+        let a: Vec<f64> = { let mut r = rng(); (0..10).map(|_| d.sample(&mut r)).collect() };
+        let b: Vec<f64> = { let mut r = rng(); (0..10).map(|_| d.sample(&mut r)).collect() };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ncss-workloads — seeded synthetic workload generators
+//!
+//! The paper is worst-case theory with no public traces; this crate builds
+//! the synthetic equivalents that exercise the same code paths (see
+//! DESIGN.md §3 for the substitution rationale):
+//!
+//! * [`distributions`] / [`generator`] — random instances with Poisson
+//!   arrivals and light/heavy-tailed/bimodal volumes,
+//! * [`adversarial`] — the paper's explicit constructions (Section 6
+//!   look-alike batches, Section 7 geometric density chains, FIFO stress),
+//! * [`cloud`] — the Section 1 cloud-billing motivation as a revenue model,
+//! * [`suite`] — named deterministic suites for the experiment harness.
+
+#![warn(missing_docs)]
+// `!(x > 1.0)`-style validation is deliberate: unlike `x <= 1.0`, it also
+// rejects NaN, which is exactly what input validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod adversarial;
+pub mod cloud;
+pub mod distributions;
+pub mod diurnal;
+pub mod generator;
+pub mod io;
+pub mod suite;
+
+pub use adversarial::{fifo_stress, geometric_density_chain, lookalike_batch};
+pub use cloud::{CloudSpec, CloudTrace};
+pub use distributions::{DensityDist, VolumeDist};
+pub use diurnal::DiurnalSpec;
+pub use generator::WorkloadSpec;
+pub use io::{instance_from_csv, instance_to_csv};

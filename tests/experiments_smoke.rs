@@ -1,0 +1,107 @@
+//! Smoke tests over the workload generators and the figure-style analyses
+//! exposed through the facade: everything a downstream user would script
+//! must hold together.
+
+use ncss::core::baselines::{run_active_count, run_constant_speed, run_newest_first};
+use ncss::core::current_instance::current_instance;
+use ncss::core::preemption::preemption_intervals;
+use ncss::prelude::*;
+use ncss::workloads::suite::{nonuniform_suite, tiny_suite, uniform_suite};
+use ncss::workloads::{geometric_density_chain, DensityDist};
+
+#[test]
+fn all_suites_run_through_all_single_machine_algorithms() {
+    let law = PowerLaw::new(3.0).unwrap();
+    for inst in uniform_suite(1).into_iter().take(10) {
+        let c = run_c(&inst, law).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        let ajc = run_active_count(&inst, law).unwrap();
+        let lifo = run_newest_first(&inst, law).unwrap();
+        let cs = run_constant_speed(&inst, law, 1.0).unwrap();
+        for o in [c.objective, nc.objective, ajc.objective, lifo.objective, cs.objective] {
+            assert!(o.fractional() > 0.0 && o.fractional().is_finite());
+            assert!(o.integral() >= o.fractional() - 1e-9);
+        }
+        // The clairvoyant comparator is never beaten by the baselines on
+        // fractional cost by more than its 2-competitiveness allows.
+        assert!(c.objective.fractional() <= 2.0 * nc.objective.fractional() + 1e-9);
+    }
+}
+
+#[test]
+fn nonuniform_suite_runs_through_nonuniform_nc() {
+    let alpha = 3.0;
+    let law = PowerLaw::new(alpha).unwrap();
+    let params = NonUniformParams { steps_per_job: 120, ..NonUniformParams::recommended(alpha) };
+    for inst in nonuniform_suite(2).into_iter().filter(|i| i.len() <= 6).take(3) {
+        let nc = run_nc_nonuniform(&inst, law, params).unwrap();
+        let ev = evaluate(&nc.schedule, &inst).unwrap();
+        assert!((ev.objective.fractional() - nc.objective.fractional()).abs()
+            <= 1e-3 * nc.objective.fractional());
+    }
+}
+
+#[test]
+fn current_instance_and_preemption_tools_compose() {
+    let law = PowerLaw::new(2.0).unwrap();
+    let inst = tiny_suite(3, true).remove(2);
+    let nc = run_nc_uniform(&inst, law).unwrap();
+    let mid = nc.makespan() * 0.5;
+    let (cur, ids) = current_instance(&inst, &nc.schedule, mid).unwrap();
+    assert!(cur.len() <= inst.len());
+    assert_eq!(cur.len(), ids.len());
+    // I(T) total volume equals what NC processed by T.
+    let processed: f64 = nc
+        .schedule
+        .segments()
+        .iter()
+        .filter(|s| s.start < mid)
+        .map(|s| s.volume_to(law, mid.min(s.end)))
+        .sum();
+    assert!((cur.total_volume() - processed).abs() < 1e-9 * (1.0 + processed));
+
+    // Preemption intervals of the lowest-density job in a geometric chain.
+    let chain = geometric_density_chain(law, 4, 4.0, 1.0).unwrap();
+    let c = run_c(&chain, law).unwrap();
+    let ivs = preemption_intervals(&c, &chain, 0);
+    // All higher-density jobs run before j* does anything: a batch at t=0
+    // means zero *interruptions* once j* starts (no preemption intervals
+    // after its service begins).
+    for iv in &ivs {
+        assert!(iv.start >= chain.job(0).release);
+        assert!(iv.volume > 0.0);
+    }
+}
+
+#[test]
+fn density_ladder_generator_matches_rounding() {
+    // PowerLevels-generated densities survive with_rounded_densities(beta)
+    // unchanged when the base matches.
+    let spec = WorkloadSpec {
+        n_jobs: 20,
+        arrival_rate: 1.0,
+        volumes: VolumeDist::Fixed(1.0),
+        densities: DensityDist::PowerLevels { base: 5.0, levels: 3 },
+    };
+    let inst = spec.generate(4).unwrap();
+    let rounded = inst.with_rounded_densities(5.0).unwrap();
+    for (a, b) in inst.jobs().iter().zip(rounded.jobs()) {
+        assert!((a.density - b.density).abs() < 1e-9 * a.density);
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_readme_flow() {
+    // The exact flow the README promises.
+    let instance = Instance::new(vec![
+        Job::unit_density(0.0, 2.0),
+        Job::unit_density(0.4, 1.0),
+    ])
+    .unwrap();
+    let law = PowerLaw::cube();
+    let c = run_c(&instance, law).unwrap();
+    let nc = run_nc_uniform(&instance, law).unwrap();
+    let opt = solve_fractional_opt(&instance, law, SolverOptions::default()).unwrap();
+    assert!(opt.dual_bound <= c.objective.fractional());
+    assert!(nc.objective.fractional() <= 2.5 * opt.dual_bound * 1.05);
+}

@@ -1,0 +1,117 @@
+//! Integration tests for Section 6: parallel machines and the
+//! immediate-dispatch lower bound.
+
+use ncss::core::theory;
+use ncss::multi::{fit_loglog_slope, immediate_dispatch_game, LeastCount, RoundRobin};
+use ncss::prelude::*;
+use ncss::sim::numeric::rel_diff;
+use proptest::prelude::*;
+
+fn uniform_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0.0f64..6.0, 0.05f64..4.0), 1..12).prop_map(|jobs| {
+        Instance::new(jobs.into_iter().map(|(r, v)| Job::unit_density(r, v)).collect())
+            .expect("valid jobs")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lemma20_assignment_identity(inst in uniform_instance(), k in 2usize..5) {
+        let law = PowerLaw::new(3.0).unwrap();
+        let c = run_c_par(&inst, law, k).unwrap();
+        let nc = run_nc_par(&inst, law, k).unwrap();
+        prop_assert_eq!(c.assignment, nc.assignment);
+    }
+
+    #[test]
+    fn lemma21_22_energy_and_flow(inst in uniform_instance(), k in 2usize..5) {
+        let law = PowerLaw::new(2.0).unwrap();
+        let c = run_c_par(&inst, law, k).unwrap();
+        let nc = run_nc_par(&inst, law, k).unwrap();
+        prop_assert!(rel_diff(c.objective.energy, nc.objective.energy) < 1e-7);
+        let expect = c.objective.frac_flow * theory::nc_over_c_flow_ratio(2.0);
+        prop_assert!(rel_diff(nc.objective.frac_flow, expect) < 1e-7);
+    }
+
+    #[test]
+    fn every_job_completes_once(inst in uniform_instance(), k in 1usize..4) {
+        let law = PowerLaw::new(2.5).unwrap();
+        let nc = run_nc_par(&inst, law, k).unwrap();
+        for (j, c) in nc.per_job.completion.iter().enumerate() {
+            prop_assert!(c.is_finite());
+            prop_assert!(*c >= inst.job(j).release);
+        }
+        // Jobs on the same machine never overlap: completions of each
+        // machine's jobs are separated by at least their service demands.
+        for m in 0..k {
+            let mut last_completion = f64::NEG_INFINITY;
+            for (j, &mm) in nc.assignment.iter().enumerate() {
+                if mm == m {
+                    prop_assert!(nc.per_job.completion[j] >= last_completion - 1e-9);
+                    last_completion = nc.per_job.completion[j];
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lower_bound_exponent_for_three_alphas() {
+    for (alpha, expect) in [(1.5, 1.0 / 3.0), (2.0, 0.5), (3.0, 2.0 / 3.0)] {
+        let law = PowerLaw::new(alpha).unwrap();
+        let pts: Vec<(usize, f64)> = [4usize, 8, 16, 32]
+            .iter()
+            .map(|&k| {
+                let mut p = RoundRobin::default();
+                (k, immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4).unwrap().ratio)
+            })
+            .collect();
+        let slope = fit_loglog_slope(&pts);
+        assert!(
+            (slope - expect).abs() < 0.08,
+            "alpha={alpha}: slope {slope} vs theory {expect}"
+        );
+    }
+}
+
+#[test]
+fn adversary_beats_every_policy() {
+    // The pigeonhole argument is policy-independent: all implemented
+    // policies suffer a growing ratio.
+    let law = PowerLaw::new(2.0).unwrap();
+    for k in [4usize, 8] {
+        let mut rr = RoundRobin::default();
+        let mut lc = LeastCount::default();
+        let mut sr = ncss::multi::SeededRandom::new(99);
+        let r_rr = immediate_dispatch_game(law, k, &mut rr, 1.0, 1e-4).unwrap().ratio;
+        let r_lc = immediate_dispatch_game(law, k, &mut lc, 1.0, 1e-4).unwrap().ratio;
+        let r_sr = immediate_dispatch_game(law, k, &mut sr, 1.0, 1e-4).unwrap().ratio;
+        for r in [r_rr, r_lc, r_sr] {
+            assert!(r > 1.5, "k={k}: ratio {r}");
+        }
+    }
+}
+
+#[test]
+fn nc_par_beats_all_dispatch_policies_on_the_batch() {
+    // Lazy dispatch (NC-PAR) sidesteps the look-alike trap: on the k^2
+    // batch its cost is within a constant of the spread optimum while the
+    // immediate-dispatch policy degrades.
+    let law = PowerLaw::new(2.0).unwrap();
+    let k = 8;
+    let mut p = RoundRobin::default();
+    let game = immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4).unwrap();
+    // Rebuild the adversary's instance and give it to NC-PAR.
+    // NC-PAR sees jobs only as they queue; its dispatch is lazy.
+    let high: Vec<usize> = (0..k).map(|i| i * k).collect(); // round-robin co-location
+    let inst = ncss::workloads::lookalike_batch(k, &high, 1.0, 1e-4).unwrap();
+    let ncp = run_nc_par(&inst, law, k).unwrap();
+    let ratio = ncp.objective.fractional() / game.opt_upper_bound;
+    assert!(
+        ratio < game.ratio,
+        "NC-PAR ratio {ratio} should beat immediate dispatch {}",
+        game.ratio
+    );
+}

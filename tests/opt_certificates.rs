@@ -1,0 +1,108 @@
+//! Integration tests for the offline-optimum machinery: the dual bound must
+//! certify, the primal must be feasible, and Theorem 1 (Algorithm C is
+//! 2-competitive) must hold against the solver on random instances.
+
+use ncss::prelude::*;
+use ncss::sim::numeric::approx_eq;
+use proptest::prelude::*;
+
+fn small_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0.0f64..3.0, 0.1f64..2.0, 0.2f64..5.0), 1..6).prop_map(|jobs| {
+        Instance::new(jobs.into_iter().map(|(r, v, d)| Job::new(r, v, d)).collect())
+            .expect("valid jobs")
+    })
+}
+
+fn quick() -> SolverOptions {
+    SolverOptions { steps: 400, max_iters: 250, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dual_below_primal(inst in small_instance()) {
+        let law = PowerLaw::new(2.5).unwrap();
+        let sol = solve_fractional_opt(&inst, law, quick()).unwrap();
+        prop_assert!(sol.dual_bound <= sol.primal_cost * (1.0 + 1e-9),
+            "dual {} primal {}", sol.dual_bound, sol.primal_cost);
+        prop_assert!(sol.dual_bound >= 0.0);
+    }
+
+    #[test]
+    fn theorem1_two_competitive(inst in small_instance()) {
+        let law = PowerLaw::new(2.5).unwrap();
+        let c = run_c(&inst, law).unwrap().objective.fractional();
+        let sol = solve_fractional_opt(&inst, law, quick()).unwrap();
+        // C is at least OPT (certified from below) and at most 2 OPT
+        // (checked against the feasible primal upper bound).
+        prop_assert!(c >= sol.dual_bound * (1.0 - 1e-9));
+        prop_assert!(c <= 2.0 * sol.primal_cost * (1.0 + 1e-6),
+            "C {c} vs 2*primal {}", 2.0 * sol.primal_cost);
+    }
+
+    #[test]
+    fn nc_within_paper_bound_vs_dual(inst in small_instance()) {
+        // Theorem 5 for the uniform case, randomised (project densities to
+        // a common value first).
+        let rho = inst.job(0).density;
+        let uni = Instance::new(
+            inst.jobs().iter().map(|j| Job::new(j.release, j.volume, rho)).collect()
+        ).unwrap();
+        let law = PowerLaw::new(3.0).unwrap();
+        let nc = run_nc_uniform(&uni, law).unwrap().objective.fractional();
+        let sol = solve_fractional_opt(&uni, law, quick()).unwrap();
+        let bound = ncss::core::theory::nc_uniform_fractional_bound(3.0);
+        // 12% slack absorbs the duality + discretisation gap.
+        prop_assert!(nc <= bound * sol.dual_bound.max(1e-12) * 1.12,
+            "NC {nc}, dual {}, bound {bound}", sol.dual_bound);
+    }
+}
+
+#[test]
+fn closed_form_identities_across_alpha() {
+    for alpha in [1.3, 1.5, 2.0, 2.7, 3.0, 5.0] {
+        let law = PowerLaw::new(alpha).unwrap();
+        let opt = single_job_opt(law, 2.0, 3.0).unwrap();
+        // Flow = (alpha-1) * energy and total = alpha * energy.
+        assert!(approx_eq(opt.frac_flow, (alpha - 1.0) * opt.energy, 1e-10));
+        assert!(approx_eq(opt.cost(), alpha * opt.energy, 1e-10));
+    }
+}
+
+#[test]
+fn solver_converges_to_closed_form_with_refinement() {
+    // The primal-dual bracket must tighten around the closed form as the
+    // grid refines.
+    let law = PowerLaw::new(2.0).unwrap();
+    let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+    let exact = single_job_opt(law, 1.0, 1.0).unwrap().cost();
+    let mut last_gap = f64::INFINITY;
+    for steps in [100, 400, 1600] {
+        let sol = solve_fractional_opt(
+            &inst,
+            law,
+            SolverOptions { steps, max_iters: 600, ..Default::default() },
+        )
+        .unwrap();
+        assert!(sol.dual_bound <= exact * (1.0 + 1e-9));
+        let gap = sol.gap();
+        assert!(gap <= last_gap * 1.5 + 1e-4, "gap did not shrink: {gap} vs {last_gap}");
+        last_gap = gap;
+    }
+    assert!(last_gap < 0.02, "final gap {last_gap}");
+}
+
+#[test]
+fn lower_bound_survives_extreme_density_spread() {
+    let law = PowerLaw::new(3.0).unwrap();
+    let inst = Instance::new(vec![
+        Job::new(0.0, 1.0, 0.01),
+        Job::new(0.1, 0.01, 100.0),
+    ])
+    .unwrap();
+    let sol = solve_fractional_opt(&inst, law, quick()).unwrap();
+    let c = run_c(&inst, law).unwrap().objective.fractional();
+    assert!(sol.dual_bound > 0.0);
+    assert!(c >= sol.dual_bound * (1.0 - 1e-9));
+}

@@ -1,0 +1,120 @@
+//! Property-based integration tests: the paper's Section 3 lemmas must hold
+//! on *arbitrary* uniform-density instances, not just hand-picked ones.
+
+use ncss::core::theory;
+use ncss::prelude::*;
+use ncss::sim::numeric::{approx_eq, rel_diff};
+use ncss::sim::profile::rearrangement_distance;
+use proptest::prelude::*;
+
+/// Random uniform-density instances: up to 14 jobs with jittered releases
+/// and volumes spanning three orders of magnitude.
+fn uniform_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0.0f64..8.0, 0.01f64..10.0), 1..14),
+        0.05f64..20.0,
+    )
+        .prop_map(|(jobs, rho)| {
+            Instance::new(jobs.into_iter().map(|(r, v)| Job::new(r, v, rho)).collect())
+                .expect("generated jobs are valid")
+        })
+}
+
+fn alphas() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(1.5), Just(2.0), Just(2.5), Just(3.0), Just(4.0)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma3_energy_equality(inst in uniform_instance(), alpha in alphas()) {
+        let law = PowerLaw::new(alpha).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        prop_assert!(rel_diff(c.objective.energy, nc.objective.energy) < 1e-7,
+            "C {} vs NC {}", c.objective.energy, nc.objective.energy);
+    }
+
+    #[test]
+    fn lemma4_exact_flow_ratio(inst in uniform_instance(), alpha in alphas()) {
+        let law = PowerLaw::new(alpha).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        let expect = c.objective.frac_flow * theory::nc_over_c_flow_ratio(alpha);
+        prop_assert!(rel_diff(nc.objective.frac_flow, expect) < 1e-7);
+    }
+
+    #[test]
+    fn lemma6_measure_preserving_profiles(inst in uniform_instance()) {
+        let law = PowerLaw::new(3.0).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        let d = rearrangement_distance(&c.schedule, &nc.schedule, 128);
+        prop_assert!(d < 1e-6 * (1.0 + nc.makespan()), "distance {d}");
+    }
+
+    #[test]
+    fn lemma8_integral_fractional_bound(inst in uniform_instance(), alpha in alphas()) {
+        let law = PowerLaw::new(alpha).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        let bound = theory::nc_integral_over_fractional_flow_bound(alpha);
+        prop_assert!(nc.objective.int_flow <= bound * nc.objective.frac_flow * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn internal_accounting_matches_evaluator(inst in uniform_instance(), alpha in alphas()) {
+        let law = PowerLaw::new(alpha).unwrap();
+        for run in [run_c(&inst, law).unwrap().objective, run_nc_uniform(&inst, law).unwrap().objective] {
+            let _ = run;
+        }
+        let c = run_c(&inst, law).unwrap();
+        let ev = evaluate(&c.schedule, &inst).unwrap();
+        prop_assert!(rel_diff(ev.objective.fractional(), c.objective.fractional()) < 1e-6);
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        let ev = evaluate(&nc.schedule, &inst).unwrap();
+        prop_assert!(rel_diff(ev.objective.fractional(), nc.objective.fractional()) < 1e-6);
+    }
+
+    #[test]
+    fn c_energy_equals_c_flow(inst in uniform_instance(), alpha in alphas()) {
+        // The defining property of Algorithm C.
+        let law = PowerLaw::new(alpha).unwrap();
+        let c = run_c(&inst, law).unwrap();
+        prop_assert!(rel_diff(c.objective.energy, c.objective.frac_flow) < 1e-7);
+    }
+
+    #[test]
+    fn completions_ordered_fifo_for_nc(inst in uniform_instance()) {
+        let law = PowerLaw::new(2.0).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        for w in nc.per_job.completion.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractional_below_integral(inst in uniform_instance(), alpha in alphas()) {
+        let law = PowerLaw::new(alpha).unwrap();
+        let nc = run_nc_uniform(&inst, law).unwrap();
+        prop_assert!(nc.objective.frac_flow <= nc.objective.int_flow * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn lemma4_survives_pathological_spacing() {
+    // Releases collide, nearly collide, and leave long gaps all at once.
+    let law = PowerLaw::new(2.0).unwrap();
+    let inst = Instance::new(vec![
+        Job::unit_density(0.0, 1.0),
+        Job::unit_density(0.0, 1e-6),
+        Job::unit_density(1e-9, 5.0),
+        Job::unit_density(1000.0, 0.3),
+        Job::unit_density(1000.0 + 1e-9, 0.3),
+    ])
+    .unwrap();
+    let c = run_c(&inst, law).unwrap();
+    let nc = run_nc_uniform(&inst, law).unwrap();
+    assert!(approx_eq(nc.objective.energy, c.objective.energy, 1e-6));
+    assert!(approx_eq(nc.objective.frac_flow, 2.0 * c.objective.frac_flow, 1e-6));
+}
