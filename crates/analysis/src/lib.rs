@@ -4,7 +4,8 @@
 //!
 //! * [`ratio`] — competitive-ratio measurement against the certified OPT
 //!   dual bound (every reported ratio upper-bounds the true ratio),
-//! * [`sweep`] — order-preserving parallel parameter sweeps (crossbeam),
+//! * [`sweep`] — order-preserving parallel parameter sweeps on
+//!   `std::thread::scope` (dynamic and chunked scheduling),
 //! * [`table`] / [`chart`] — aligned ASCII tables and charts,
 //! * [`stats`] — summary statistics.
 
@@ -23,5 +24,5 @@ pub use gantt::render_gantt;
 pub use ratio::{measure_suite, RatioPoint, RatioReport};
 pub use stats::Summary;
 pub use svg::{render_svg, write_svg, SvgOptions};
-pub use sweep::{grid2, parallel_map};
+pub use sweep::{grid2, parallel_map, parallel_map_chunked};
 pub use table::{fmt_f, Table};

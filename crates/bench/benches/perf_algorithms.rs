@@ -1,11 +1,12 @@
-//! Criterion throughput benches for the single-machine algorithms.
+//! Throughput benches for the single-machine algorithms, on the in-repo
+//! harness (median/p95 to `BENCH_algorithms.json`).
 //!
 //! These quantify the cost model stated in DESIGN.md: Algorithm C is
 //! event-driven (near-linear in jobs with an O(n) accrual scan per event),
 //! Algorithm NC re-simulates C on prefixes (O(n²·log n)), and the
 //! non-uniform algorithm pays two nested C runs per integration step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncss_bench::harness::{black_box, Suite};
 use ncss_core::{run_c, run_nc_nonuniform, run_nc_uniform, NonUniformParams};
 use ncss_sim::PowerLaw;
 use ncss_workloads::{DensityDist, VolumeDist, WorkloadSpec};
@@ -16,34 +17,25 @@ fn uniform_instance(n: usize) -> ncss_sim::Instance {
         .expect("valid spec")
 }
 
-fn bench_algorithm_c(c: &mut Criterion) {
+fn main() {
     let law = PowerLaw::cube();
-    let mut group = c.benchmark_group("algorithm_c");
+    let mut suite = Suite::new("algorithms");
+
+    // Uniform-density hot path: Algorithm C and Algorithm NC.
     for n in [10usize, 100, 1000] {
         let inst = uniform_instance(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| run_c(inst, law).expect("C run"));
+        suite.bench(&format!("algorithm_c/{n}"), || {
+            black_box(run_c(&inst, law).expect("C run"));
         });
     }
-    group.finish();
-}
-
-fn bench_algorithm_nc(c: &mut Criterion) {
-    let law = PowerLaw::cube();
-    let mut group = c.benchmark_group("algorithm_nc_uniform");
     for n in [10usize, 100, 400] {
         let inst = uniform_instance(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| run_nc_uniform(inst, law).expect("NC run"));
+        suite.bench(&format!("algorithm_nc_uniform/{n}"), || {
+            black_box(run_nc_uniform(&inst, law).expect("NC run"));
         });
     }
-    group.finish();
-}
 
-fn bench_algorithm_nc_nonuniform(c: &mut Criterion) {
-    let law = PowerLaw::cube();
-    let mut group = c.benchmark_group("algorithm_nc_nonuniform");
-    group.sample_size(10);
+    // Non-uniform-density hot path: nested C runs per integration step.
     for n in [4usize, 8, 16] {
         let inst = WorkloadSpec {
             n_jobs: n,
@@ -54,27 +46,18 @@ fn bench_algorithm_nc_nonuniform(c: &mut Criterion) {
         .generate(7)
         .expect("valid spec");
         let params = NonUniformParams { steps_per_job: 150, ..NonUniformParams::recommended(3.0) };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| run_nc_nonuniform(inst, law, params).expect("NC run"));
+        suite.bench_with(&format!("algorithm_nc_nonuniform/{n}"), 2, 10, || {
+            black_box(run_nc_nonuniform(&inst, law, params).expect("NC run"));
         });
     }
-    group.finish();
-}
 
-fn bench_schedule_evaluation(c: &mut Criterion) {
-    let law = PowerLaw::cube();
-    let inst = uniform_instance(500);
-    let run = run_c(&inst, law).expect("C run");
-    c.bench_function("evaluate_schedule_500_jobs", |b| {
-        b.iter(|| ncss_sim::evaluate(&run.schedule, &inst).expect("evaluation"));
-    });
-}
+    {
+        let inst = uniform_instance(500);
+        let run = run_c(&inst, law).expect("C run");
+        suite.bench("evaluate_schedule/500", || {
+            black_box(ncss_sim::evaluate(&run.schedule, &inst).expect("evaluation"));
+        });
+    }
 
-criterion_group!(
-    benches,
-    bench_algorithm_c,
-    bench_algorithm_nc,
-    bench_algorithm_nc_nonuniform,
-    bench_schedule_evaluation
-);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,43 +1,33 @@
-//! Criterion benches for the parallel-machine algorithms and the
-//! lower-bound game.
+//! Benches for the parallel-machine algorithms and the lower-bound game,
+//! on the in-repo harness (median/p95 to `BENCH_multi.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncss_bench::harness::{black_box, Suite};
 use ncss_multi::{immediate_dispatch_game, run_c_par, run_nc_par, RoundRobin};
 use ncss_sim::PowerLaw;
 use ncss_workloads::{VolumeDist, WorkloadSpec};
 
-fn bench_par_algorithms(c: &mut Criterion) {
+fn main() {
     let law = PowerLaw::cube();
+    let mut suite = Suite::new("multi");
+
     let inst = WorkloadSpec::uniform(60, 2.0, VolumeDist::Exponential { mean: 1.0 })
         .generate(3)
         .expect("valid spec");
-    let mut group = c.benchmark_group("parallel_machines_60_jobs");
-    group.sample_size(20);
     for k in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("c_par", k), &k, |b, &k| {
-            b.iter(|| run_c_par(&inst, law, k).expect("C-PAR"));
+        suite.bench_with(&format!("c_par/60x{k}"), 2, 20, || {
+            black_box(run_c_par(&inst, law, k).expect("C-PAR"));
         });
-        group.bench_with_input(BenchmarkId::new("nc_par", k), &k, |b, &k| {
-            b.iter(|| run_nc_par(&inst, law, k).expect("NC-PAR"));
+        suite.bench_with(&format!("nc_par/60x{k}"), 2, 20, || {
+            black_box(run_nc_par(&inst, law, k).expect("NC-PAR"));
         });
     }
-    group.finish();
-}
 
-fn bench_lower_bound_game(c: &mut Criterion) {
-    let law = PowerLaw::cube();
-    let mut group = c.benchmark_group("immediate_dispatch_game");
-    group.sample_size(10);
     for k in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                let mut p = RoundRobin::default();
-                immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4).expect("game")
-            });
+        suite.bench_with(&format!("immediate_dispatch_game/{k}"), 2, 10, || {
+            let mut p = RoundRobin::default();
+            black_box(immediate_dispatch_game(law, k, &mut p, 1.0, 1e-4).expect("game"));
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_par_algorithms, bench_lower_bound_game);
-criterion_main!(benches);
+    suite.finish();
+}

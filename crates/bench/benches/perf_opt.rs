@@ -1,32 +1,28 @@
-//! Criterion benches for the offline-optimum solver.
+//! Benches for the offline-optimum solver, on the in-repo harness
+//! (median/p95 to `BENCH_opt.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncss_bench::harness::{black_box, Suite};
 use ncss_opt::{single_job_opt, solve_fractional_opt, SolverOptions};
 use ncss_sim::PowerLaw;
 use ncss_workloads::{VolumeDist, WorkloadSpec};
 
-fn bench_closed_form(c: &mut Criterion) {
+fn main() {
     let law = PowerLaw::cube();
-    c.bench_function("single_job_opt_closed_form", |b| {
-        b.iter(|| single_job_opt(law, 1.3, 2.7).expect("closed form"));
-    });
-}
+    let mut suite = Suite::new("opt");
 
-fn bench_solver(c: &mut Criterion) {
-    let law = PowerLaw::cube();
-    let mut group = c.benchmark_group("fractional_opt_solver");
-    group.sample_size(10);
+    suite.bench("single_job_opt_closed_form", || {
+        black_box(single_job_opt(law, 1.3, 2.7).expect("closed form"));
+    });
+
     for n in [2usize, 6, 12] {
         let inst = WorkloadSpec::uniform(n, 1.0, VolumeDist::Uniform { lo: 0.3, hi: 1.8 })
             .generate(5)
             .expect("valid spec");
         let opts = SolverOptions { steps: 500, max_iters: 300, ..Default::default() };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| solve_fractional_opt(inst, law, opts).expect("solver"));
+        suite.bench_with(&format!("fractional_opt_solver/{n}"), 2, 10, || {
+            black_box(solve_fractional_opt(&inst, law, opts).expect("solver"));
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_closed_form, bench_solver);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,0 +1,55 @@
+//! Benches for the parameter-sweep schedulers: serial vs. dynamic
+//! (one-item claims) vs. chunked claims, on the in-repo harness
+//! (median/p95 to `BENCH_sweep.json`).
+//!
+//! Two cell profiles bracket the design space: cheap uniform cells (where
+//! chunking amortises the atomic cursor) and heavy skewed cells (where
+//! dynamic one-item claims win by balancing the tail).
+
+use ncss_analysis::{parallel_map, parallel_map_chunked};
+use ncss_bench::harness::{black_box, Suite};
+use ncss_core::run_c;
+use ncss_sim::PowerLaw;
+use ncss_workloads::{VolumeDist, WorkloadSpec};
+
+fn main() {
+    let mut suite = Suite::new("sweep");
+
+    // Cheap uniform cells: per-item cost is tiny, scheduling overhead shows.
+    let cheap: Vec<u64> = (0..20_000).collect();
+    let cheap_cell = |&x: &u64| (0..400u64).fold(x, |a, b| a.wrapping_add(b ^ a));
+    suite.bench("cheap_cells/serial", || {
+        black_box(cheap.iter().map(cheap_cell).collect::<Vec<_>>());
+    });
+    suite.bench("cheap_cells/dynamic", || {
+        black_box(parallel_map(&cheap, cheap_cell));
+    });
+    suite.bench("cheap_cells/chunked_auto", || {
+        black_box(parallel_map_chunked(&cheap, 0, cheap_cell));
+    });
+
+    // Heavy skewed cells: real algorithm runs of very different sizes.
+    let law = PowerLaw::cube();
+    let sizes = [5usize, 10, 20, 40, 80, 160, 5, 10, 20, 40, 80, 160];
+    let instances: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            WorkloadSpec::uniform(n, 1.0, VolumeDist::Exponential { mean: 1.0 })
+                .generate(i as u64)
+                .expect("valid spec")
+        })
+        .collect();
+    let heavy_cell = |inst: &ncss_sim::Instance| run_c(inst, law).expect("C run").objective.energy;
+    suite.bench_with("skewed_cells/serial", 2, 15, || {
+        black_box(instances.iter().map(heavy_cell).collect::<Vec<_>>());
+    });
+    suite.bench_with("skewed_cells/dynamic", 2, 15, || {
+        black_box(parallel_map(&instances, heavy_cell));
+    });
+    suite.bench_with("skewed_cells/chunked_auto", 2, 15, || {
+        black_box(parallel_map_chunked(&instances, 0, heavy_cell));
+    });
+
+    suite.finish();
+}

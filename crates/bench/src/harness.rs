@@ -1,0 +1,230 @@
+//! Minimal in-repo benchmark harness — the offline replacement for
+//! Criterion.
+//!
+//! Each measurement runs `warmup` unrecorded iterations, then `iters`
+//! timed iterations, and reports min / mean / median / p95 / max
+//! wall-clock nanoseconds per iteration. Results print as an aligned
+//! table and are appended to a `BENCH_<suite>.json` file in the current
+//! directory (override with `NCSS_BENCH_DIR`), so the perf trajectory of
+//! the hot paths can be recorded per commit. See EXPERIMENTS.md
+//! ("Performance benches") for the JSON schema and how to read it.
+//!
+//! Environment knobs:
+//! * `NCSS_BENCH_ITERS` — override every measurement's iteration count,
+//! * `NCSS_BENCH_WARMUP` — override every measurement's warmup count.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] so benches don't reach into
+/// `std::hint` themselves (Criterion's `black_box` had the same role).
+pub use std::hint::black_box;
+
+/// One benchmark measurement: per-iteration wall-clock statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `algorithm_c/100`.
+    pub name: String,
+    /// Unrecorded warmup iterations that preceded timing.
+    pub warmup: u32,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile iteration, nanoseconds.
+    pub p95_ns: u64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Measurement {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"warmup\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\
+             \"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            json_string(&self.name),
+            self.warmup,
+            self.iters,
+            self.min_ns,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.max_ns,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Percentile by the nearest-rank method on a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A named collection of measurements, written out as one JSON file.
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    env_warmup: Option<u32>,
+    env_iters: Option<u32>,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// New suite with default warmup 3 / iters 30 (env-overridable).
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let env = |key: &str| std::env::var(key).ok().and_then(|s| s.parse::<u32>().ok());
+        Self {
+            name: name.to_string(),
+            env_warmup: env("NCSS_BENCH_WARMUP"),
+            env_iters: env("NCSS_BENCH_ITERS"),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `f` with the suite defaults (warmup 3, iters 30).
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        self.bench_with(name, 3, 30, f);
+    }
+
+    /// Measure `f` with explicit warmup/iteration counts. The
+    /// `NCSS_BENCH_WARMUP` / `NCSS_BENCH_ITERS` env knobs override both
+    /// counts globally so smoke runs can cut every bench short.
+    pub fn bench_with<F: FnMut()>(&mut self, name: &str, warmup: u32, iters: u32, mut f: F) {
+        let warmup = self.env_warmup.unwrap_or(warmup);
+        let iters = self.env_iters.unwrap_or(iters).max(1);
+        for _ in 0..warmup {
+            f();
+        }
+        let mut samples: Vec<u64> = (0..iters)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+            .collect();
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&x| u128::from(x)).sum();
+        let m = Measurement {
+            name: name.to_string(),
+            warmup,
+            iters,
+            min_ns: samples[0],
+            mean_ns: u64::try_from(sum / u128::from(iters)).unwrap_or(u64::MAX),
+            median_ns: percentile(&samples, 50.0),
+            p95_ns: percentile(&samples, 95.0),
+            max_ns: *samples.last().expect("at least one sample"),
+        };
+        eprintln!(
+            "  {:<44} median {:>12} ns   p95 {:>12} ns   ({} iters)",
+            m.name, m.median_ns, m.p95_ns, m.iters
+        );
+        self.results.push(m);
+    }
+
+    /// Serialise all measurements to the suite's JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let results: Vec<String> = self.results.iter().map(Measurement::json).collect();
+        format!(
+            "{{\"suite\":{},\"schema\":\"ncss-bench/1\",\"results\":[{}]}}\n",
+            json_string(&self.name),
+            results.join(",")
+        )
+    }
+
+    /// Write `BENCH_<suite>.json` (into `NCSS_BENCH_DIR` or the current
+    /// directory) and return the path written.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var("NCSS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Print the summary line, write the JSON, and panic on I/O failure —
+    /// the convenience tail call for bench `main`s.
+    pub fn finish(self) {
+        let path = self.write_json().expect("write bench JSON");
+        eprintln!("{}: {} measurements -> {}", self.name, self.results.len(), path.display());
+    }
+
+    /// Measurements recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_work() -> u64 {
+        black_box((0..200u64).fold(0, |a, b| a.wrapping_add(b * b)))
+    }
+
+    #[test]
+    fn measures_and_orders_statistics() {
+        let mut suite = Suite::new("harness-selftest");
+        suite.bench_with("busy", 1, 9, || {
+            busy_work();
+        });
+        let m = &suite.results()[0];
+        assert_eq!(m.iters.min(9), m.iters);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.median_ns <= m.p95_ns);
+        assert!(m.p95_ns <= m.max_ns);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let mut suite = Suite::new("json\"test");
+        suite.bench_with("a/1", 1, 3, || {
+            busy_work();
+        });
+        suite.bench_with("b/2", 1, 3, || {
+            busy_work();
+        });
+        let json = suite.to_json();
+        assert!(json.starts_with("{\"suite\":\"json\\\"test\""));
+        assert!(json.contains("\"schema\":\"ncss-bench/1\""));
+        assert_eq!(json.matches("\"median_ns\":").count(), 2);
+        assert!(json.trim_end().ends_with("]}"));
+        // Balanced braces/brackets (cheap well-formedness proxy without a
+        // JSON parser in the dependency-free workspace).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[7], 95.0), 7);
+    }
+}

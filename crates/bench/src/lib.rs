@@ -4,9 +4,11 @@
 //! the experiment index). Run individual experiments with the binaries
 //! (`cargo run -p ncss-bench --release --bin table1`, `fig1`, …) or all of
 //! them with `all_experiments`; `cargo bench` additionally runs the
-//! Criterion performance benches plus the same reproduction suite via the
-//! `repro_experiments` bench target.
+//! in-repo performance benches ([`harness`]) — each writes a
+//! `BENCH_<suite>.json` with median/p95 timings — plus the same
+//! reproduction suite via the `repro_experiments` bench target.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;

@@ -4,17 +4,17 @@
 use ncss_core::preemption::preemption_intervals;
 use ncss_core::{reduce_to_integral, run_c, run_nc_uniform};
 use ncss_sim::{Instance, Job, PowerLaw};
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn uniform_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..10).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..10).prop_map(|jobs| {
         Instance::new(jobs.into_iter().map(|(r, v)| Job::unit_density(r, v)).collect())
             .expect("valid jobs")
     })
 }
 
 fn mixed_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..4.0, 0.05f64..2.0, 0.1f64..20.0), 2..8).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..4.0, 0.05f64..2.0, 0.1f64..20.0), 2..8).prop_map(|jobs| {
         Instance::new(jobs.into_iter().map(|(r, v, d)| Job::new(r, v, d)).collect())
             .expect("valid jobs")
     })

@@ -4,10 +4,10 @@
 
 use ncss_opt::{yds, DeadlineJob};
 use ncss_sim::PowerLaw;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn jobs_strategy() -> impl Strategy<Value = Vec<DeadlineJob>> {
-    proptest::collection::vec((0.0f64..5.0, 0.2f64..4.0, 0.05f64..2.0), 1..7).prop_map(|v| {
+    ncss_rng::collection::vec((0.0f64..5.0, 0.2f64..4.0, 0.05f64..2.0), 1..7).prop_map(|v| {
         v.into_iter()
             .map(|(r, span, vol)| DeadlineJob { release: r, deadline: r + span, volume: vol })
             .collect()

@@ -1,0 +1,87 @@
+//! Distribution helpers shared by the workload generators.
+//!
+//! Every sampler is a pure function of the generator state, drawing a
+//! fixed number of uniforms per call, so workload streams remain
+//! bit-reproducible regardless of which distribution mix a spec uses.
+//! All of them use inverse-transform sampling on a `(0, 1]` uniform —
+//! no rejection loops — so the draw count per job is constant.
+
+use crate::pcg::Pcg64;
+
+/// Exponential with the given mean (`mean > 0`): `-mean · ln U`.
+#[inline]
+pub fn exponential(rng: &mut Pcg64, mean: f64) -> f64 {
+    -mean * rng.f64_open().ln()
+}
+
+/// Pareto with minimum `scale` and tail index `shape`:
+/// `scale · U^{-1/shape}`. Smaller `shape` = heavier tail; the mean is
+/// finite only for `shape > 1`.
+#[inline]
+pub fn pareto(rng: &mut Pcg64, scale: f64, shape: f64) -> f64 {
+    scale * rng.f64_open().powf(-1.0 / shape)
+}
+
+/// One inter-arrival gap of a homogeneous Poisson process with the given
+/// rate (`rate > 0`) — exponential with mean `1/rate`.
+#[inline]
+pub fn poisson_gap(rng: &mut Pcg64, rate: f64) -> f64 {
+    exponential(rng, 1.0 / rate)
+}
+
+/// Log-uniform on `[lo, hi]` (`0 < lo <= hi`): uniform in log-space.
+#[inline]
+pub fn log_uniform(rng: &mut Pcg64, lo: f64, hi: f64) -> f64 {
+    rng.range_f64(lo.ln(), hi.ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Pcg64 {
+        Pcg64::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let m: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut r = rng();
+        assert!((0..10_000).all(|_| exponential(&mut r, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| pareto(&mut r, 1.0, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 50.0, "heavy tail should produce large values, max {max}");
+    }
+
+    #[test]
+    fn poisson_gaps_average_inverse_rate() {
+        let mut r = rng();
+        let n = 50_000;
+        let m: f64 = (0..n).map(|_| poisson_gap(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.01, "mean gap {m}");
+    }
+
+    #[test]
+    fn log_uniform_stays_in_band_and_covers_decades() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..5_000).map(|_| log_uniform(&mut r, 0.1, 10.0)).collect();
+        assert!(samples.iter().all(|&x| (0.1..=10.0).contains(&x)));
+        let below_one = samples.iter().filter(|&&x| x < 1.0).count();
+        // Log-uniform puts half the mass below the geometric midpoint 1.0.
+        let frac = below_one as f64 / samples.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac below 1.0: {frac}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # ncss-rng — in-repo deterministic randomness
+//!
+//! The workspace builds fully offline, so instead of pulling `rand` and
+//! `proptest` from a registry this crate provides the three pieces the rest
+//! of the workspace actually needs:
+//!
+//! * [`pcg`] — a seedable [`Pcg64`] generator (PCG XSL-RR 128/64, seeded
+//!   through SplitMix64) with the usual range/bool/float draws,
+//! * [`dist`] — the distribution helpers the workload generators use
+//!   (uniform, exponential, Pareto, Poisson arrival gaps, log-uniform),
+//! * [`check`] — a deterministic property-test harness with a
+//!   `proptest!`-compatible macro surface: seeded cases, `prop_assert!` /
+//!   `prop_assume!`, and shrinking by bisection on the seed index.
+//!
+//! Determinism guarantee: every draw is a pure function of the seed and the
+//! draw index. The same seed produces bit-identical streams on every
+//! platform, build profile, and thread — workload generation and property
+//! tests are exactly reproducible (see DESIGN.md "Dependency policy").
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod dist;
+pub mod pcg;
+
+/// `proptest`-style collection strategies ([`collection::vec`]).
+pub mod collection {
+    pub use crate::check::vec;
+}
+
+/// One-stop prelude for property tests: `use ncss_rng::props::*;`.
+pub mod props {
+    pub use crate::check::{Just, ProptestConfig, Strategy};
+    pub use crate::pcg::Pcg64;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use pcg::{Pcg64, SplitMix64};

@@ -5,7 +5,7 @@
 use ncss_sim::kernel::{DecayKernel, GrowthKernel};
 use ncss_sim::numeric::approx_eq;
 use ncss_sim::{PowerLaw, Schedule, Segment, SpeedLaw};
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn params() -> impl Strategy<Value = (f64, f64, f64)> {
     // (alpha, rho, w0/u-range)

@@ -9,9 +9,8 @@
 //! the known-density/unknown-weight non-clairvoyant model.
 
 use crate::distributions::VolumeDist;
+use ncss_rng::{dist, Pcg64};
 use ncss_sim::{Instance, Job, PerJob, SimResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Spec for a synthetic multi-tenant cloud trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,16 +39,15 @@ pub struct CloudTrace {
 impl CloudSpec {
     /// Generate a trace deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> SimResult<CloudTrace> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg64::seed_from_u64(seed);
         let (lo, hi) = self.penalty_range;
         let mut t = 0.0;
         let mut jobs = Vec::with_capacity(self.n_jobs);
         for _ in 0..self.n_jobs {
             if self.arrival_rate > 0.0 {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t += -u.ln() / self.arrival_rate;
+                t += dist::poisson_gap(&mut rng, self.arrival_rate);
             }
-            let rho = (rng.gen_range(lo.ln()..=hi.ln())).exp();
+            let rho = dist::log_uniform(&mut rng, lo, hi);
             jobs.push(Job { release: t, volume: self.volumes.sample(&mut rng), density: rho });
         }
         let instance = Instance::new(jobs)?;

@@ -4,15 +4,20 @@
 //! generators probe representative corners: light-tailed, heavy-tailed, and
 //! bimodal volumes (bimodal is what the Section 6 lower bound exploits), and
 //! density spreads from uniform to geometric ladders.
+//!
+//! All sampling goes through [`ncss_rng`], so a fixed seed yields a
+//! bit-identical draw stream on every platform and build profile. The
+//! golden tests at the bottom pin the first draws of each distribution —
+//! if they ever change, every recorded experiment seed changes meaning.
 
-use rand::Rng;
+use ncss_rng::{dist, Pcg64};
 
 /// Volume distributions.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VolumeDist {
     /// Every job has exactly this volume.
     Fixed(f64),
-    /// Uniform on `[lo, hi]`.
+    /// Uniform on `[lo, hi)`.
     Uniform {
         /// Lower bound (> 0).
         lo: f64,
@@ -44,20 +49,14 @@ pub enum VolumeDist {
 
 impl VolumeDist {
     /// Draw one volume.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
         match *self {
             Self::Fixed(v) => v,
-            Self::Uniform { lo, hi } => rng.gen_range(lo..=hi),
-            Self::Exponential { mean } => {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                -mean * u.ln()
-            }
-            Self::Pareto { scale, shape } => {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                scale * u.powf(-1.0 / shape)
-            }
+            Self::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            Self::Exponential { mean } => dist::exponential(rng, mean),
+            Self::Pareto { scale, shape } => dist::pareto(rng, scale, shape),
             Self::Bimodal { small, large, p_large } => {
-                if rng.gen_bool(p_large) {
+                if rng.bool(p_large) {
                     large
                 } else {
                     small
@@ -91,14 +90,11 @@ pub enum DensityDist {
 
 impl DensityDist {
     /// Draw one density.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
         match *self {
             Self::Fixed(d) => d,
-            Self::LogUniform { lo, hi } => {
-                let u: f64 = rng.gen_range(lo.ln()..=hi.ln());
-                u.exp()
-            }
-            Self::PowerLevels { base, levels } => base.powi(rng.gen_range(0..levels.max(1)) as i32),
+            Self::LogUniform { lo, hi } => dist::log_uniform(rng, lo, hi),
+            Self::PowerLevels { base, levels } => base.powi(rng.below(levels.max(1)) as i32),
         }
     }
 }
@@ -106,11 +102,9 @@ impl DensityDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Pcg64 {
+        Pcg64::seed_from_u64(42)
     }
 
     #[test]
@@ -163,4 +157,73 @@ mod tests {
         let b: Vec<f64> = { let mut r = rng(); (0..10).map(|_| d.sample(&mut r)).collect() };
         assert_eq!(a, b);
     }
+
+    /// Golden draws: the first 8 samples of every distribution under seed
+    /// 42 are pinned exactly. A change here is a break in workload
+    /// reproducibility — every recorded experiment seed would silently
+    /// mean a different instance — so treat failures as regressions, not
+    /// as fixtures to update.
+    #[test]
+    fn golden_first_eight_draws_per_distribution() {
+        fn draws(d: VolumeDist) -> [f64; 8] {
+            let mut r = rng();
+            std::array::from_fn(|_| d.sample(&mut r))
+        }
+        fn ddraws(d: DensityDist) -> [f64; 8] {
+            let mut r = rng();
+            std::array::from_fn(|_| d.sample(&mut r))
+        }
+        assert_eq!(draws(VolumeDist::Uniform { lo: 0.5, hi: 1.5 }), GOLDEN_UNIFORM);
+        assert_eq!(draws(VolumeDist::Exponential { mean: 1.0 }), GOLDEN_EXPONENTIAL);
+        assert_eq!(draws(VolumeDist::Pareto { scale: 1.0, shape: 2.0 }), GOLDEN_PARETO);
+        assert_eq!(
+            draws(VolumeDist::Bimodal { small: 0.1, large: 10.0, p_large: 0.3 }),
+            GOLDEN_BIMODAL
+        );
+        assert_eq!(ddraws(DensityDist::LogUniform { lo: 0.1, hi: 10.0 }), GOLDEN_LOG_UNIFORM);
+        assert_eq!(ddraws(DensityDist::PowerLevels { base: 5.0, levels: 3 }), GOLDEN_POWER_LEVELS);
+    }
+
+    const GOLDEN_UNIFORM: [f64; 8] = [
+        0.7981887994102153,
+        1.2871864627523273,
+        1.4878491971120165,
+        0.5256094696718203,
+        1.1345290169082287,
+        0.5517079308307734,
+        1.1327800569000575,
+        1.379187567349765,
+    ];
+    const GOLDEN_EXPONENTIAL: [f64; 8] = [
+        1.21002843802018,
+        0.2392901300988596,
+        0.012225227386107812,
+        3.664793086840622,
+        0.454872260945505,
+        2.9621441082504014,
+        0.45763237866998363,
+        0.12875701685967247,
+    ];
+    const GOLDEN_PARETO: [f64; 8] = [
+        1.8312782476645313,
+        1.1270967345520515,
+        1.006131333839705,
+        6.248844354804444,
+        1.2553772568416217,
+        4.39765768176645,
+        1.2571109473727105,
+        1.0664960000998567,
+    ];
+    const GOLDEN_BIMODAL: [f64; 8] = [10.0, 0.1, 0.1, 10.0, 0.1, 10.0, 0.1, 0.1];
+    const GOLDEN_LOG_UNIFORM: [f64; 8] = [
+        0.3948004134617303,
+        3.7529512711148283,
+        9.455802533687976,
+        0.11251720600309388,
+        1.8580527260026756,
+        0.1268866295951559,
+        1.8431475945333422,
+        5.732910142408901,
+    ];
+    const GOLDEN_POWER_LEVELS: [f64; 8] = [1.0, 25.0, 25.0, 1.0, 5.0, 1.0, 5.0, 25.0];
 }

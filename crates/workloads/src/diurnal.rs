@@ -7,9 +7,8 @@
 //! staying fully seeded.
 
 use crate::distributions::{DensityDist, VolumeDist};
+use ncss_rng::{dist, Pcg64};
 use ncss_sim::{Instance, Job, SimError, SimResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Spec for a diurnal workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +39,7 @@ impl DiurnalSpec {
         if !(self.period > 0.0) {
             return Err(SimError::InvalidInstance { reason: "period must be positive" });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg64::seed_from_u64(seed);
         let lambda_max = self.base_rate * (1.0 + self.amplitude);
         let rate_at = |t: f64| {
             self.base_rate * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period).sin())
@@ -49,10 +48,9 @@ impl DiurnalSpec {
         let mut jobs = Vec::with_capacity(self.n_jobs);
         while jobs.len() < self.n_jobs {
             // Candidate from the dominating homogeneous process...
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            t += -u.ln() / lambda_max;
+            t += dist::poisson_gap(&mut rng, lambda_max);
             // ...accepted with probability rate(t)/lambda_max.
-            if rng.gen_range(0.0..1.0) < rate_at(t) / lambda_max {
+            if rng.f64() < rate_at(t) / lambda_max {
                 jobs.push(Job {
                     release: t,
                     volume: self.volumes.sample(&mut rng),

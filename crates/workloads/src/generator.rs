@@ -1,9 +1,8 @@
 //! Random instance generation from declarative specs.
 
 use crate::distributions::{DensityDist, VolumeDist};
+use ncss_rng::{dist, Pcg64};
 use ncss_sim::{Instance, Job, SimResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Declarative description of a random workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,13 +27,12 @@ impl WorkloadSpec {
 
     /// Generate the instance deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> SimResult<Instance> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg64::seed_from_u64(seed);
         let mut t = 0.0;
         let mut jobs = Vec::with_capacity(self.n_jobs);
         for _ in 0..self.n_jobs {
             if self.arrival_rate > 0.0 {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t += -u.ln() / self.arrival_rate;
+                t += dist::poisson_gap(&mut rng, self.arrival_rate);
             }
             jobs.push(Job {
                 release: t,

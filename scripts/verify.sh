@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Offline verification gate for the ncss workspace.
+#
+# The dependency policy (DESIGN.md §5) requires the whole workspace to
+# build, test, and document with zero external crates and no network
+# access. This script is the enforcement: it must pass on a machine with
+# no registry reachable.
+#
+#   1. offline release build of every crate
+#   2. offline workspace test suite (unit + integration + property tests)
+#   3. warning-clean `cargo doc --no-deps`
+#
+# Run from anywhere; it cd's to the repo root.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo doc --workspace --no-deps --offline (must be warning-clean)"
+doc_log="$(RUSTDOCFLAGS="${RUSTDOCFLAGS:-}" cargo doc --workspace --no-deps --offline 2>&1)" || {
+    printf '%s\n' "$doc_log"
+    exit 1
+}
+printf '%s\n' "$doc_log"
+if printf '%s\n' "$doc_log" | grep -q "^warning"; then
+    echo "FAIL: cargo doc emitted warnings" >&2
+    exit 1
+fi
+
+echo "verify.sh: all gates passed"

@@ -6,10 +6,10 @@ use ncss::core::{run_c_bounded, run_nc_uniform_bounded};
 use ncss::prelude::*;
 use ncss::sim::generic::PolyPower;
 use ncss::sim::numeric::rel_diff;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn uniform_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..4.0, 0.1f64..3.0), 1..6).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..4.0, 0.1f64..3.0), 1..6).prop_map(|jobs| {
         Instance::new(jobs.into_iter().map(|(r, v)| Job::unit_density(r, v)).collect())
             .expect("valid jobs")
     })

@@ -5,10 +5,10 @@ use ncss::core::theory;
 use ncss::multi::{fit_loglog_slope, immediate_dispatch_game, LeastCount, RoundRobin};
 use ncss::prelude::*;
 use ncss::sim::numeric::rel_diff;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn uniform_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..6.0, 0.05f64..4.0), 1..12).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..6.0, 0.05f64..4.0), 1..12).prop_map(|jobs| {
         Instance::new(jobs.into_iter().map(|(r, v)| Job::unit_density(r, v)).collect())
             .expect("valid jobs")
     })

@@ -3,10 +3,10 @@
 
 use ncss::core::theory;
 use ncss::prelude::*;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn mixed_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..2.0, 0.1f64..1.5, 0usize..3), 1..5).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..2.0, 0.1f64..1.5, 0usize..3), 1..5).prop_map(|jobs| {
         Instance::new(
             jobs.into_iter()
                 .map(|(r, v, lvl)| Job::new(r, v, 5f64.powi(lvl as i32) * 1.3))

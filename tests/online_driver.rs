@@ -7,10 +7,10 @@ use ncss::core::driver::{run_online, ActiveCountPolicy, Decision, NcUniformPolic
 use ncss::prelude::*;
 use ncss::sim::numeric::rel_diff;
 use ncss::sim::SpeedLaw;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn uniform_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..10).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..5.0, 0.05f64..3.0), 1..10).prop_map(|jobs| {
         Instance::new(jobs.into_iter().map(|(r, v)| Job::unit_density(r, v)).collect())
             .expect("valid jobs")
     })

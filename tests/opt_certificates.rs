@@ -4,10 +4,10 @@
 
 use ncss::prelude::*;
 use ncss::sim::numeric::approx_eq;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 fn small_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0.0f64..3.0, 0.1f64..2.0, 0.2f64..5.0), 1..6).prop_map(|jobs| {
+    ncss_rng::collection::vec((0.0f64..3.0, 0.1f64..2.0, 0.2f64..5.0), 1..6).prop_map(|jobs| {
         Instance::new(jobs.into_iter().map(|(r, v, d)| Job::new(r, v, d)).collect())
             .expect("valid jobs")
     })

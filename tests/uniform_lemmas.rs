@@ -5,13 +5,13 @@ use ncss::core::theory;
 use ncss::prelude::*;
 use ncss::sim::numeric::{approx_eq, rel_diff};
 use ncss::sim::profile::rearrangement_distance;
-use proptest::prelude::*;
+use ncss_rng::props::*;
 
 /// Random uniform-density instances: up to 14 jobs with jittered releases
 /// and volumes spanning three orders of magnitude.
 fn uniform_instance() -> impl Strategy<Value = Instance> {
     (
-        proptest::collection::vec((0.0f64..8.0, 0.01f64..10.0), 1..14),
+        ncss_rng::collection::vec((0.0f64..8.0, 0.01f64..10.0), 1..14),
         0.05f64..20.0,
     )
         .prop_map(|(jobs, rho)| {
