@@ -1,0 +1,54 @@
+//! # ncss-audit — independent run auditing
+//!
+//! Every simulator in this workspace accounts its objective with *closed
+//! forms* (exact kernel integrals in `ncss-sim::kernel`). A bookkeeping bug
+//! in those closed forms would silently corrupt every experiment, so this
+//! crate re-derives the three objective components — energy, fractional and
+//! integral weighted flow-time — from nothing but the **pointwise speed
+//! curve** of a finished [`ncss_sim::Schedule`], using its own integration
+//! path (double-exponential quadrature over sampled speeds, see [`quad`]),
+//! and cross-checks the result against the reported
+//! [`ncss_sim::Evaluated`].
+//!
+//! On top of the numeric cross-check, [`ScheduleAudit`] verifies the
+//! event-level invariants any lawful run must satisfy:
+//!
+//! * segments are well-formed: finite, positively oriented, non-overlapping,
+//!   in monotone time order;
+//! * no job is served before its release;
+//! * per-job volume conservation: the quadrature volume delivered to each
+//!   job matches its size;
+//! * completion consistency: completion times re-derived by inverting the
+//!   cumulative quadrature volume match the reported ones.
+//!
+//! The audit never panics: every finding is a [`CheckVerdict`] inside a
+//! structured [`AuditReport`] with a per-invariant residual, so callers (the
+//! `ncss audit` CLI, `run_checked`, the fault-injection contract test)
+//! decide what to do with a failure.
+//!
+//! Runs that do not produce a `Schedule` (processor sharing, the
+//! parallel-machine outcomes) are covered by the weaker but still useful
+//! [`ScheduleAudit::audit_outcome`].
+
+#![warn(missing_docs)]
+
+pub mod quad;
+pub mod report;
+mod schedule_audit;
+
+pub use report::{AuditReport, CheckVerdict};
+pub use schedule_audit::{AuditConfig, ScheduleAudit};
+
+use ncss_sim::{Evaluated, Instance, Objective, PerJob, Schedule};
+
+/// Audit a schedule-producing run with the default configuration.
+#[must_use]
+pub fn audit_run(instance: &Instance, schedule: &Schedule, reported: &Evaluated) -> AuditReport {
+    ScheduleAudit::default().audit(instance, schedule, reported)
+}
+
+/// Audit a schedule-less outcome with the default configuration.
+#[must_use]
+pub fn audit_outcome(instance: &Instance, objective: &Objective, per_job: &PerJob) -> AuditReport {
+    ScheduleAudit::default().audit_outcome(instance, objective, per_job)
+}

@@ -1,0 +1,85 @@
+//! Double-exponential (tanh–sinh) quadrature.
+//!
+//! The audit's integration path must be independent of the closed-form
+//! kernel integrals it is checking, and it must stay accurate on the
+//! paper's speed curves, which have *algebraic endpoint singularities* in
+//! their derivatives: Algorithm C's decay speed behaves like
+//! `(t* − t)^{1/(α−1)}` as the served weight drains to zero, so composite
+//! Newton–Cotes rules lose several digits near completions. The tanh–sinh
+//! substitution `x = tanh(π/2 · sinh t)` pushes the endpoints to infinity
+//! at a double-exponential rate, restoring spectral accuracy for exactly
+//! this class of integrands — with a fixed, modest number of evaluations.
+
+use std::f64::consts::FRAC_PI_2;
+
+/// Step in the trapezoidal sum over the transformed axis.
+const H: f64 = 0.0625;
+/// Half-width of the truncated sum; `K·H ≈ 3.2` puts the discarded tail
+/// weights below `1e-14`.
+const K: i32 = 51;
+
+/// `∫_a^b f(x) dx` by tanh–sinh quadrature (103 evaluations).
+///
+/// Returns 0 for empty or reversed intervals. Non-finite integrand values
+/// propagate into the result rather than panicking — the audit's checks
+/// treat a NaN integral as a failed verdict.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64) -> f64 {
+    if !(b > a) {
+        return 0.0;
+    }
+    let mid = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+    let mut sum = 0.0;
+    for k in -K..=K {
+        let t = H * f64::from(k);
+        let u = FRAC_PI_2 * t.sinh();
+        let x = u.tanh();
+        let sech = 1.0 / u.cosh();
+        let weight = FRAC_PI_2 * t.cosh() * sech * sech;
+        sum += weight * f(mid + half * x);
+    }
+    sum * H * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_polynomials() {
+        let v = integrate(|x| 3.0 * x * x, 0.0, 2.0);
+        assert!((v - 8.0).abs() < 1e-12, "{v}");
+        let v = integrate(|x| x, -1.0, 3.0);
+        assert!((v - 4.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn handles_endpoint_derivative_singularities() {
+        // ∫_0^1 sqrt(x) dx = 2/3 — the shape of a decay-speed curve near a
+        // completion at α = 3. Newton–Cotes stalls around 1e-5 here.
+        let v = integrate(f64::sqrt, 0.0, 1.0);
+        assert!((v - 2.0 / 3.0).abs() < 1e-12, "{v}");
+        // ∫_0^1 x^{1/4} dx = 4/5 (α = 5 flavour).
+        let v = integrate(|x: f64| x.powf(0.25), 0.0, 1.0);
+        assert!((v - 0.8).abs() < 1e-11, "{v}");
+    }
+
+    #[test]
+    fn empty_and_reversed_intervals_are_zero() {
+        assert_eq!(integrate(|_| 1.0, 1.0, 1.0), 0.0);
+        assert_eq!(integrate(|_| 1.0, 2.0, 1.0), 0.0);
+        assert_eq!(integrate(|_| 1.0, f64::NAN, 1.0), 0.0);
+    }
+
+    #[test]
+    fn nan_integrand_propagates() {
+        assert!(integrate(|_| f64::NAN, 0.0, 1.0).is_nan());
+    }
+
+    #[test]
+    fn long_interval_accuracy() {
+        // ∫_0^10 e^{-x} dx = 1 − e^{-10}.
+        let v = integrate(|x: f64| (-x).exp(), 0.0, 10.0);
+        assert!((v - (1.0 - (-10.0f64).exp())).abs() < 1e-10, "{v}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Structured audit verdicts.
+
+use std::fmt;
+
+/// Outcome of one audited invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckVerdict {
+    /// Stable kebab-case invariant name (e.g. `volume-conservation`).
+    pub name: &'static str,
+    /// Whether the invariant held within tolerance.
+    pub passed: bool,
+    /// Worst residual observed for this invariant (0 when trivially
+    /// satisfied; may be `inf`/NaN when the underlying numbers were
+    /// non-finite — that always fails).
+    pub residual: f64,
+    /// Human-readable context: which job / segment / component was worst.
+    pub detail: String,
+}
+
+/// A full audit: one verdict per invariant, never a panic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// All verdicts, in the order the checks ran.
+    pub checks: Vec<CheckVerdict>,
+}
+
+impl AuditReport {
+    /// True when every invariant passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failing verdicts.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&CheckVerdict> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// Largest residual across all checks (NaN residuals count as `inf` so
+    /// they can never hide below a threshold).
+    #[must_use]
+    pub fn max_residual(&self) -> f64 {
+        self.checks
+            .iter()
+            .map(|c| if c.residual.is_nan() { f64::INFINITY } else { c.residual })
+            .fold(0.0, f64::max)
+    }
+
+    /// Append a verdict.
+    pub fn push(&mut self, verdict: CheckVerdict) {
+        self.checks.push(verdict);
+    }
+
+    /// Record a residual-style check: passes iff `residual ≤ tol` and the
+    /// residual is a number.
+    pub fn record(&mut self, name: &'static str, residual: f64, tol: f64, detail: String) {
+        let passed = residual.is_finite() && residual <= tol;
+        self.push(CheckVerdict { name, passed, residual, detail });
+    }
+
+    /// Plain-text rendering, one line per verdict.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            let tag = if c.passed { "PASS" } else { "FAIL" };
+            writeln!(f, "{tag} {:<26} residual={:>12.3e}  {}", c.name, c.residual, c.detail)?;
+        }
+        let overall = if self.passed() { "audit: PASS" } else { "audit: FAIL" };
+        write!(f, "{overall} (max residual {:.3e})", self.max_residual())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_passes() {
+        let r = AuditReport::default();
+        assert!(r.passed());
+        assert_eq!(r.max_residual(), 0.0);
+    }
+
+    #[test]
+    fn record_applies_tolerance() {
+        let mut r = AuditReport::default();
+        r.record("a", 1e-9, 1e-6, String::new());
+        r.record("b", 1e-3, 1e-6, "too big".into());
+        assert!(!r.passed());
+        assert_eq!(r.failures().len(), 1);
+        assert_eq!(r.failures()[0].name, "b");
+        assert!((r.max_residual() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nan_residual_fails_and_dominates() {
+        let mut r = AuditReport::default();
+        r.record("nan", f64::NAN, 1e-6, String::new());
+        assert!(!r.passed());
+        assert_eq!(r.max_residual(), f64::INFINITY);
+    }
+
+    #[test]
+    fn render_mentions_every_check() {
+        let mut r = AuditReport::default();
+        r.record("alpha-check", 0.0, 1e-6, "fine".into());
+        r.record("beta-check", 9.0, 1e-6, "broken".into());
+        let s = r.render();
+        assert!(s.contains("PASS alpha-check"));
+        assert!(s.contains("FAIL beta-check"));
+        assert!(s.contains("audit: FAIL"));
+    }
+}

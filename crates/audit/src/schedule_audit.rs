@@ -1,0 +1,469 @@
+//! The auditor: event-level invariants plus quadrature re-derivation.
+
+use crate::quad::integrate;
+use crate::report::AuditReport;
+use ncss_sim::{Evaluated, Instance, Objective, PerJob, Schedule, Segment};
+
+/// Tunable audit tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditConfig {
+    /// Tolerance on the scale-free residuals (`|x − ref| / (1 + |ref|)`)
+    /// of the recomputed objective components, per-job volumes, and
+    /// completion times.
+    pub rel_tol: f64,
+    /// Absolute slack allowed on event-level time comparisons (overlap,
+    /// release-before-service), per unit of schedule horizon.
+    pub time_tol: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self { rel_tol: 1e-6, time_tol: 1e-9 }
+    }
+}
+
+/// Independent invariant checker for finished runs.
+///
+/// See the crate docs for the invariant list; construct with a custom
+/// [`AuditConfig`] to loosen tolerances for step-integrated algorithms
+/// (the non-uniform NC simulation is accurate to its integration step, not
+/// to machine precision).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScheduleAudit {
+    config: AuditConfig,
+}
+
+/// Scale-free residual: relative for large magnitudes, absolute near zero.
+fn residual(x: f64, reference: f64) -> f64 {
+    (x - reference).abs() / (1.0 + reference.abs())
+}
+
+impl ScheduleAudit {
+    /// Auditor with explicit tolerances.
+    #[must_use]
+    pub fn new(config: AuditConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> AuditConfig {
+        self.config
+    }
+
+    /// Audit a schedule-producing run against its reported evaluation.
+    #[must_use]
+    pub fn audit(&self, instance: &Instance, schedule: &Schedule, reported: &Evaluated) -> AuditReport {
+        let mut report = AuditReport::default();
+        let pl = schedule.power_law();
+        let n = instance.len();
+        let horizon_scale = 1.0 + schedule.end_time().abs();
+        let time_tol = self.config.time_tol * horizon_scale;
+
+        // --- segments-wellformed: finite, positive duration, monotone,
+        // non-overlapping. (Schedule::new enforces this too; the audit
+        // re-derives it so a constructor regression cannot hide.)
+        let mut worst = 0.0f64;
+        let mut detail = String::from("all segments ordered");
+        let mut prev_end = f64::NEG_INFINITY;
+        for (i, s) in schedule.segments().iter().enumerate() {
+            let bad_times = !(s.start.is_finite() && s.end.is_finite() && s.scale.is_finite());
+            let inversion = s.start - s.end; // > 0 means reversed
+            let overlap = if prev_end.is_finite() { prev_end - s.start } else { 0.0 };
+            let v = if bad_times { f64::INFINITY } else { inversion.max(overlap).max(0.0) };
+            if v > worst {
+                worst = v;
+                detail = format!("segment {i}: [{:.6}, {:.6}]", s.start, s.end);
+            }
+            prev_end = prev_end.max(s.end);
+        }
+        report.record("segments-wellformed", worst, time_tol, detail);
+
+        // --- release-before-service.
+        let mut worst = 0.0f64;
+        let mut detail = String::from("no early service");
+        for (i, s) in schedule.segments().iter().enumerate() {
+            let Some(j) = s.job else { continue };
+            if j >= n {
+                report.record(
+                    "release-before-service",
+                    f64::INFINITY,
+                    time_tol,
+                    format!("segment {i} serves unknown job {j}"),
+                );
+                continue;
+            }
+            let early = instance.job(j).release - s.start;
+            if early > worst {
+                worst = early;
+                detail = format!("job {j} served {early:.3e} before release (segment {i})");
+            }
+        }
+        report.record("release-before-service", worst, time_tol, detail);
+
+        // --- per-job quadrature volumes and re-derived completions.
+        let by_job: Vec<Vec<&Segment>> = (0..n)
+            .map(|j| schedule.segments().iter().filter(|s| s.job == Some(j)).collect())
+            .collect();
+        let speed_of = |s: &Segment| {
+            let s = *s; // Segment is Copy; detach from the borrow
+            move |t: f64| s.speed_at(pl, t)
+        };
+
+        // Measurement resolution of the schedule itself: a job's service is
+        // representable only if its duration `V_j / s` exceeds one ulp of
+        // the time axis. With mixed magnitudes (1e±150 faults) a normal-size
+        // job served at speed ~1e74 finishes in ~1e-74 — far below
+        // `ulp(horizon)` — so it legitimately leaves no segment behind.
+        // Any volume below `peak_speed · horizon · ε` is therefore
+        // unmeasurable by *any* observer of this schedule, auditor included.
+        let peak_speed = schedule
+            .segments()
+            .iter()
+            .flat_map(|s| [s.speed_at(pl, s.start), s.speed_at(pl, s.end)])
+            .fold(0.0f64, f64::max);
+        let resolution = peak_speed * schedule.end_time().abs() * f64::EPSILON * 64.0;
+
+        let mut vol_worst = 0.0f64;
+        let mut vol_detail = String::from("all volumes conserved");
+        let mut derived_completion = vec![f64::NAN; n];
+        for (j, segs) in by_job.iter().enumerate() {
+            let volume = instance.job(j).volume;
+            let mut cum = 0.0;
+            for s in segs {
+                let dv = integrate(speed_of(s), s.start, s.end);
+                // First segment slice in which the cumulative quadrature
+                // volume reaches the job size: bisect for the crossing. The
+                // margin is scale-free so 1e-150-scale volumes (whose
+                // quadrature can underflow to 0) still register.
+                if derived_completion[j].is_nan() && cum + dv >= volume - 1e-9 * (1.0 + volume) {
+                    let (mut lo, mut hi) = (s.start, s.end);
+                    let target = (volume - cum).min(dv).max(0.0);
+                    for _ in 0..60 {
+                        let mid = 0.5 * (lo + hi);
+                        if integrate(speed_of(s), s.start, mid) < target {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    derived_completion[j] = 0.5 * (lo + hi);
+                }
+                cum += dv;
+            }
+            if derived_completion[j].is_nan()
+                && (cum - volume).abs() <= self.config.rel_tol * (1.0 + volume + resolution)
+            {
+                // All measurable volume was delivered but no crossing was
+                // detectable (zero-scale jobs whose serving segments are
+                // empty or underflow the quadrature): the inversion cannot
+                // constrain the completion, so adopt the last serving
+                // instant — or the reported value when the job never
+                // measurably ran at all.
+                let reported_c =
+                    reported.per_job.completion.get(j).copied().unwrap_or(f64::NAN);
+                derived_completion[j] =
+                    segs.last().map_or(reported_c, |s| s.end).max(instance.job(j).release);
+            }
+            let r = (cum - volume).abs() / (1.0 + volume + resolution);
+            if !(r <= vol_worst) {
+                vol_worst = r;
+                vol_detail = format!("job {j}: delivered {cum:.9e} of {volume:.9e}");
+            }
+        }
+        report.record("volume-conservation", vol_worst, self.config.rel_tol, vol_detail);
+
+        let mut c_worst = 0.0f64;
+        let mut c_detail = String::from("completions agree");
+        for j in 0..n {
+            let reported_c = reported.per_job.completion.get(j).copied().unwrap_or(f64::NAN);
+            let r = residual(derived_completion[j], reported_c);
+            let r = if r.is_nan() { f64::INFINITY } else { r };
+            if r > c_worst {
+                c_worst = r;
+                c_detail = format!(
+                    "job {j}: derived {:.9} vs reported {reported_c:.9}",
+                    derived_completion[j]
+                );
+            }
+        }
+        report.record("completion-consistency", c_worst, self.config.rel_tol, c_detail);
+
+        // --- energy re-derivation from pointwise powers.
+        let energy: f64 = schedule
+            .segments()
+            .iter()
+            .map(|s| integrate(|t| s.power_at(pl, t), s.start, s.end))
+            .sum();
+        report.record(
+            "energy-recomputed",
+            residual(energy, reported.objective.energy),
+            self.config.rel_tol,
+            format!("quadrature {energy:.9e} vs reported {:.9e}", reported.objective.energy),
+        );
+
+        // --- fractional flow re-derivation. With q_j(t) the volume of job
+        // j processed by t and c_j the *derived* completion,
+        //   F_j = ρ_j ∫_{r_j}^{c_j} (V_j − q_j(t)) dt
+        //       = ρ_j [ V_j (c_j − r_j) − ∫_{r_j}^{c_j} (c_j − τ) s_j(τ) dτ ]
+        // by Fubini — one weighted quadrature per serving segment, with no
+        // closed-form volume integrals involved.
+        let mut frac = 0.0;
+        for (j, segs) in by_job.iter().enumerate() {
+            let job = instance.job(j);
+            let c = derived_completion[j];
+            if !c.is_finite() {
+                frac = f64::NAN;
+                break;
+            }
+            let mut served = 0.0;
+            for s in segs {
+                let hi = s.end.min(c);
+                served += integrate(|t| (c - t) * s.speed_at(pl, t), s.start, hi);
+            }
+            frac += job.density * (job.volume * (c - job.release) - served);
+        }
+        report.record(
+            "frac-flow-recomputed",
+            residual(frac, reported.objective.frac_flow),
+            self.config.rel_tol,
+            format!("quadrature {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
+        );
+
+        // --- integral flow from the derived completions.
+        let int: f64 = (0..n)
+            .map(|j| {
+                let job = instance.job(j);
+                job.weight() * (derived_completion[j] - job.release)
+            })
+            .sum();
+        report.record(
+            "int-flow-recomputed",
+            residual(int, reported.objective.int_flow),
+            self.config.rel_tol,
+            format!("derived {int:.9e} vs reported {:.9e}", reported.objective.int_flow),
+        );
+
+        self.outcome_checks(&mut report, instance, &reported.objective, &reported.per_job);
+        report
+    }
+
+    /// Audit a run that produced no [`Schedule`] (processor sharing, the
+    /// parallel-machine outcomes): internal-consistency and sanity
+    /// invariants on the reported numbers only.
+    #[must_use]
+    pub fn audit_outcome(
+        &self,
+        instance: &Instance,
+        objective: &Objective,
+        per_job: &PerJob,
+    ) -> AuditReport {
+        let mut report = AuditReport::default();
+        self.outcome_checks(&mut report, instance, objective, per_job);
+        report
+    }
+
+    /// Checks shared by both audit modes: finiteness, completion ordering,
+    /// per-job flow dominance, and sum consistency.
+    fn outcome_checks(
+        &self,
+        report: &mut AuditReport,
+        instance: &Instance,
+        objective: &Objective,
+        per_job: &PerJob,
+    ) {
+        let n = instance.len();
+        let tol = self.config.rel_tol;
+
+        // --- objective-finite: every component a finite non-negative number.
+        let mut worst = 0.0f64;
+        let mut detail = String::from("all components finite");
+        for (what, v) in [
+            ("energy", objective.energy),
+            ("frac_flow", objective.frac_flow),
+            ("int_flow", objective.int_flow),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                worst = f64::INFINITY;
+                detail = format!("{what} = {v}");
+            }
+        }
+        report.record("objective-finite", worst, tol, detail);
+
+        // --- completion-after-release (reported completions).
+        let mut worst = 0.0f64;
+        let mut detail = String::from("all completions after release");
+        for j in 0..n.min(per_job.completion.len()) {
+            let c = per_job.completion[j];
+            let v = if c.is_finite() { instance.job(j).release - c } else { f64::INFINITY };
+            if v > worst {
+                worst = v;
+                detail = format!("job {j}: completion {c} vs release {}", instance.job(j).release);
+            }
+        }
+        if per_job.completion.len() != n {
+            worst = f64::INFINITY;
+            detail = format!("{} completions for {n} jobs", per_job.completion.len());
+        }
+        report.record("completion-after-release", worst.max(0.0), tol, detail);
+
+        // --- frac-dominated-by-int, per job: ρ_j ∫ V_j(t) dt never exceeds
+        // w_j (c_j − r_j) because the remaining volume is at most V_j.
+        let mut worst = 0.0f64;
+        let mut detail = String::from("fractional ≤ integral per job");
+        for j in 0..n.min(per_job.frac_flow.len()).min(per_job.int_flow.len()) {
+            let v = residual(per_job.frac_flow[j].max(per_job.int_flow[j]), per_job.int_flow[j]);
+            let v = if v.is_nan() { f64::INFINITY } else { v };
+            if v > worst {
+                worst = v;
+                detail = format!(
+                    "job {j}: frac {} vs int {}",
+                    per_job.frac_flow[j], per_job.int_flow[j]
+                );
+            }
+        }
+        report.record("frac-dominated-by-int", worst, tol, detail);
+
+        // --- reported-sums-consistent: the aggregate objective must equal
+        // the per-job sums it claims to summarise.
+        let frac_sum: f64 = per_job.frac_flow.iter().sum();
+        let int_sum: f64 = per_job.int_flow.iter().sum();
+        let v = residual(frac_sum, objective.frac_flow).max(residual(int_sum, objective.int_flow));
+        let v = if v.is_nan() { f64::INFINITY } else { v };
+        report.record(
+            "reported-sums-consistent",
+            v,
+            tol,
+            format!("Σfrac {frac_sum:.9e} / Σint {int_sum:.9e}"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::{evaluate, Job, PowerLaw, Segment, SpeedLaw};
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    fn constant_run() -> (Instance, Schedule, Evaluated) {
+        let inst = Instance::new(vec![
+            Job::new(0.0, 2.0, 3.0),
+            Job::new(0.5, 1.0, 1.0),
+        ])
+        .unwrap();
+        let law = pl(2.0);
+        let segs = vec![
+            Segment::new(0.0, 2.0, Some(0), SpeedLaw::Constant { speed: 1.0 }),
+            Segment::new(2.0, 3.0, Some(1), SpeedLaw::Constant { speed: 1.0 }),
+        ];
+        let sched = Schedule::new(law, segs).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        (inst, sched, ev)
+    }
+
+    #[test]
+    fn clean_constant_schedule_passes_tightly() {
+        let (inst, sched, ev) = constant_run();
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(report.passed(), "{report}");
+        assert!(report.max_residual() < 1e-7, "{report}");
+    }
+
+    #[test]
+    fn decay_schedule_passes_near_completion_singularity() {
+        // α = 3 decay to zero weight: the speed curve has a sqrt-type
+        // endpoint, the hard case for the quadrature.
+        let law = pl(3.0);
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let k = ncss_sim::kernel::DecayKernel { law, w0: 1.0, rho: 1.0 };
+        let t_done = k.time_to_volume(1.0);
+        let segs = vec![Segment::new(0.0, t_done, Some(0), SpeedLaw::Decay { w0: 1.0, rho: 1.0 })];
+        let sched = Schedule::new(law, segs).unwrap();
+        let ev = evaluate(&sched, &inst).unwrap();
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(report.passed(), "{report}");
+        assert!(report.max_residual() < 1e-7, "{report}");
+    }
+
+    #[test]
+    fn tampered_energy_is_caught() {
+        let (inst, sched, mut ev) = constant_run();
+        ev.objective.energy *= 1.5;
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(!report.passed());
+        assert!(report.failures().iter().any(|c| c.name == "energy-recomputed"));
+    }
+
+    #[test]
+    fn tampered_completion_is_caught() {
+        let (inst, sched, mut ev) = constant_run();
+        ev.per_job.completion[1] += 0.25;
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(!report.passed());
+        assert!(report.failures().iter().any(|c| c.name == "completion-consistency"));
+    }
+
+    #[test]
+    fn early_service_is_caught() {
+        // Job released at 0.5 but served from t = 0.
+        let inst = Instance::new(vec![Job::new(0.5, 1.0, 1.0)]).unwrap();
+        let law = pl(2.0);
+        let segs = vec![Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 1.0 })];
+        let sched = Schedule::new(law, segs).unwrap();
+        // Hand-build a "reported" evaluation so only the audit judges it.
+        let per_job = PerJob { completion: vec![1.0], frac_flow: vec![0.25], int_flow: vec![0.5] };
+        let ev = Evaluated {
+            objective: Objective { energy: 1.0, frac_flow: 0.25, int_flow: 0.5 },
+            per_job,
+        };
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(!report.passed());
+        assert!(report.failures().iter().any(|c| c.name == "release-before-service"));
+    }
+
+    #[test]
+    fn missing_volume_is_caught() {
+        // Schedule only delivers half the job.
+        let inst = Instance::new(vec![Job::new(0.0, 2.0, 1.0)]).unwrap();
+        let law = pl(2.0);
+        let segs = vec![Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 1.0 })];
+        let sched = Schedule::new(law, segs).unwrap();
+        let per_job = PerJob { completion: vec![1.0], frac_flow: vec![1.5], int_flow: vec![2.0] };
+        let ev = Evaluated {
+            objective: Objective { energy: 1.0, frac_flow: 1.5, int_flow: 2.0 },
+            per_job,
+        };
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(!report.passed());
+        assert!(report.failures().iter().any(|c| c.name == "volume-conservation"));
+    }
+
+    #[test]
+    fn outcome_audit_flags_nan_and_inversions() {
+        let inst = Instance::new(vec![Job::unit_density(1.0, 1.0)]).unwrap();
+        let objective = Objective { energy: f64::NAN, frac_flow: 1.0, int_flow: 0.5 };
+        let per_job = PerJob {
+            completion: vec![0.5], // before release
+            frac_flow: vec![1.0],  // exceeds int_flow
+            int_flow: vec![0.5],
+        };
+        let report = ScheduleAudit::default().audit_outcome(&inst, &objective, &per_job);
+        assert!(!report.passed());
+        let names: Vec<_> = report.failures().iter().map(|c| c.name).collect();
+        assert!(names.contains(&"objective-finite"), "{names:?}");
+        assert!(names.contains(&"completion-after-release"), "{names:?}");
+        assert!(names.contains(&"frac-dominated-by-int"), "{names:?}");
+    }
+
+    #[test]
+    fn outcome_audit_accepts_consistent_numbers() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let per_job = PerJob { completion: vec![1.0], frac_flow: vec![0.5], int_flow: vec![1.0] };
+        let objective = Objective { energy: 1.0, frac_flow: 0.5, int_flow: 1.0 };
+        let report = ScheduleAudit::default().audit_outcome(&inst, &objective, &per_job);
+        assert!(report.passed(), "{report}");
+    }
+}

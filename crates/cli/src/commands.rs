@@ -2,8 +2,12 @@
 
 use crate::args::{parse_args, ParsedArgs};
 use ncss_analysis::{fmt_f, Table};
+use ncss_audit::{AuditConfig, ScheduleAudit};
 use ncss_core::baselines::{run_active_count, run_constant_speed, run_newest_first};
-use ncss_core::{run_c, run_nc_nonuniform, run_nc_uniform, theory, NonUniformParams};
+use ncss_core::{
+    run_c, run_known_weight_sharing, run_nc_nonuniform, run_nc_uniform, theory, NonUniformParams,
+};
+use ncss_sim::Evaluated;
 use ncss_opt::{solve_fractional_opt, SolverOptions};
 use ncss_sim::{Instance, Objective, PowerLaw};
 use ncss_workloads::{instance_from_csv, instance_to_csv, DensityDist, VolumeDist, WorkloadSpec};
@@ -27,6 +31,11 @@ commands:
            render the schedule as an ASCII Gantt chart with a speed sparkline
   sweep    --input FILE [--alphas LO:HI:N]
            competitive-ratio curve of C and NC across power-law exponents
+  audit    --algorithm A --input FILE [--alpha ALPHA] [--rel-tol T] [--time-tol T]
+           re-derive the run's objective by independent quadrature and check
+           every schedule invariant; exits non-zero if any check fails
+           A as for 'run', plus known-sharing (outcome-only audit).
+           step-integrated algorithms (nc-nonuniform) need a looser --rel-tol
   help     this message
 ";
 
@@ -170,20 +179,77 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn schedule_of(name: &str, inst: &Instance, law: PowerLaw) -> Result<ncss_sim::Schedule, String> {
+    evaluated_of(name, inst, law).map(|(schedule, _)| schedule)
+}
+
+/// Run a schedule-producing algorithm and keep everything the audit needs.
+fn evaluated_of(
+    name: &str,
+    inst: &Instance,
+    law: PowerLaw,
+) -> Result<(ncss_sim::Schedule, Evaluated), String> {
     let err = |e: ncss_sim::SimError| e.to_string();
+    let pack = |schedule, objective, per_job| (schedule, Evaluated { objective, per_job });
     if let Some(speed) = name.strip_prefix("constant:") {
         let s: f64 = speed.parse().map_err(|_| format!("bad speed '{speed}'"))?;
-        return Ok(run_constant_speed(inst, law, s).map_err(err)?.schedule);
+        let r = run_constant_speed(inst, law, s).map_err(err)?;
+        return Ok(pack(r.schedule, r.objective, r.per_job));
     }
     match name {
-        "c" => Ok(run_c(inst, law).map_err(err)?.schedule),
-        "nc" => Ok(run_nc_uniform(inst, law).map_err(err)?.schedule),
-        "nc-nonuniform" => Ok(run_nc_nonuniform(inst, law, NonUniformParams::recommended(law.alpha()))
-            .map_err(err)?
-            .schedule),
-        "active-count" => Ok(run_active_count(inst, law).map_err(err)?.schedule),
-        "newest-first" => Ok(run_newest_first(inst, law).map_err(err)?.schedule),
+        "c" => {
+            let r = run_c(inst, law).map_err(err)?;
+            Ok(pack(r.schedule, r.objective, r.per_job))
+        }
+        "nc" => {
+            let r = run_nc_uniform(inst, law).map_err(err)?;
+            Ok(pack(r.schedule, r.objective, r.per_job))
+        }
+        "nc-nonuniform" => {
+            let r = run_nc_nonuniform(inst, law, NonUniformParams::recommended(law.alpha()))
+                .map_err(err)?;
+            Ok(pack(r.schedule, r.objective, r.per_job))
+        }
+        "active-count" => {
+            let r = run_active_count(inst, law).map_err(err)?;
+            Ok(pack(r.schedule, r.objective, r.per_job))
+        }
+        "newest-first" => {
+            let r = run_newest_first(inst, law).map_err(err)?;
+            Ok(pack(r.schedule, r.objective, r.per_job))
+        }
         _ => Err(format!("unknown algorithm '{name}'; see 'ncss help'")),
+    }
+}
+
+fn cmd_audit(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let law = law_of(args)?;
+    let name = args.require("algorithm")?;
+    let defaults = AuditConfig::default();
+    let auditor = ScheduleAudit::new(AuditConfig {
+        rel_tol: args.f64_or("rel-tol", defaults.rel_tol)?,
+        time_tol: args.f64_or("time-tol", defaults.time_tol)?,
+    });
+    let report = if name == "known-sharing" {
+        // Processor sharing has no explicit schedule: outcome-only audit.
+        let r = run_known_weight_sharing(&inst, law).map_err(|e| e.to_string())?;
+        auditor.audit_outcome(&inst, &r.objective, &r.per_job)
+    } else {
+        let (schedule, reported) = evaluated_of(&name, &inst, law)?;
+        auditor.audit(&inst, &schedule, &reported)
+    };
+    let out = format!(
+        "audit of {name} on {} jobs (alpha = {})\n{}",
+        inst.len(),
+        law.alpha(),
+        report.render()
+    );
+    // A failed audit is a failed command: CI smoke tests rely on the exit
+    // status, not on scraping the report text.
+    if report.passed() {
+        Ok(out)
+    } else {
+        Err(out)
     }
 }
 
@@ -259,6 +325,7 @@ pub fn run_cli(raw: &[String]) -> Result<String, String> {
         "compare" => cmd_compare(&args),
         "gantt" => cmd_gantt(&args),
         "sweep" => cmd_sweep(&args),
+        "audit" => cmd_audit(&args),
         other => Err(format!("unknown command '{other}'; try 'ncss help'")),
     }
 }
@@ -332,6 +399,32 @@ mod tests {
         assert_eq!(out.lines().filter(|l| l.starts_with("2.") || l.starts_with("3.")).count(), 3);
         assert!(run_cli(&v(&["sweep", "--input", &path, "--alphas", "bad"])).is_err());
         assert!(run_cli(&v(&["sweep", "--input", &path, "--alphas", "3:2:4"])).is_err());
+    }
+
+    #[test]
+    fn audit_passes_on_clean_runs_and_catches_bad_tolerance() {
+        let path = write_trace();
+        for algo in ["c", "nc", "constant:1.5", "known-sharing"] {
+            let out = run_cli(&v(&["audit", "--algorithm", algo, "--input", &path, "--alpha", "2"]))
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("audit: PASS"), "{algo}: {out}");
+            assert!(out.contains("objective-finite"), "{algo}: {out}");
+        }
+        // The step-integrated algorithm is only accurate to its step size:
+        // at machine-precision tolerance the audit must refuse it...
+        let strict = run_cli(&v(&[
+            "audit", "--algorithm", "nc-nonuniform", "--input", &path, "--alpha", "2",
+            "--rel-tol", "1e-14",
+        ]));
+        assert!(strict.is_err());
+        assert!(strict.unwrap_err().contains("audit: FAIL"));
+        // ...and pass it at the honest one.
+        let loose = run_cli(&v(&[
+            "audit", "--algorithm", "nc-nonuniform", "--input", &path, "--alpha", "2",
+            "--rel-tol", "1e-2",
+        ]))
+        .unwrap();
+        assert!(loose.contains("audit: PASS"), "{loose}");
     }
 
     #[test]

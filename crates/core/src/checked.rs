@@ -1,0 +1,161 @@
+//! Checked-mode execution: run an algorithm, then audit it.
+//!
+//! [`run_checked`] wraps the single-machine algorithms so any run can be
+//! executed with the independent `ncss-audit` invariant checker attached.
+//! Degradation is graceful at every layer: an algorithm that fails returns
+//! its structured [`ncss_sim::SimError`] untouched, and an audit that finds
+//! violations reports them in [`CheckedRun::report`] rather than erroring —
+//! the caller decides whether a failed audit is fatal.
+
+use crate::known_weight::run_known_weight_sharing;
+use crate::nc_nonuniform::NonUniformParams;
+use crate::{run_c, run_nc_nonuniform, run_nc_uniform};
+use ncss_audit::{AuditConfig, AuditReport, ScheduleAudit};
+use ncss_sim::{Evaluated, Instance, Objective, PerJob, PowerLaw, Schedule, SimResult};
+
+/// Which algorithm to execute under the audit harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckedAlgorithm {
+    /// Clairvoyant Algorithm C (HDF, `power = remaining weight`).
+    C,
+    /// Non-clairvoyant Algorithm NC for uniform densities.
+    NcUniform,
+    /// Non-clairvoyant Algorithm NC for arbitrary densities.
+    NcNonUniform(NonUniformParams),
+    /// Known-weight weighted processor sharing (schedule-less; audited with
+    /// the outcome-level checks only).
+    KnownWeightSharing,
+}
+
+/// An algorithm run plus its audit verdicts.
+#[derive(Debug, Clone)]
+pub struct CheckedRun {
+    /// The run's reported objective.
+    pub objective: Objective,
+    /// The run's reported per-job outcomes.
+    pub per_job: PerJob,
+    /// The schedule, for algorithms that produce one.
+    pub schedule: Option<Schedule>,
+    /// Verdicts from the independent auditor.
+    pub report: AuditReport,
+}
+
+impl CheckedRun {
+    /// True when the run completed *and* every audited invariant held.
+    #[must_use]
+    pub fn audit_passed(&self) -> bool {
+        self.report.passed()
+    }
+}
+
+/// Execute `algorithm` on `instance` and audit the result.
+///
+/// Returns `Err` only when the algorithm itself fails (invalid input,
+/// numeric guard, non-convergence); audit findings never error.
+pub fn run_checked(
+    instance: &Instance,
+    law: PowerLaw,
+    algorithm: CheckedAlgorithm,
+    config: AuditConfig,
+) -> SimResult<CheckedRun> {
+    let auditor = ScheduleAudit::new(config);
+    let audited = |schedule: Schedule, objective: Objective, per_job: PerJob| {
+        let reported = Evaluated { objective, per_job };
+        let report = auditor.audit(instance, &schedule, &reported);
+        CheckedRun {
+            objective: reported.objective,
+            per_job: reported.per_job,
+            schedule: Some(schedule),
+            report,
+        }
+    };
+    Ok(match algorithm {
+        CheckedAlgorithm::C => {
+            let run = run_c(instance, law)?;
+            audited(run.schedule, run.objective, run.per_job)
+        }
+        CheckedAlgorithm::NcUniform => {
+            let run = run_nc_uniform(instance, law)?;
+            audited(run.schedule, run.objective, run.per_job)
+        }
+        CheckedAlgorithm::NcNonUniform(params) => {
+            let run = run_nc_nonuniform(instance, law, params)?;
+            audited(run.schedule, run.objective, run.per_job)
+        }
+        CheckedAlgorithm::KnownWeightSharing => {
+            let run = run_known_weight_sharing(instance, law)?;
+            let report = auditor.audit_outcome(instance, &run.objective, &run.per_job);
+            CheckedRun { objective: run.objective, per_job: run.per_job, schedule: None, report }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::Job;
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    fn instance() -> Instance {
+        Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.2, 2.0),
+            Job::unit_density(0.9, 0.5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn c_and_nc_pass_with_tight_residuals() {
+        for algo in [CheckedAlgorithm::C, CheckedAlgorithm::NcUniform] {
+            for alpha in [2.0, 3.0] {
+                let run = run_checked(&instance(), pl(alpha), algo, AuditConfig::default()).unwrap();
+                assert!(run.audit_passed(), "{algo:?} α={alpha}:\n{}", run.report);
+                assert!(
+                    run.report.max_residual() < 1e-7,
+                    "{algo:?} α={alpha}: residual {}",
+                    run.report.max_residual()
+                );
+                assert!(run.schedule.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn nonuniform_passes_with_step_level_tolerance() {
+        let inst = Instance::new(vec![Job::new(0.0, 1.0, 1.0), Job::new(0.3, 0.5, 4.0)]).unwrap();
+        let params = NonUniformParams::default();
+        // The non-uniform simulation is step-integrated, so its reported
+        // numbers are accurate to the integration step, not 1e-7.
+        let config = AuditConfig { rel_tol: 1e-2, ..AuditConfig::default() };
+        let run =
+            run_checked(&inst, pl(2.0), CheckedAlgorithm::NcNonUniform(params), config).unwrap();
+        assert!(run.audit_passed(), "{}", run.report);
+    }
+
+    #[test]
+    fn known_weight_is_audited_without_a_schedule() {
+        let run = run_checked(
+            &instance(),
+            pl(2.5),
+            CheckedAlgorithm::KnownWeightSharing,
+            AuditConfig::default(),
+        )
+        .unwrap();
+        assert!(run.schedule.is_none());
+        assert!(run.audit_passed(), "{}", run.report);
+    }
+
+    #[test]
+    fn algorithm_errors_pass_through() {
+        // α ≤ 1 is rejected before any audit happens.
+        assert!(PowerLaw::new(1.0).is_err());
+        // Zero-job instance: trivially fine for C.
+        let empty = Instance::new(vec![]).unwrap();
+        let run = run_checked(&empty, pl(2.0), CheckedAlgorithm::C, AuditConfig::default()).unwrap();
+        assert!(run.audit_passed());
+    }
+}

@@ -14,7 +14,10 @@
 //! carry no integration error.
 
 use ncss_sim::kernel::DecayKernel;
-use ncss_sim::{Instance, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment, SimResult, SpeedLaw};
+use ncss_sim::{
+    Instance, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment, SimError, SimResult,
+    SpeedLaw,
+};
 
 /// Priority key for the active-job heap: highest density first, then
 /// earliest release, then smallest id.
@@ -143,6 +146,12 @@ pub fn run_c(instance: &Instance, law: PowerLaw) -> SimResult<CRun> {
         let kernel = DecayKernel { law, w0: total_w, rho };
         let t_complete = t + kernel.time_to_volume(remaining[j]);
         let t_release = if next < n { jobs[next].release } else { f64::INFINITY };
+        if !t_complete.is_finite() && next >= n {
+            // Kernel overflow at extreme weight scales: with no further
+            // release to bound the segment, the event loop cannot make
+            // progress — report instead of spinning or emitting NaN.
+            return Err(SimError::Numeric { what: "run_c: completion time", value: t_complete });
+        }
         let completes = t_complete <= t_release;
         let t_end = if completes { t_complete } else { t_release };
         let tau = t_end - t;
@@ -184,7 +193,8 @@ pub fn run_c(instance: &Instance, law: PowerLaw) -> SimResult<CRun> {
         energy,
         frac_flow: frac_flow.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("run_c: objective")?;
     Ok(CRun {
         schedule: builder.build()?,
         objective,

@@ -112,7 +112,8 @@ pub fn run_known_weight_sharing(instance: &Instance, law: PowerLaw) -> SimResult
         energy,
         frac_flow: frac_flow.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("run_known_weight_sharing: objective")?;
     Ok(SharedRun {
         objective,
         per_job: PerJob { completion, frac_flow, int_flow },

@@ -22,6 +22,7 @@
 
 pub mod baselines;
 pub mod bounded;
+pub mod checked;
 pub mod clairvoyant;
 pub mod current_instance;
 pub mod driver;
@@ -36,6 +37,7 @@ pub mod reduction;
 pub mod theory;
 
 pub use bounded::{run_c_bounded, run_nc_uniform_bounded};
+pub use checked::{run_checked, CheckedAlgorithm, CheckedRun};
 pub use clairvoyant::{run_c, CRun};
 pub use driver::{run_online, Decision, NcView, NonClairvoyantPolicy};
 pub use generic_runs::{run_c_generic, run_nc_uniform_generic, GenericRun};

@@ -97,7 +97,11 @@ struct SpeedOracle<'a> {
 impl SpeedOracle<'_> {
     /// `η · s^{(C)}_{I(t)}(t) + ε`: the speed of Algorithm C at time `t`
     /// when run on the current instance defined by `processed` volumes.
-    fn speed(&self, t: f64, processed: &[f64]) -> f64 {
+    ///
+    /// Propagates failures of the nested simulation (degenerate current
+    /// instances or kernel overflow at extreme scales) instead of
+    /// panicking, so the outer integrator can surface a structured error.
+    fn speed(&self, t: f64, processed: &[f64]) -> SimResult<f64> {
         let mut jobs = Vec::with_capacity(processed.len());
         for (j, &v) in processed.iter().enumerate() {
             if v > 0.0 {
@@ -107,11 +111,11 @@ impl SpeedOracle<'_> {
         let s_c = if jobs.is_empty() {
             0.0
         } else {
-            let inst = Instance::new(jobs).expect("current instance is valid");
-            let run = run_c(&inst, self.law).expect("inner C run");
+            let inst = Instance::new(jobs)?;
+            let run = run_c(&inst, self.law)?;
             run.schedule.speed_at(t)
         };
-        self.eta * s_c + self.epsilon
+        Ok(self.eta * s_c + self.epsilon)
     }
 }
 
@@ -194,7 +198,12 @@ pub fn run_nc_nonuniform(
                     .filter(|(r, c)| **r > t && c.is_nan())
                     .map(|(r, _)| *r)
                     .fold(f64::INFINITY, f64::min);
-                debug_assert!(next.is_finite(), "no active job and no future release");
+                if !next.is_finite() {
+                    // No active job and no future release: a bookkeeping
+                    // impossibility, but spin-looping in release builds is
+                    // worse than reporting it.
+                    return Err(SimError::Numeric { what: "run_nc_nonuniform: idle jump", value: next });
+                }
                 t = next;
                 continue;
             }
@@ -205,7 +214,7 @@ pub fn run_nc_nonuniform(
             stint_start = t;
         }
         let rem = jobs[cur].volume - processed[cur];
-        let s0 = oracle.speed(t, &processed);
+        let s0 = oracle.speed(t, &processed)?;
         let dt_rel = releases
             .iter()
             .filter(|&&r| r > t + 1e-15)
@@ -230,7 +239,10 @@ pub fn run_nc_nonuniform(
         let dt_guess = (dv_target / s0).min(dt_cap).min(dt_rel);
         let mut half = processed.clone();
         half[cur] += s0 * dt_guess * 0.5;
-        let s_mid = oracle.speed(t + dt_guess * 0.5, &half);
+        let s_mid = oracle.speed(t + dt_guess * 0.5, &half)?;
+        if !s_mid.is_finite() {
+            return Err(SimError::Numeric { what: "run_nc_nonuniform: speed", value: s_mid });
+        }
         let mut dt = (dv_target / s_mid).min(dt_cap).min(dt_rel);
         let mut dv = s_mid * dt;
         let mut completes = dv >= rem * (1.0 - 1e-12);
@@ -242,6 +254,9 @@ pub fn run_nc_nonuniform(
                 dt = dt_rel;
                 dv = s_mid * dt;
             }
+        }
+        if !(dt.is_finite() && dt >= 0.0) {
+            return Err(SimError::Numeric { what: "run_nc_nonuniform: step size", value: dt });
         }
 
         builder.push(Segment::new(t, t + dt, Some(cur), SpeedLaw::Constant { speed: s_mid }));
@@ -278,7 +293,8 @@ pub fn run_nc_nonuniform(
         energy: energy.value(),
         frac_flow: frac.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("run_nc_nonuniform: objective")?;
     Ok(NonUniformRun {
         schedule: builder.build()?,
         objective,

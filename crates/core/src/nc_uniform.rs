@@ -114,6 +114,9 @@ pub fn run_nc_uniform(instance: &Instance, law: PowerLaw) -> SimResult<NcRun> {
         let rho = job.density;
         let kernel = GrowthKernel { law, u0: k_j, rho };
         let tau = kernel.time_to_volume(job.volume);
+        if !tau.is_finite() {
+            return Err(SimError::Numeric { what: "run_nc_uniform: service time", value: tau });
+        }
         builder.push(Segment::new(t, t + tau, Some(j), SpeedLaw::Growth { u0: k_j, rho }));
 
         energy += kernel.energy(tau);
@@ -130,7 +133,8 @@ pub fn run_nc_uniform(instance: &Instance, law: PowerLaw) -> SimResult<NcRun> {
         energy,
         frac_flow: frac_flow.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("run_nc_uniform: objective")?;
     Ok(NcRun {
         schedule: builder.build()?,
         objective,

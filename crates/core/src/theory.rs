@@ -130,12 +130,11 @@ pub fn reduction_factor(alpha: f64, epsilon: f64) -> f64 {
 /// `(1+ε)^α = 1 + 1/ε` (the max of an increasing and a decreasing function).
 #[must_use]
 pub fn optimal_reduction_epsilon(alpha: f64) -> f64 {
-    ncss_sim::numeric::bisect(
-        |e| (1.0 + e).powf(alpha) - (1.0 + 1.0 / e),
-        1e-6,
-        1e6,
-        1e-12,
-    )
+    // The bracket is guaranteed for every finite α > 1 (negative at 1e-6,
+    // positive at 1e6); a non-finite α yields NaN, matching the other pure
+    // math helpers in this module.
+    ncss_sim::numeric::bisect(|e| (1.0 + e).powf(alpha) - (1.0 + 1.0 / e), 1e-6, 1e6, 1e-12)
+        .unwrap_or(f64::NAN)
 }
 
 /// Single-job fractional OPT identity: the optimal schedule for one job has

@@ -107,6 +107,7 @@ pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResu
         per_machine.push(run.per_job);
     }
     let per_job = merge_per_job(n, &parts, &per_machine);
+    let objective = objective.validated("run_c_par: objective")?;
     Ok(ParOutcome { assignment, objective, per_job })
 }
 

@@ -108,6 +108,11 @@ pub fn run_lazy_hdf(
         let rho = rounded.job(j).density;
         let kernel = GrowthKernel { law, u0: k_j, rho };
         let tau = kernel.time_to_volume(jobs[j].volume);
+        if !tau.is_finite() {
+            // Guard before `avail` is poisoned: a NaN availability would
+            // panic the machine-selection comparator on the next iteration.
+            return Err(SimError::Numeric { what: "run_lazy_hdf: service time", value: tau });
+        }
         energy += kernel.energy(tau);
         // Flow accounting with ORIGINAL densities.
         frac_flow[j] = jobs[j].density * jobs[j].volume * (t_start - jobs[j].release)
@@ -123,7 +128,8 @@ pub fn run_lazy_hdf(
         energy,
         frac_flow: frac_flow.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("run_lazy_hdf: objective")?;
     Ok(ParOutcome { assignment, objective, per_job: PerJob { completion, frac_flow, int_flow } })
 }
 

@@ -58,6 +58,11 @@ pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimRes
         let rho = job.density;
         let kernel = GrowthKernel { law, u0: k_j, rho };
         let tau = kernel.time_to_volume(job.volume);
+        if !tau.is_finite() {
+            // Guard before `avail` is poisoned: a NaN availability would
+            // panic the machine-selection `expect` on the next job.
+            return Err(SimError::Numeric { what: "run_nc_par: service time", value: tau });
+        }
         energy += kernel.energy(tau);
         frac_flow[j] = rho * job.volume * (t_start - job.release)
             + rho * (job.volume * tau - kernel.volume_integral(tau));
@@ -71,7 +76,8 @@ pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimRes
         energy,
         frac_flow: frac_flow.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("run_nc_par: objective")?;
     Ok(ParOutcome { assignment, objective, per_job: PerJob { completion, frac_flow, int_flow } })
 }
 
@@ -97,6 +103,7 @@ pub fn run_nc_with_assignment(
         per_machine.push(run.per_job);
     }
     let per_job = merge_per_job(instance.len(), &parts, &per_machine);
+    let objective = objective.validated("run_nc_with_assignment: objective")?;
     Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job })
 }
 
@@ -128,6 +135,7 @@ pub fn run_nonuniform_with_assignment(
         per_machine.push(run.per_job);
     }
     let per_job = merge_per_job(instance.len(), &parts, &per_machine);
+    let objective = objective.validated("run_nonuniform_with_assignment: objective")?;
     Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job })
 }
 

@@ -87,7 +87,9 @@ pub fn project_simplex(v: &mut [f64], total: f64) {
         return;
     }
     let mut u: Vec<f64> = v.to_vec();
-    u.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    // total_cmp keeps the projection panic-free on NaN input; a NaN entry
+    // propagates into the output and is caught by the run-level guards.
+    u.sort_by(|a, b| b.total_cmp(a));
     let mut cum = 0.0;
     let mut theta = 0.0;
     let mut found = false;
@@ -111,7 +113,7 @@ pub fn project_simplex(v: &mut [f64], total: f64) {
 fn build_edges(t0: f64, t1: f64, steps: usize, releases: &[f64]) -> Vec<f64> {
     let mut edges: Vec<f64> = (0..=steps).map(|i| t0 + (t1 - t0) * i as f64 / steps as f64).collect();
     edges.extend(releases.iter().copied().filter(|&r| r > t0 && r < t1));
-    edges.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    edges.sort_by(f64::total_cmp);
     edges.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * (1.0 + t1.abs()));
     edges
 }
@@ -303,6 +305,18 @@ pub fn solve_fractional_opt(instance: &Instance, law: PowerLaw, opts: SolverOpti
         dual -= (b - a) * law.conjugate(best);
     }
 
+    // Numeric guard rails: every certified quantity must be finite. The
+    // dual bound additionally must not exceed the primal cost (weak
+    // duality) — a violation means the arithmetic broke down.
+    for (what, value) in [
+        ("solve_fractional_opt: primal cost", primal),
+        ("solve_fractional_opt: dual bound", dual),
+        ("solve_fractional_opt: kkt residual", kkt_residual),
+    ] {
+        if !value.is_finite() {
+            return Err(SimError::Numeric { what, value });
+        }
+    }
     Ok(FracOpt { primal_cost: primal, dual_bound: dual.max(0.0), iterations: iters, horizon, kkt_residual })
 }
 

@@ -49,6 +49,32 @@ pub enum SimError {
         /// Which routine.
         what: &'static str,
     },
+    /// A numeric intermediate or final quantity left the finite range
+    /// (overflowed to infinity, underflowed a required positivity, or became
+    /// NaN). Raised in both debug and release builds: the guard rails that
+    /// defend the exact-arithmetic claims of the engine are not
+    /// `debug_assert!`s that vanish under `--release`.
+    Numeric {
+        /// Which quantity went bad.
+        what: &'static str,
+        /// The offending value (inf, NaN, ...), for diagnostics.
+        value: f64,
+    },
+    /// A row of an instance file failed to parse or validate.
+    InvalidRow {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// What was wrong with the row (owned: includes the offending field).
+        detail: String,
+    },
+    /// An I/O failure while reading or writing an instance file.
+    ///
+    /// Carries the rendered `std::io::Error` so `read_instance` can expose a
+    /// single error type instead of nesting `io::Result<SimResult<_>>`.
+    Io {
+        /// Rendered I/O error plus context (path, operation).
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -67,6 +93,13 @@ impl fmt::Display for SimError {
             }
             Self::MalformedSchedule { reason } => write!(f, "malformed schedule: {reason}"),
             Self::NonConvergence { what } => write!(f, "{what} failed to converge"),
+            Self::Numeric { what, value } => {
+                write!(f, "numeric guard: {what} is not usable (got {value})")
+            }
+            Self::InvalidRow { line, detail } => {
+                write!(f, "instance file line {line}: {detail}")
+            }
+            Self::Io { detail } => write!(f, "i/o error: {detail}"),
         }
     }
 }
@@ -84,6 +117,18 @@ mod tests {
         let e = SimError::IncompleteSchedule { job: 3, remaining: 1.25 };
         assert!(e.to_string().contains("job 3"));
         assert!(e.to_string().contains("1.25"));
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let e = SimError::Numeric { what: "completion time", value: f64::INFINITY };
+        assert!(e.to_string().contains("completion time"));
+        assert!(e.to_string().contains("inf"));
+        let e = SimError::InvalidRow { line: 7, detail: "volume `abc` is not a number".into() };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("abc"));
+        let e = SimError::Io { detail: "open missing.csv: not found".into() };
+        assert!(e.to_string().contains("missing.csv"));
     }
 
     #[test]

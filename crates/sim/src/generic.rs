@@ -180,7 +180,12 @@ impl GenericDecay<'_> {
         if tau >= total {
             return 0.0;
         }
+        // The bracket [0, w0] is valid by the monotonicity of
+        // `time_to_weight` and the range checks above, so the root finder
+        // can only fail if the quadrature itself produced NaN; surface that
+        // as NaN and let the run-level finiteness guards reject it.
         crate::numeric::bisect(|w| self.time_to_weight(w) - tau, 0.0, self.w0, 1e-12 * (1.0 + self.w0))
+            .unwrap_or(f64::NAN)
     }
 
     /// Energy released while the weight drops from `w0` to `w_target`

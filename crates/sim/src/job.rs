@@ -84,7 +84,9 @@ impl Instance {
     /// Build an instance, sorting jobs by release time (stable, so equal
     /// releases keep their given order) and validating every job.
     pub fn new(mut jobs: Vec<Job>) -> SimResult<Self> {
-        jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite releases"));
+        // total_cmp keeps the sort panic-free even when a release is NaN;
+        // validation below then rejects the NaN with a structured error.
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
         for (i, j) in jobs.iter().enumerate() {
             j.validate(i)?;
         }
@@ -222,6 +224,13 @@ mod tests {
         assert!(Instance::new(vec![Job::new(0.0, 0.0, 1.0)]).is_err());
         assert!(Instance::new(vec![Job::new(0.0, 1.0, -2.0)]).is_err());
         assert!(Instance::new(vec![Job::new(f64::NAN, 1.0, 1.0)]).is_err());
+        // NaN releases must not panic the sort either (multi-job path).
+        assert!(Instance::new(vec![
+            Job::unit_density(1.0, 1.0),
+            Job::new(f64::NAN, 1.0, 1.0),
+            Job::unit_density(0.0, 1.0),
+        ])
+        .is_err());
     }
 
     #[test]

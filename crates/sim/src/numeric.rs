@@ -5,6 +5,39 @@
 //! numerically-integrated non-uniform algorithm, horizon solving in the
 //! offline optimum) and the tests lean heavily on tolerance helpers.
 
+use crate::error::{SimError, SimResult};
+
+/// Guard rail: pass `value` through unchanged when it is finite, otherwise
+/// return [`SimError::Numeric`] naming the quantity.
+///
+/// This is the release-build replacement for the `debug_assert!`s that used
+/// to protect kernel outputs: at extreme `α`/volume scales (1e±150 and
+/// beyond) closed forms overflow to `inf` or collapse to NaN, and every
+/// public run function funnels its outputs through this check so callers see
+/// a structured error instead of a poisoned objective.
+#[inline]
+pub fn ensure_finite(what: &'static str, value: f64) -> SimResult<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(SimError::Numeric { what, value })
+    }
+}
+
+/// Like [`ensure_finite`] but additionally requires `value >= 0`.
+///
+/// Energies, flow-times, volumes, and elapsed durations are all
+/// nonnegative-by-construction; a negative value signals catastrophic
+/// cancellation upstream.
+#[inline]
+pub fn ensure_finite_nonneg(what: &'static str, value: f64) -> SimResult<f64> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(SimError::Numeric { what, value })
+    }
+}
+
 /// Relative difference `|a - b| / max(|a|, |b|, 1)`.
 ///
 /// The `1` floor makes the measure behave like an absolute difference near
@@ -25,34 +58,45 @@ pub fn approx_eq(a: f64, b: f64, rtol: f64) -> bool {
 /// Bisection root finder for a continuous function with a sign change on
 /// `[lo, hi]`.
 ///
-/// Returns the midpoint of the final bracket. Panics if the initial bracket
-/// does not straddle a root (both endpoints strictly the same sign), because
-/// every call site constructs the bracket from a monotonicity argument and a
-/// violation means a logic error, not a data error.
-#[must_use]
-pub fn bisect(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+/// Returns the midpoint of the final bracket. Returns
+/// [`SimError::Numeric`] when an endpoint evaluates to NaN and
+/// [`SimError::NonConvergence`] when the initial bracket does not straddle a
+/// root (both endpoints strictly the same sign). Call sites construct
+/// brackets from monotonicity arguments, but under fault injection
+/// (perturbed instances, extreme scales) those arguments can break in
+/// floating point — a structured error keeps the failure diagnosable
+/// without taking the process down.
+pub fn bisect(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> SimResult<f64> {
     let flo = f(lo);
     let fhi = f(hi);
     if flo == 0.0 {
-        return lo;
+        return Ok(lo);
     }
     if fhi == 0.0 {
-        return hi;
+        return Ok(hi);
     }
-    assert!(
-        flo.signum() != fhi.signum(),
-        "bisect: no sign change on [{lo}, {hi}] (f = {flo}, {fhi})"
-    );
+    if flo.is_nan() {
+        return Err(SimError::Numeric { what: "bisect: f(lo)", value: flo });
+    }
+    if fhi.is_nan() {
+        return Err(SimError::Numeric { what: "bisect: f(hi)", value: fhi });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(SimError::NonConvergence { what: "bisect: no sign change on bracket" });
+    }
     // 200 iterations halve the bracket far past f64 resolution for any sane
     // initial bracket; the tol check below usually exits much earlier.
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         if hi - lo <= tol {
-            return mid;
+            return Ok(mid);
         }
         let fmid = f(mid);
         if fmid == 0.0 {
-            return mid;
+            return Ok(mid);
+        }
+        if fmid.is_nan() {
+            return Err(SimError::Numeric { what: "bisect: f(mid)", value: fmid });
         }
         if fmid.signum() == flo.signum() {
             lo = mid;
@@ -60,21 +104,32 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64)
             hi = mid;
         }
     }
-    0.5 * (lo + hi)
+    Ok(0.5 * (lo + hi))
 }
 
 /// Monotone-increasing root finder: find `x >= lo` with `f(x) = target`,
 /// where `f` is nondecreasing and unbounded. Expands the bracket
 /// geometrically from `hint`, then bisects.
-#[must_use]
-pub fn solve_increasing(mut f: impl FnMut(f64) -> f64, target: f64, lo: f64, hint: f64, tol: f64) -> f64 {
+///
+/// Returns [`SimError::NonConvergence`] if 200 doublings fail to bracket
+/// `target` (e.g. `f` saturates at `inf` below the target after overflow)
+/// and propagates [`SimError::Numeric`] from the bisection stage.
+pub fn solve_increasing(
+    mut f: impl FnMut(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hint: f64,
+    tol: f64,
+) -> SimResult<f64> {
     debug_assert!(hint > lo);
     let mut hi = hint;
     let mut guard = 0;
     while f(hi) < target {
         hi = lo + (hi - lo) * 2.0;
         guard += 1;
-        assert!(guard < 200, "solve_increasing: failed to bracket target {target}");
+        if guard >= 200 {
+            return Err(SimError::NonConvergence { what: "solve_increasing: bracket expansion" });
+        }
     }
     bisect(|x| f(x) - target, lo, hi, tol)
 }
@@ -129,27 +184,50 @@ mod tests {
 
     #[test]
     fn bisect_finds_sqrt2() {
-        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
         assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
     }
 
     #[test]
     fn bisect_exact_endpoint() {
-        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12), 0.0);
-        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12), 1.0);
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "no sign change")]
     fn bisect_rejects_bad_bracket() {
-        let _ = bisect(|x| x + 10.0, 0.0, 1.0, 1e-9);
+        let err = bisect(|x| x + 10.0, 0.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(err, SimError::NonConvergence { .. }), "{err}");
+    }
+
+    #[test]
+    fn bisect_reports_nan_endpoint() {
+        let err = bisect(|x| (x - 0.5).sqrt(), -1.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(err, SimError::Numeric { .. }), "{err}");
     }
 
     #[test]
     fn solve_increasing_expands_bracket() {
         // f(x) = x^3 on [0, inf); target far beyond the hint.
-        let r = solve_increasing(|x| x * x * x, 1000.0, 0.0, 0.5, 1e-10);
+        let r = solve_increasing(|x| x * x * x, 1000.0, 0.0, 0.5, 1e-10).unwrap();
         assert!((r - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solve_increasing_reports_saturated_bracket() {
+        // f saturates below the target: expansion can never bracket it.
+        let err = solve_increasing(|x| x.min(1.0), 2.0, 0.0, 0.5, 1e-10).unwrap_err();
+        assert!(matches!(err, SimError::NonConvergence { .. }), "{err}");
+    }
+
+    #[test]
+    fn ensure_finite_guards() {
+        assert_eq!(ensure_finite("x", 2.5).unwrap(), 2.5);
+        assert!(ensure_finite("x", f64::INFINITY).is_err());
+        assert!(ensure_finite("x", f64::NAN).is_err());
+        assert_eq!(ensure_finite_nonneg("x", 0.0).unwrap(), 0.0);
+        assert!(ensure_finite_nonneg("x", -1.0).is_err());
+        assert!(ensure_finite_nonneg("x", f64::NEG_INFINITY).is_err());
     }
 
     #[test]

@@ -33,6 +33,31 @@ impl Objective {
     pub fn integral(&self) -> f64 {
         self.energy + self.int_flow
     }
+
+    /// Numeric guard rail: pass the objective through unchanged when all
+    /// three components are finite and non-negative, otherwise return
+    /// [`SimError::Numeric`] naming the bad component.
+    ///
+    /// Every public run function in the workspace funnels its final
+    /// objective through this check, so extreme α/volume scales overflow
+    /// into a structured error instead of a NaN/inf result — in release
+    /// builds too.
+    pub fn validated(self, context: &'static str) -> SimResult<Self> {
+        let checks = [
+            ("energy", self.energy),
+            ("fractional flow", self.frac_flow),
+            ("integral flow", self.int_flow),
+        ];
+        for (_, v) in checks {
+            if !(v.is_finite() && v >= 0.0) {
+                // `context` names the producing algorithm; the component
+                // name is recoverable from the value pattern, and keeping
+                // `what` a &'static str avoids allocating on the hot path.
+                return Err(SimError::Numeric { what: context, value: v });
+            }
+        }
+        Ok(self)
+    }
 }
 
 /// Per-job outcomes of a schedule.
@@ -84,7 +109,9 @@ pub fn evaluate(schedule: &Schedule, instance: &Instance) -> SimResult<Evaluated
     for j in instance.jobs() {
         times.push(j.release);
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    // Segment times and releases are validated finite upstream, but a
+    // total order keeps this panic-free even if that ever regresses.
+    times.sort_by(f64::total_cmp);
     times.dedup_by(|a, b| (*a - *b).abs() <= 1e-15);
 
     let mut energy = 0.0;
@@ -173,7 +200,8 @@ pub fn evaluate(schedule: &Schedule, instance: &Instance) -> SimResult<Evaluated
         energy,
         frac_flow: frac_flow.iter().sum(),
         int_flow: int_flow.iter().sum(),
-    };
+    }
+    .validated("evaluate: objective")?;
     Ok(Evaluated { objective, per_job: PerJob { completion, frac_flow, int_flow } })
 }
 

@@ -12,6 +12,7 @@
 //! of them is wrong; historically this style of differential test catches
 //! sign errors and off-by-one event handling that unit tests miss.
 
+use crate::error::{SimError, SimResult};
 use crate::job::Instance;
 use crate::objective::Objective;
 use crate::power::PowerLaw;
@@ -38,8 +39,11 @@ pub struct RefRun {
     pub steps: usize,
 }
 
-/// Execute `policy` with fixed step `dt` until all jobs complete (or
-/// `max_steps` is exhausted, which panics — reference runs are test-only).
+/// Execute `policy` with fixed step `dt` until all jobs complete.
+///
+/// Returns [`SimError::NonConvergence`] once `max_steps` is exhausted — a
+/// stalled policy (or an unreachable horizon) is reported, not a panic, so
+/// the oracle can run inside checked-mode harnesses.
 ///
 /// The policy returns `(job, speed)`; `None` idles the step. Jobs released
 /// strictly after the current time are invisible to progress (the driver
@@ -50,7 +54,7 @@ pub fn reference_run(
     dt: f64,
     max_steps: usize,
     mut policy: impl FnMut(&RefState<'_>) -> Option<(usize, f64)>,
-) -> RefRun {
+) -> SimResult<RefRun> {
     let jobs = instance.jobs();
     let n = jobs.len();
     let mut remaining: Vec<f64> = jobs.iter().map(|j| j.volume).collect();
@@ -62,7 +66,9 @@ pub fn reference_run(
 
     while completion.iter().any(|c| c.is_nan()) {
         steps += 1;
-        assert!(steps <= max_steps, "reference run exceeded {max_steps} steps");
+        if steps > max_steps {
+            return Err(SimError::NonConvergence { what: "reference run: step budget exhausted" });
+        }
         let action = {
             let state = RefState { time: t, remaining: &remaining, instance };
             policy(&state)
@@ -91,11 +97,11 @@ pub fn reference_run(
         .enumerate()
         .map(|(j, job)| job.weight() * (completion[j] - job.release))
         .sum();
-    RefRun {
+    Ok(RefRun {
         objective: Objective { energy, frac_flow: frac, int_flow },
         completion,
         steps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -111,7 +117,8 @@ mod tests {
         let law = PowerLaw::new(2.0).unwrap();
         let run = reference_run(&inst, law, 1e-4, 10_000_000, |state| {
             state.remaining.iter().position(|&r| r > 0.0).map(|j| (j, 1.0))
-        });
+        })
+        .unwrap();
         assert!(approx_eq(run.objective.energy, 1.0, 1e-3));
         assert!(approx_eq(run.objective.frac_flow, 0.5, 1e-3));
         assert!(approx_eq(run.completion[0], 1.0, 1e-3));
@@ -121,16 +128,16 @@ mod tests {
     fn respects_release_times() {
         let inst = Instance::new(vec![Job::unit_density(2.0, 1.0)]).unwrap();
         let law = PowerLaw::new(2.0).unwrap();
-        let run = reference_run(&inst, law, 1e-3, 10_000_000, |_| Some((0, 1.0)));
+        let run = reference_run(&inst, law, 1e-3, 10_000_000, |_| Some((0, 1.0))).unwrap();
         // Service cannot start before release.
         assert!(run.completion[0] >= 3.0 - 1e-2);
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
-    fn stalled_policy_panics() {
+    fn stalled_policy_is_a_structured_error() {
         let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
         let law = PowerLaw::new(2.0).unwrap();
-        let _ = reference_run(&inst, law, 1e-3, 100, |_| None);
+        let err = reference_run(&inst, law, 1e-3, 100, |_| None).unwrap_err();
+        assert!(matches!(err, SimError::NonConvergence { .. }), "{err}");
     }
 }

@@ -40,7 +40,7 @@ pub fn geometric_density_chain(law: PowerLaw, l: usize, rho_base: f64, unit_cost
             0.0,
             1.0,
             1e-12,
-        );
+        )?;
         jobs.push(Job { release: 0.0, volume: v, density: rho });
     }
     Instance::new(jobs)

@@ -9,6 +9,8 @@
 //! * [`adversarial`] — the paper's explicit constructions (Section 6
 //!   look-alike batches, Section 7 geometric density chains, FIFO stress),
 //! * [`cloud`] — the Section 1 cloud-billing motivation as a revenue model,
+//! * [`fault`] — seeded adversarial perturbation operators backing the
+//!   workspace-wide never-panic/never-NaN robustness contract,
 //! * [`suite`] — named deterministic suites for the experiment harness.
 
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@ pub mod adversarial;
 pub mod cloud;
 pub mod distributions;
 pub mod diurnal;
+pub mod fault;
 pub mod generator;
 pub mod io;
 pub mod suite;
@@ -28,5 +31,6 @@ pub use adversarial::{fifo_stress, geometric_density_chain, lookalike_batch};
 pub use cloud::{CloudSpec, CloudTrace};
 pub use distributions::{DensityDist, VolumeDist};
 pub use diurnal::DiurnalSpec;
+pub use fault::{fault_seed, fault_suite, FaultCase, FaultKind};
 pub use generator::WorkloadSpec;
 pub use io::{instance_from_csv, instance_to_csv};

@@ -8,7 +8,11 @@
 #
 #   1. offline release build of every crate
 #   2. offline workspace test suite (unit + integration + property tests)
-#   3. warning-clean `cargo doc --no-deps`
+#   3. fault-injection robustness contract in --release (the guard rails
+#      must hold where debug_assert! is compiled out)
+#   4. audit smoke: every schedule-producing algorithm on a generated
+#      trace must pass the independent quadrature audit
+#   5. warning-clean `cargo doc --no-deps`
 #
 # Run from anywhere; it cd's to the repo root.
 
@@ -21,6 +25,23 @@ cargo build --workspace --release --offline
 
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
+
+echo "==> cargo test --release -q --offline --test fault_contract"
+cargo test --release -q --offline --test fault_contract
+
+echo "==> audit smoke (ncss-cli audit on a generated trace)"
+cli=target/release/ncss-cli
+trace="$(mktemp /tmp/ncss_verify_trace.XXXXXX.csv)"
+trap 'rm -f "$trace"' EXIT
+"$cli" generate --n 8 --seed 42 > "$trace"
+for algo in c nc active-count newest-first constant:1.5 known-sharing; do
+    "$cli" audit --algorithm "$algo" --input "$trace" --alpha 2 > /dev/null \
+        || { echo "FAIL: audit rejected $algo" >&2; exit 1; }
+done
+# The step-integrated algorithm is audited at its honest tolerance.
+"$cli" audit --algorithm nc-nonuniform --input "$trace" --alpha 2 --rel-tol 1e-2 > /dev/null \
+    || { echo "FAIL: audit rejected nc-nonuniform" >&2; exit 1; }
+echo "audit smoke passed"
 
 echo "==> cargo doc --workspace --no-deps --offline (must be warning-clean)"
 doc_log="$(RUSTDOCFLAGS="${RUSTDOCFLAGS:-}" cargo doc --workspace --no-deps --offline 2>&1)" || {

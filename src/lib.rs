@@ -16,6 +16,7 @@
 //! | [`opt`] | offline optimum: closed forms + a convex solver with certified dual lower bounds |
 //! | [`workloads`] | seeded generators, adversarial constructions, cloud-billing traces |
 //! | [`multi`] | identical parallel machines: C-PAR, NC-PAR, dispatch policies, the `Ω(k^{1−1/α})` lower-bound game |
+//! | [`audit`] | independent run auditing: quadrature re-derivation of objectives + event-level invariants |
 //! | [`analysis`] | ratio measurement, parallel sweeps, ASCII tables/charts |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use ncss_analysis as analysis;
+pub use ncss_audit as audit;
 pub use ncss_core as core;
 pub use ncss_multi as multi;
 pub use ncss_opt as opt;
@@ -52,9 +54,10 @@ pub use ncss_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use ncss_audit::{audit_outcome, audit_run, AuditConfig, AuditReport, ScheduleAudit};
     pub use ncss_core::{
-        reduce_to_integral, run_c, run_nc_nonuniform, run_nc_uniform, theory, CRun, IntegralRun,
-        NcRun, NonUniformParams,
+        reduce_to_integral, run_c, run_checked, run_nc_nonuniform, run_nc_uniform, theory,
+        CheckedRun, CRun, IntegralRun, NcRun, NonUniformParams,
     };
     pub use ncss_multi::{run_c_par, run_nc_par, ParOutcome};
     pub use ncss_opt::{single_job_opt, solve_fractional_opt, SolverOptions};

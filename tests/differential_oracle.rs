@@ -40,7 +40,8 @@ fn algorithm_c_matches_euler_oracle() {
             }
         }
         best.map(|j| (j, law.speed_for_power(total_w)))
-    });
+    })
+    .expect("oracle run within step budget");
     assert!(
         rel_diff(oracle.objective.energy, exact.objective.energy) < 2e-3,
         "energy {} vs {}",
@@ -73,7 +74,8 @@ fn algorithm_nc_matches_euler_oracle() {
         // paper's ε bootstrap.
         let power = (base[j] + processed_weight).max(1e-9);
         Some((j, law.speed_for_power(power)))
-    });
+    })
+    .expect("oracle run within step budget");
     assert!(
         rel_diff(oracle.objective.energy, exact.objective.energy) < 5e-3,
         "energy {} vs {}",

@@ -1,0 +1,156 @@
+//! One test per `SimError` variant, each reached through a public API.
+//!
+//! The robustness policy (DESIGN.md) says every failure mode surfaces as a
+//! *structured* error in release builds. This suite pins each variant to a
+//! concrete public entry point so a refactor cannot silently downgrade one
+//! to a panic (or worse, a NaN) without a test noticing.
+
+use ncss::core::{run_c, run_nc_nonuniform, run_nc_uniform, NonUniformParams};
+use ncss::sim::validate::reference_run;
+use ncss::sim::{evaluate, Instance, Job, PowerLaw, Schedule, Segment, SimError, SpeedLaw};
+use ncss::workloads::io::read_instance;
+use ncss::workloads::instance_from_csv;
+
+fn law(alpha: f64) -> PowerLaw {
+    PowerLaw::new(alpha).expect("valid alpha")
+}
+
+#[test]
+fn invalid_alpha_at_and_below_one() {
+    for alpha in [1.0, 0.5, -2.0, f64::NAN, f64::INFINITY] {
+        match PowerLaw::new(alpha) {
+            Err(SimError::InvalidAlpha { .. }) => {}
+            other => panic!("alpha={alpha}: expected InvalidAlpha, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn invalid_job_names_the_offender() {
+    let jobs = vec![Job::new(0.0, 1.0, 1.0), Job::new(0.0, 0.0, 1.0)];
+    match Instance::new(jobs) {
+        Err(SimError::InvalidJob { index: 1, .. }) => {}
+        other => panic!("expected InvalidJob at index 1, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_instance_from_empty_csv() {
+    match instance_from_csv("") {
+        Err(SimError::InvalidInstance { .. }) => {}
+        other => panic!("expected InvalidInstance, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_uniform_density_rejected_by_uniform_nc() {
+    let inst = Instance::new(vec![Job::new(0.0, 1.0, 1.0), Job::new(0.0, 1.0, 2.0)]).unwrap();
+    match run_nc_uniform(&inst, law(2.0)) {
+        Err(SimError::NonUniformDensity) => {}
+        other => panic!("expected NonUniformDensity, got {other:?}"),
+    }
+}
+
+#[test]
+fn incomplete_schedule_reports_remaining_volume() {
+    // Schedule delivers 1 unit of a 2-unit job.
+    let inst = Instance::new(vec![Job::new(0.0, 2.0, 1.0)]).unwrap();
+    let segs = vec![Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 1.0 })];
+    let sched = Schedule::new(law(2.0), segs).unwrap();
+    match evaluate(&sched, &inst) {
+        Err(SimError::IncompleteSchedule { job: 0, remaining }) => {
+            assert!((remaining - 1.0).abs() < 1e-9, "remaining = {remaining}");
+        }
+        other => panic!("expected IncompleteSchedule, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_schedule_from_overlapping_segments() {
+    let segs = vec![
+        Segment::new(0.0, 2.0, Some(0), SpeedLaw::Constant { speed: 1.0 }),
+        Segment::new(1.0, 3.0, Some(0), SpeedLaw::Constant { speed: 1.0 }),
+    ];
+    match Schedule::new(law(2.0), segs) {
+        Err(SimError::MalformedSchedule { .. }) => {}
+        other => panic!("expected MalformedSchedule, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_convergence_from_exhausted_step_budget() {
+    // A policy that never works: the reference oracle must give up with a
+    // structured error, not spin forever or panic.
+    let inst = Instance::new(vec![Job::new(0.0, 1.0, 1.0)]).unwrap();
+    match reference_run(&inst, law(2.0), 1e-3, 10, |_| None) {
+        Err(SimError::NonConvergence { .. }) => {}
+        other => panic!("expected NonConvergence, got {other:?}"),
+    }
+    // Same variant through the production non-uniform integrator.
+    let mixed = Instance::new(vec![Job::new(0.0, 1.0, 1.0), Job::new(0.0, 1.0, 2.0)]).unwrap();
+    let params = NonUniformParams { max_steps: 1, ..NonUniformParams::default() };
+    match run_nc_nonuniform(&mixed, law(2.0), params) {
+        Err(SimError::NonConvergence { .. }) => {}
+        other => panic!("expected NonConvergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn numeric_guard_trips_on_weight_overflow() {
+    // Two jobs whose weights ρ·V are each ~1e308: the total active weight
+    // overflows to +inf, so the HDF speed does too. The release-build guard
+    // rails must convert that into SimError::Numeric, never a NaN result.
+    let inst = Instance::new(vec![
+        Job::new(0.0, 1e154, 1e154),
+        Job::new(0.0, 1e154, 1e154),
+    ])
+    .unwrap();
+    match run_c(&inst, law(2.0)) {
+        Err(SimError::Numeric { value, .. }) => assert!(!value.is_finite(), "value = {value}"),
+        Ok(run) => panic!("expected Numeric, got objective {:?}", run.objective),
+        other => panic!("expected Numeric, got {other:?}"),
+    }
+}
+
+#[test]
+fn numeric_guard_trips_near_alpha_one_at_extreme_scale() {
+    // α → 1⁺ drives the speed exponent 1/α → 1 and the flow integrands
+    // toward their singular limit; combined with 1e150-scale volumes the
+    // energy integral overflows. Structured error required, both builds.
+    let inst = Instance::new(vec![
+        Job::new(0.0, 1e150, 1e155),
+        Job::new(0.0, 1e150, 1e155),
+    ])
+    .unwrap();
+    let result = run_c(&inst, law(1.0 + 1e-9));
+    match result {
+        Err(SimError::Numeric { .. }) => {}
+        Err(other) => panic!("expected Numeric, got {other:?}"),
+        Ok(run) => {
+            // If the run survives, the guard funnel must have proven every
+            // component finite — either way, no NaN escapes.
+            assert!(run.objective.energy.is_finite());
+            assert!(run.objective.frac_flow.is_finite());
+            assert!(run.objective.int_flow.is_finite());
+        }
+    }
+}
+
+#[test]
+fn invalid_row_carries_line_number() {
+    match instance_from_csv("release,volume,density\n0.0,bogus,1.0\n") {
+        Err(SimError::InvalidRow { line: 2, detail }) => {
+            assert!(detail.contains("volume"), "{detail}");
+        }
+        other => panic!("expected InvalidRow at line 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn io_error_is_flat_and_names_the_path() {
+    let path = std::path::Path::new("/nonexistent/ncss/error_paths/trace.csv");
+    match read_instance(path) {
+        Err(SimError::Io { detail }) => assert!(detail.contains("trace.csv"), "{detail}"),
+        other => panic!("expected Io, got {other:?}"),
+    }
+}

@@ -1,0 +1,172 @@
+//! Workspace robustness contract (fault-injection).
+//!
+//! Every algorithm in core/multi/opt, fed hundreds of seeded adversarial
+//! perturbations (ULP jitter, 1e±150 magnitude blow-ups, coincident
+//! releases, epsilon volumes, density collisions), must either
+//!
+//! * complete with all-finite objective components (and, where a schedule
+//!   exists, a structurally sound one), or
+//! * return a structured `SimError`,
+//!
+//! and must **never panic** — in `--release` builds too, which is where the
+//! numeric guard rails (rather than debug assertions) earn their keep.
+//! Seeds come from `NCSS_FAULT_SEED` when set, so CI failures reproduce.
+
+use ncss::audit::{audit_outcome, audit_run};
+use ncss::core::{
+    run_c, run_c_bounded, run_known_weight_sharing, run_nc_nonuniform, run_nc_uniform,
+    run_nc_uniform_bounded, NonUniformParams,
+};
+use ncss::multi::{run_immediate_dispatch, run_lazy_hdf, RoundRobin};
+use ncss::opt::{solve_fractional_opt, SolverOptions};
+use ncss::sim::{Evaluated, Instance, Objective, PowerLaw};
+use ncss::workloads::{fault_seed, fault_suite};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const CASES: usize = 220;
+
+/// Cheap solver settings: the contract is about robustness, not accuracy.
+fn quick_solver() -> SolverOptions {
+    SolverOptions { steps: 120, max_iters: 60, ..SolverOptions::default() }
+}
+
+/// Fast non-uniform settings for tiny adversarial instances.
+fn quick_nonuniform() -> NonUniformParams {
+    NonUniformParams { steps_per_job: 60, max_steps: 400_000, ..NonUniformParams::default() }
+}
+
+fn assert_finite(objective: &Objective, context: &str) {
+    for (what, v) in [
+        ("energy", objective.energy),
+        ("frac_flow", objective.frac_flow),
+        ("int_flow", objective.int_flow),
+    ] {
+        assert!(v.is_finite(), "{context}: non-finite {what} = {v}");
+    }
+}
+
+/// Run one algorithm under the contract: no panic, no non-finite output.
+fn contract<F>(label: &str, f: F)
+where
+    F: FnOnce() -> Option<Objective>,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    match outcome {
+        Ok(Some(objective)) => assert_finite(&objective, label),
+        Ok(None) => {} // structured error — allowed
+        Err(_) => panic!("{label}: PANICKED"),
+    }
+}
+
+#[test]
+fn no_algorithm_panics_or_emits_nan_under_fault_injection() {
+    let seed = fault_seed();
+    let suite = fault_suite(seed, CASES);
+    assert!(suite.len() >= 200);
+    let mut ran = 0usize;
+    let mut rejected = 0usize;
+
+    for case in &suite {
+        let inst = match &case.instance {
+            Ok(inst) => inst,
+            Err(_) => {
+                // Structured rejection at construction is a passing outcome.
+                rejected += 1;
+                continue;
+            }
+        };
+        ran += 1;
+        for alpha in [2.0, 3.0] {
+            let law = PowerLaw::new(alpha).expect("valid alpha");
+            let tag = |algo: &str| format!("seed {seed} case {} α={alpha} {algo}", case.label);
+
+            contract(&tag("run_c"), || run_c(inst, law).ok().map(|r| r.objective));
+            contract(&tag("run_nc_uniform"), || {
+                run_nc_uniform(inst, law).ok().map(|r| r.objective)
+            });
+            contract(&tag("run_nc_nonuniform"), || {
+                run_nc_nonuniform(inst, law, quick_nonuniform()).ok().map(|r| r.objective)
+            });
+            contract(&tag("run_known_weight_sharing"), || {
+                run_known_weight_sharing(inst, law).ok().map(|r| r.objective)
+            });
+            contract(&tag("run_c_bounded"), || {
+                run_c_bounded(inst, law, 4.0).ok().map(|(_, ev)| ev.objective)
+            });
+            contract(&tag("run_nc_uniform_bounded"), || {
+                run_nc_uniform_bounded(inst, law, 4.0).ok().map(|(_, ev)| ev.objective)
+            });
+            contract(&tag("run_immediate_dispatch"), || {
+                run_immediate_dispatch(inst, law, 2, &mut RoundRobin::default())
+                    .ok()
+                    .map(|r| r.objective)
+            });
+            contract(&tag("run_lazy_hdf"), || {
+                run_lazy_hdf(inst, law, 2, 5.0).ok().map(|r| r.objective)
+            });
+            contract(&tag("solve_fractional_opt"), || {
+                solve_fractional_opt(inst, law, quick_solver()).ok().map(|sol| Objective {
+                    energy: 0.0,
+                    frac_flow: sol.primal_cost,
+                    int_flow: sol.dual_bound,
+                })
+            });
+        }
+    }
+
+    // The suite must actually exercise both outcomes: plenty of runnable
+    // instances, and at least some structured rejections.
+    assert!(ran >= 100, "only {ran} of {} cases were runnable", suite.len());
+    assert!(rejected > 0, "no perturbation produced a structured rejection");
+}
+
+#[test]
+fn runs_that_succeed_under_faults_also_pass_the_audit() {
+    // Stronger than "no NaN": wherever an algorithm claims success on a
+    // perturbed instance, the independent auditor agrees with its numbers.
+    // (Blow-up cases that legitimately complete at extreme scale are held
+    // to the same tolerance — the audit is scale-free.)
+    let seed = fault_seed();
+    let mut audited = 0usize;
+    for case in fault_suite(seed, 60) {
+        let Ok(inst) = &case.instance else { continue };
+        let law = PowerLaw::new(2.0).expect("valid alpha");
+        if let Ok(run) = run_c(inst, law) {
+            let reported = Evaluated { objective: run.objective, per_job: run.per_job };
+            let report = audit_run(inst, &run.schedule, &reported);
+            assert!(report.passed(), "seed {seed} case {}:\n{report}", case.label);
+            audited += 1;
+        }
+        if let Ok(run) = run_known_weight_sharing(inst, law) {
+            let report = audit_outcome(inst, &run.objective, &run.per_job);
+            assert!(report.passed(), "seed {seed} case {} (sharing):\n{report}", case.label);
+        }
+    }
+    assert!(audited >= 10, "too few successful runs reached the audit ({audited})");
+}
+
+#[test]
+fn clean_instances_audit_below_1e7_residual() {
+    // Acceptance floor from the audit design: on unperturbed instances the
+    // quadrature re-derivation agrees with the closed forms to < 1e-7.
+    let inst = Instance::new(vec![
+        ncss::sim::Job::unit_density(0.0, 1.0),
+        ncss::sim::Job::unit_density(0.2, 2.0),
+        ncss::sim::Job::unit_density(0.9, 0.5),
+    ])
+    .expect("valid instance");
+    for alpha in [2.0, 2.5, 3.0] {
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+        let c = run_c(&inst, law).expect("clean run");
+        let reported = Evaluated { objective: c.objective, per_job: c.per_job };
+        let report = audit_run(&inst, &c.schedule, &reported);
+        assert!(report.passed(), "α={alpha}:\n{report}");
+        assert!(report.max_residual() < 1e-7, "α={alpha}: residual {}", report.max_residual());
+
+        let nc = run_nc_uniform(&inst, law).expect("clean run");
+        let reported = Evaluated { objective: nc.objective, per_job: nc.per_job };
+        let report = audit_run(&inst, &nc.schedule, &reported);
+        assert!(report.passed(), "NC α={alpha}:\n{report}");
+        assert!(report.max_residual() < 1e-7, "NC α={alpha}: residual {}", report.max_residual());
+    }
+}
