@@ -26,16 +26,21 @@
 //! `ncss audit` CLI, `run_checked`, the fault-injection contract test)
 //! decide what to do with a failure.
 //!
-//! Runs that do not produce a `Schedule` (processor sharing, the
-//! parallel-machine outcomes) are covered by the weaker but still useful
+//! Parallel-machine runs are audited by [`MultiAudit`]: per-machine
+//! segment invariants plus the cross-machine ones (no-double-service,
+//! cross-machine volume conservation, fleet-total objective
+//! re-derivation). Runs that produce no `Schedule` at all (processor
+//! sharing) are covered by the weaker but still useful
 //! [`ScheduleAudit::audit_outcome`].
 
 #![warn(missing_docs)]
 
+mod multi_audit;
 pub mod quad;
 pub mod report;
 mod schedule_audit;
 
+pub use multi_audit::MultiAudit;
 pub use report::{AuditReport, CheckVerdict};
 pub use schedule_audit::{AuditConfig, ScheduleAudit};
 
@@ -51,4 +56,15 @@ pub fn audit_run(instance: &Instance, schedule: &Schedule, reported: &Evaluated)
 #[must_use]
 pub fn audit_outcome(instance: &Instance, objective: &Objective, per_job: &PerJob) -> AuditReport {
     ScheduleAudit::default().audit_outcome(instance, objective, per_job)
+}
+
+/// Audit a parallel-machine run (one schedule per machine) with the
+/// default configuration.
+#[must_use]
+pub fn audit_multi(
+    instance: &Instance,
+    schedules: &[Schedule],
+    reported: &Evaluated,
+) -> AuditReport {
+    MultiAudit::default().audit(instance, schedules, reported)
 }

@@ -1,8 +1,14 @@
 //! The auditor: event-level invariants plus quadrature re-derivation.
+//!
+//! The derivation helpers in this module are shared with the
+//! multi-machine pass in [`crate::multi_audit`]: both re-derive per-job
+//! volumes, completions, and objective components from nothing but the
+//! pointwise speed curves, they just differ in where the segments come
+//! from (one timeline vs. one per machine).
 
 use crate::quad::integrate;
 use crate::report::AuditReport;
-use ncss_sim::{Evaluated, Instance, Objective, PerJob, Schedule, Segment};
+use ncss_sim::{Evaluated, Instance, Objective, PerJob, PowerLaw, Schedule, Segment};
 
 /// Tunable audit tolerances.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,8 +40,169 @@ pub struct ScheduleAudit {
 }
 
 /// Scale-free residual: relative for large magnitudes, absolute near zero.
-fn residual(x: f64, reference: f64) -> f64 {
+pub(crate) fn residual(x: f64, reference: f64) -> f64 {
     (x - reference).abs() / (1.0 + reference.abs())
+}
+
+/// Worst violation of "finite, positively oriented, monotone,
+/// non-overlapping" over one machine's segment list, with the offending
+/// segment named. (`Schedule::new` enforces this too; the audit re-derives
+/// it so a constructor regression cannot hide.)
+pub(crate) fn wellformed_residual(segments: &[Segment]) -> (f64, String) {
+    let mut worst = 0.0f64;
+    let mut detail = String::from("all segments ordered");
+    let mut prev_end = f64::NEG_INFINITY;
+    for (i, s) in segments.iter().enumerate() {
+        let bad_times = !(s.start.is_finite() && s.end.is_finite() && s.scale.is_finite());
+        let inversion = s.start - s.end; // > 0 means reversed
+        let overlap = if prev_end.is_finite() { prev_end - s.start } else { 0.0 };
+        let v = if bad_times { f64::INFINITY } else { inversion.max(overlap).max(0.0) };
+        if v > worst {
+            worst = v;
+            detail = format!("segment {i}: [{:.6}, {:.6}]", s.start, s.end);
+        }
+        prev_end = prev_end.max(s.end);
+    }
+    (worst, detail)
+}
+
+/// Worst "served before release" violation over one machine's segments.
+/// A segment naming a job outside the instance counts as an infinite
+/// violation.
+pub(crate) fn release_residual(instance: &Instance, segments: &[Segment]) -> (f64, String) {
+    let n = instance.len();
+    let mut worst = 0.0f64;
+    let mut detail = String::from("no early service");
+    for (i, s) in segments.iter().enumerate() {
+        let Some(j) = s.job else { continue };
+        if j >= n {
+            return (f64::INFINITY, format!("segment {i} serves unknown job {j}"));
+        }
+        let early = instance.job(j).release - s.start;
+        if early > worst {
+            worst = early;
+            detail = format!("job {j} served {early:.3e} before release (segment {i})");
+        }
+    }
+    (worst, detail)
+}
+
+/// Measurement resolution of a set of timelines: a job's service is
+/// representable only if its duration `V_j / s` exceeds one ulp of the
+/// time axis. With mixed magnitudes (1e±150 faults) a normal-size job
+/// served at speed ~1e74 finishes in ~1e-74 — far below `ulp(horizon)` —
+/// so it legitimately leaves no segment behind. Any volume below
+/// `peak_speed · horizon · ε` is therefore unmeasurable by *any* observer
+/// of these schedules, auditor included.
+pub(crate) fn measurement_resolution<'a>(
+    pl: PowerLaw,
+    timelines: impl Iterator<Item = &'a [Segment]>,
+    horizon: f64,
+) -> f64 {
+    let peak_speed = timelines
+        .flat_map(|segs| segs.iter().flat_map(|s| [s.speed_at(pl, s.start), s.speed_at(pl, s.end)]))
+        .fold(0.0f64, f64::max);
+    peak_speed * horizon.abs() * f64::EPSILON * 64.0
+}
+
+/// Re-derive per-job delivered volumes and completion times from the
+/// serving segments alone, by quadrature. `by_job[j]` must hold job `j`'s
+/// serving segments in increasing start order (across machines, in the
+/// multi case). Returns `(delivered, completions)`.
+pub(crate) fn derive_per_job(
+    pl: PowerLaw,
+    instance: &Instance,
+    by_job: &[Vec<Segment>],
+    reported_completion: &[f64],
+    rel_tol: f64,
+    resolution: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = instance.len();
+    let speed_of = |s: &Segment| {
+        let s = *s; // Segment is Copy; detach from the borrow
+        move |t: f64| s.speed_at(pl, t)
+    };
+    let mut delivered = vec![0.0f64; n];
+    let mut completions = vec![f64::NAN; n];
+    for (j, segs) in by_job.iter().enumerate() {
+        let volume = instance.job(j).volume;
+        let mut cum = 0.0;
+        for s in segs {
+            let dv = integrate(speed_of(s), s.start, s.end);
+            // First segment slice in which the cumulative quadrature
+            // volume reaches the job size: bisect for the crossing. The
+            // margin is scale-free so 1e-150-scale volumes (whose
+            // quadrature can underflow to 0) still register.
+            if completions[j].is_nan() && cum + dv >= volume - 1e-9 * (1.0 + volume) {
+                let target = (volume - cum).min(dv).max(0.0);
+                if dv - target <= 1e-9 * (1.0 + volume) {
+                    // The job's remaining volume at the segment boundary is
+                    // indistinguishable from zero, so the boundary is the
+                    // completion. Bisecting would chase the vanishing-speed
+                    // tail and land ~ε^{1/k} early on curves that drain
+                    // exactly at the segment end (the closed-form optimum
+                    // at α < 2 loses ~1e-6 that way).
+                    completions[j] = s.end;
+                } else {
+                    let (mut lo, mut hi) = (s.start, s.end);
+                    for _ in 0..60 {
+                        let mid = 0.5 * (lo + hi);
+                        if integrate(speed_of(s), s.start, mid) < target {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    completions[j] = 0.5 * (lo + hi);
+                }
+            }
+            cum += dv;
+        }
+        if completions[j].is_nan() && (cum - volume).abs() <= rel_tol * (1.0 + volume + resolution)
+        {
+            // All measurable volume was delivered but no crossing was
+            // detectable (zero-scale jobs whose serving segments are
+            // empty or underflow the quadrature): the inversion cannot
+            // constrain the completion, so adopt the last serving
+            // instant — or the reported value when the job never
+            // measurably ran at all.
+            let reported_c = reported_completion.get(j).copied().unwrap_or(f64::NAN);
+            completions[j] =
+                segs.last().map_or(reported_c, |s| s.end).max(instance.job(j).release);
+        }
+        delivered[j] = cum;
+    }
+    (delivered, completions)
+}
+
+/// Fractional weighted flow-time by quadrature. With `q_j(t)` the volume
+/// of job `j` processed by `t` and `c_j` the *derived* completion,
+///   `F_j = ρ_j ∫_{r_j}^{c_j} (V_j − q_j(t)) dt`
+///       `= ρ_j [ V_j (c_j − r_j) − ∫_{r_j}^{c_j} (c_j − τ) s_j(τ) dτ ]`
+/// by Fubini — one weighted quadrature per serving segment, with no
+/// closed-form volume integrals involved. NaN when any completion is
+/// non-finite.
+pub(crate) fn frac_flow_quadrature(
+    pl: PowerLaw,
+    instance: &Instance,
+    by_job: &[Vec<Segment>],
+    completions: &[f64],
+) -> f64 {
+    let mut frac = 0.0;
+    for (j, segs) in by_job.iter().enumerate() {
+        let job = instance.job(j);
+        let c = completions[j];
+        if !c.is_finite() {
+            return f64::NAN;
+        }
+        let mut served = 0.0;
+        for s in segs {
+            let hi = s.end.min(c);
+            served += integrate(|t| (c - t) * s.speed_at(pl, t), s.start, hi);
+        }
+        frac += job.density * (job.volume * (c - job.release) - served);
+    }
+    frac
 }
 
 impl ScheduleAudit {
@@ -60,111 +227,34 @@ impl ScheduleAudit {
         let horizon_scale = 1.0 + schedule.end_time().abs();
         let time_tol = self.config.time_tol * horizon_scale;
 
-        // --- segments-wellformed: finite, positive duration, monotone,
-        // non-overlapping. (Schedule::new enforces this too; the audit
-        // re-derives it so a constructor regression cannot hide.)
-        let mut worst = 0.0f64;
-        let mut detail = String::from("all segments ordered");
-        let mut prev_end = f64::NEG_INFINITY;
-        for (i, s) in schedule.segments().iter().enumerate() {
-            let bad_times = !(s.start.is_finite() && s.end.is_finite() && s.scale.is_finite());
-            let inversion = s.start - s.end; // > 0 means reversed
-            let overlap = if prev_end.is_finite() { prev_end - s.start } else { 0.0 };
-            let v = if bad_times { f64::INFINITY } else { inversion.max(overlap).max(0.0) };
-            if v > worst {
-                worst = v;
-                detail = format!("segment {i}: [{:.6}, {:.6}]", s.start, s.end);
-            }
-            prev_end = prev_end.max(s.end);
-        }
+        let (worst, detail) = wellformed_residual(schedule.segments());
         report.record("segments-wellformed", worst, time_tol, detail);
 
-        // --- release-before-service.
-        let mut worst = 0.0f64;
-        let mut detail = String::from("no early service");
-        for (i, s) in schedule.segments().iter().enumerate() {
-            let Some(j) = s.job else { continue };
-            if j >= n {
-                report.record(
-                    "release-before-service",
-                    f64::INFINITY,
-                    time_tol,
-                    format!("segment {i} serves unknown job {j}"),
-                );
-                continue;
-            }
-            let early = instance.job(j).release - s.start;
-            if early > worst {
-                worst = early;
-                detail = format!("job {j} served {early:.3e} before release (segment {i})");
-            }
-        }
+        let (worst, detail) = release_residual(instance, schedule.segments());
         report.record("release-before-service", worst, time_tol, detail);
 
         // --- per-job quadrature volumes and re-derived completions.
-        let by_job: Vec<Vec<&Segment>> = (0..n)
-            .map(|j| schedule.segments().iter().filter(|s| s.job == Some(j)).collect())
+        let by_job: Vec<Vec<Segment>> = (0..n)
+            .map(|j| schedule.segments().iter().filter(|s| s.job == Some(j)).copied().collect())
             .collect();
-        let speed_of = |s: &Segment| {
-            let s = *s; // Segment is Copy; detach from the borrow
-            move |t: f64| s.speed_at(pl, t)
-        };
-
-        // Measurement resolution of the schedule itself: a job's service is
-        // representable only if its duration `V_j / s` exceeds one ulp of
-        // the time axis. With mixed magnitudes (1e±150 faults) a normal-size
-        // job served at speed ~1e74 finishes in ~1e-74 — far below
-        // `ulp(horizon)` — so it legitimately leaves no segment behind.
-        // Any volume below `peak_speed · horizon · ε` is therefore
-        // unmeasurable by *any* observer of this schedule, auditor included.
-        let peak_speed = schedule
-            .segments()
-            .iter()
-            .flat_map(|s| [s.speed_at(pl, s.start), s.speed_at(pl, s.end)])
-            .fold(0.0f64, f64::max);
-        let resolution = peak_speed * schedule.end_time().abs() * f64::EPSILON * 64.0;
+        let resolution = measurement_resolution(
+            pl,
+            std::iter::once(schedule.segments()),
+            schedule.end_time(),
+        );
+        let (delivered, derived_completion) = derive_per_job(
+            pl,
+            instance,
+            &by_job,
+            &reported.per_job.completion,
+            self.config.rel_tol,
+            resolution,
+        );
 
         let mut vol_worst = 0.0f64;
         let mut vol_detail = String::from("all volumes conserved");
-        let mut derived_completion = vec![f64::NAN; n];
-        for (j, segs) in by_job.iter().enumerate() {
+        for (j, &cum) in delivered.iter().enumerate() {
             let volume = instance.job(j).volume;
-            let mut cum = 0.0;
-            for s in segs {
-                let dv = integrate(speed_of(s), s.start, s.end);
-                // First segment slice in which the cumulative quadrature
-                // volume reaches the job size: bisect for the crossing. The
-                // margin is scale-free so 1e-150-scale volumes (whose
-                // quadrature can underflow to 0) still register.
-                if derived_completion[j].is_nan() && cum + dv >= volume - 1e-9 * (1.0 + volume) {
-                    let (mut lo, mut hi) = (s.start, s.end);
-                    let target = (volume - cum).min(dv).max(0.0);
-                    for _ in 0..60 {
-                        let mid = 0.5 * (lo + hi);
-                        if integrate(speed_of(s), s.start, mid) < target {
-                            lo = mid;
-                        } else {
-                            hi = mid;
-                        }
-                    }
-                    derived_completion[j] = 0.5 * (lo + hi);
-                }
-                cum += dv;
-            }
-            if derived_completion[j].is_nan()
-                && (cum - volume).abs() <= self.config.rel_tol * (1.0 + volume + resolution)
-            {
-                // All measurable volume was delivered but no crossing was
-                // detectable (zero-scale jobs whose serving segments are
-                // empty or underflow the quadrature): the inversion cannot
-                // constrain the completion, so adopt the last serving
-                // instant — or the reported value when the job never
-                // measurably ran at all.
-                let reported_c =
-                    reported.per_job.completion.get(j).copied().unwrap_or(f64::NAN);
-                derived_completion[j] =
-                    segs.last().map_or(reported_c, |s| s.end).max(instance.job(j).release);
-            }
             let r = (cum - volume).abs() / (1.0 + volume + resolution);
             if !(r <= vol_worst) {
                 vol_worst = r;
@@ -202,27 +292,7 @@ impl ScheduleAudit {
             format!("quadrature {energy:.9e} vs reported {:.9e}", reported.objective.energy),
         );
 
-        // --- fractional flow re-derivation. With q_j(t) the volume of job
-        // j processed by t and c_j the *derived* completion,
-        //   F_j = ρ_j ∫_{r_j}^{c_j} (V_j − q_j(t)) dt
-        //       = ρ_j [ V_j (c_j − r_j) − ∫_{r_j}^{c_j} (c_j − τ) s_j(τ) dτ ]
-        // by Fubini — one weighted quadrature per serving segment, with no
-        // closed-form volume integrals involved.
-        let mut frac = 0.0;
-        for (j, segs) in by_job.iter().enumerate() {
-            let job = instance.job(j);
-            let c = derived_completion[j];
-            if !c.is_finite() {
-                frac = f64::NAN;
-                break;
-            }
-            let mut served = 0.0;
-            for s in segs {
-                let hi = s.end.min(c);
-                served += integrate(|t| (c - t) * s.speed_at(pl, t), s.start, hi);
-            }
-            frac += job.density * (job.volume * (c - job.release) - served);
-        }
+        let frac = frac_flow_quadrature(pl, instance, &by_job, &derived_completion);
         report.record(
             "frac-flow-recomputed",
             residual(frac, reported.objective.frac_flow),
@@ -265,7 +335,7 @@ impl ScheduleAudit {
 
     /// Checks shared by both audit modes: finiteness, completion ordering,
     /// per-job flow dominance, and sum consistency.
-    fn outcome_checks(
+    pub(crate) fn outcome_checks(
         &self,
         report: &mut AuditReport,
         instance: &Instance,
@@ -465,5 +535,21 @@ mod tests {
         let objective = Objective { energy: 1.0, frac_flow: 0.5, int_flow: 1.0 };
         let report = ScheduleAudit::default().audit_outcome(&inst, &objective, &per_job);
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn unknown_job_id_is_caught() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        let law = pl(2.0);
+        let segs = vec![Segment::new(0.0, 1.0, Some(7), SpeedLaw::Constant { speed: 1.0 })];
+        let sched = Schedule::new(law, segs).unwrap();
+        let per_job = PerJob { completion: vec![1.0], frac_flow: vec![0.5], int_flow: vec![1.0] };
+        let ev = Evaluated {
+            objective: Objective { energy: 1.0, frac_flow: 0.5, int_flow: 1.0 },
+            per_job,
+        };
+        let report = ScheduleAudit::default().audit(&inst, &sched, &ev);
+        assert!(!report.passed());
+        assert!(report.failures().iter().any(|c| c.name == "release-before-service"));
     }
 }

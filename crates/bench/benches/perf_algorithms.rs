@@ -5,16 +5,37 @@
 //! event-driven (near-linear in jobs with an O(n) accrual scan per event),
 //! Algorithm NC re-simulates C on prefixes (O(n²·log n)), and the
 //! non-uniform algorithm pays two nested C runs per integration step.
+//!
+//! Before timing, each algorithm runs once through `run_checked` so its
+//! audit verdict lands next to the numbers in `BENCH_algorithms.json`: a
+//! speedup that breaks an invariant fails the bench binary.
 
-use ncss_bench::harness::{black_box, Suite};
-use ncss_core::{run_c, run_nc_nonuniform, run_nc_uniform, NonUniformParams};
-use ncss_sim::PowerLaw;
+use ncss_audit::AuditConfig;
+use ncss_bench::harness::{black_box, AuditVerdict, Suite};
+use ncss_core::{
+    run_c, run_checked, run_nc_nonuniform, run_nc_uniform, CheckedAlgorithm, NonUniformParams,
+};
+use ncss_sim::{Instance, PowerLaw};
 use ncss_workloads::{DensityDist, VolumeDist, WorkloadSpec};
 
 fn uniform_instance(n: usize) -> ncss_sim::Instance {
     WorkloadSpec::uniform(n, 1.0, VolumeDist::Exponential { mean: 1.0 })
         .generate(42)
         .expect("valid spec")
+}
+
+/// One checked run before the clock starts: the verdict recorded with the
+/// measurement.
+fn verdict(
+    inst: &Instance,
+    law: PowerLaw,
+    algo: CheckedAlgorithm,
+    config: AuditConfig,
+) -> AuditVerdict {
+    match run_checked(inst, law, algo, config) {
+        Ok(run) => AuditVerdict::from_passed(run.audit_passed()),
+        Err(_) => AuditVerdict::Fail,
+    }
 }
 
 fn main() {
@@ -24,13 +45,15 @@ fn main() {
     // Uniform-density hot path: Algorithm C and Algorithm NC.
     for n in [10usize, 100, 1000] {
         let inst = uniform_instance(n);
-        suite.bench(&format!("algorithm_c/{n}"), || {
+        let v = verdict(&inst, law, CheckedAlgorithm::C, AuditConfig::default());
+        suite.bench_audited(&format!("algorithm_c/{n}"), v, || {
             black_box(run_c(&inst, law).expect("C run"));
         });
     }
     for n in [10usize, 100, 400] {
         let inst = uniform_instance(n);
-        suite.bench(&format!("algorithm_nc_uniform/{n}"), || {
+        let v = verdict(&inst, law, CheckedAlgorithm::NcUniform, AuditConfig::default());
+        suite.bench_audited(&format!("algorithm_nc_uniform/{n}"), v, || {
             black_box(run_nc_uniform(&inst, law).expect("NC run"));
         });
     }
@@ -46,12 +69,18 @@ fn main() {
         .generate(7)
         .expect("valid spec");
         let params = NonUniformParams { steps_per_job: 150, ..NonUniformParams::recommended(3.0) };
-        suite.bench_with(&format!("algorithm_nc_nonuniform/{n}"), 2, 10, || {
+        // Step-integrated: reported numbers are accurate to the integration
+        // step, so the audit runs at step-level tolerance.
+        let config = AuditConfig { rel_tol: 1e-2, ..AuditConfig::default() };
+        let v = verdict(&inst, law, CheckedAlgorithm::NcNonUniform(params), config);
+        suite.bench_audited_with(&format!("algorithm_nc_nonuniform/{n}"), v, 2, 10, || {
             black_box(run_nc_nonuniform(&inst, law, params).expect("NC run"));
         });
     }
 
     {
+        // The evaluator is itself part of the audit path, so it gets no
+        // verdict of its own.
         let inst = uniform_instance(500);
         let run = run_c(&inst, law).expect("C run");
         suite.bench("evaluate_schedule/500", || {

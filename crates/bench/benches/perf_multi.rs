@@ -1,10 +1,30 @@
 //! Benches for the parallel-machine algorithms and the lower-bound game,
 //! on the in-repo harness (median/p95 to `BENCH_multi.json`).
+//!
+//! C-PAR and NC-PAR each run once through `run_checked_multi` (the
+//! cross-machine auditor: per-machine invariants, no-double-service,
+//! cross-machine volume conservation, objective re-derivation) before
+//! timing; the verdict is recorded with the measurement and a failure
+//! fails the binary. The adversary game produces no fleet schedule, so it
+//! stays unaudited.
 
-use ncss_bench::harness::{black_box, Suite};
+use ncss_audit::AuditConfig;
+use ncss_bench::harness::{black_box, AuditVerdict, Suite};
+use ncss_core::run_checked_multi;
 use ncss_multi::{immediate_dispatch_game, run_c_par, run_nc_par, RoundRobin};
-use ncss_sim::PowerLaw;
+use ncss_sim::{Instance, PowerLaw, SimResult};
 use ncss_workloads::{VolumeDist, WorkloadSpec};
+
+/// One audited run of a parallel-machine algorithm before timing it.
+fn multi_verdict<F>(inst: &Instance, law: PowerLaw, machines: usize, run: F) -> AuditVerdict
+where
+    F: FnOnce(&Instance, PowerLaw, usize) -> SimResult<ncss_core::MultiRun>,
+{
+    match run_checked_multi(inst, law, machines, AuditConfig::default(), run) {
+        Ok(checked) => AuditVerdict::from_passed(checked.audit_passed()),
+        Err(_) => AuditVerdict::Fail,
+    }
+}
 
 fn main() {
     let law = PowerLaw::cube();
@@ -14,10 +34,12 @@ fn main() {
         .generate(3)
         .expect("valid spec");
     for k in [2usize, 4, 8] {
-        suite.bench_with(&format!("c_par/60x{k}"), 2, 20, || {
+        let v = multi_verdict(&inst, law, k, |i, l, m| run_c_par(i, l, m).map(Into::into));
+        suite.bench_audited_with(&format!("c_par/60x{k}"), v, 2, 20, || {
             black_box(run_c_par(&inst, law, k).expect("C-PAR"));
         });
-        suite.bench_with(&format!("nc_par/60x{k}"), 2, 20, || {
+        let v = multi_verdict(&inst, law, k, |i, l, m| run_nc_par(i, l, m).map(Into::into));
+        suite.bench_audited_with(&format!("nc_par/60x{k}"), v, 2, 20, || {
             black_box(run_nc_par(&inst, law, k).expect("NC-PAR"));
         });
     }

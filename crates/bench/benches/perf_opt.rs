@@ -1,16 +1,29 @@
 //! Benches for the offline-optimum solver, on the in-repo harness
 //! (median/p95 to `BENCH_opt.json`).
+//!
+//! The closed-form optimum is audited before timing: its emitted decay
+//! schedule goes through `ncss-audit` against the closed-form numbers, and
+//! the verdict is recorded in the JSON. The projected-gradient solver's
+//! discretised primal has no `Schedule` form, so it stays unaudited.
 
-use ncss_bench::harness::{black_box, Suite};
+use ncss_audit::audit_run;
+use ncss_bench::harness::{black_box, AuditVerdict, Suite};
 use ncss_opt::{single_job_opt, solve_fractional_opt, SolverOptions};
-use ncss_sim::PowerLaw;
+use ncss_sim::{Instance, Job, PowerLaw};
 use ncss_workloads::{VolumeDist, WorkloadSpec};
 
 fn main() {
     let law = PowerLaw::cube();
     let mut suite = Suite::new("opt");
 
-    suite.bench("single_job_opt_closed_form", || {
+    let closed_form_verdict = {
+        let (rho, volume) = (1.3, 2.7);
+        let opt = single_job_opt(law, rho, volume).expect("closed form");
+        let inst = Instance::single(Job::new(0.0, volume, rho)).expect("single job");
+        let sched = opt.to_schedule(law, 0.0).expect("opt schedule");
+        AuditVerdict::from_passed(audit_run(&inst, &sched, &opt.evaluated(0.0)).passed())
+    };
+    suite.bench_audited("single_job_opt_closed_form", closed_form_verdict, || {
         black_box(single_job_opt(law, 1.3, 2.7).expect("closed form"));
     });
 

@@ -20,11 +20,55 @@ use std::time::Instant;
 /// `std::hint` themselves (Criterion's `black_box` had the same role).
 pub use std::hint::black_box;
 
+/// Audit verdict attached to a measurement: was the timed algorithm's
+/// output independently checked (`ncss-audit`) before measurement?
+///
+/// Every `BENCH_*.json` entry carries one of these, so a regression that
+/// makes an algorithm faster *by making it wrong* cannot slip through a
+/// perf run unnoticed. [`Suite::finish`] fails the whole bench binary when
+/// any verdict is [`AuditVerdict::Fail`] — after writing the JSON, so the
+/// failing entry is on disk for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditVerdict {
+    /// The run was audited and every invariant held.
+    Pass,
+    /// The run was audited and at least one invariant was violated.
+    Fail,
+    /// No audit was attempted (micro-benches of non-algorithm code, or
+    /// outputs with no schedule to check).
+    #[default]
+    Skipped,
+}
+
+impl AuditVerdict {
+    /// Map an audit's boolean outcome (e.g. `CheckedRun::audit_passed`).
+    #[must_use]
+    pub fn from_passed(passed: bool) -> Self {
+        if passed {
+            Self::Pass
+        } else {
+            Self::Fail
+        }
+    }
+
+    /// The JSON string value.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Pass => "pass",
+            Self::Fail => "fail",
+            Self::Skipped => "skipped",
+        }
+    }
+}
+
 /// One benchmark measurement: per-iteration wall-clock statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Benchmark id, e.g. `algorithm_c/100`.
     pub name: String,
+    /// Audit verdict for the benched algorithm's output.
+    pub audit: AuditVerdict,
     /// Unrecorded warmup iterations that preceded timing.
     pub warmup: u32,
     /// Timed iterations.
@@ -44,9 +88,10 @@ pub struct Measurement {
 impl Measurement {
     fn json(&self) -> String {
         format!(
-            "{{\"name\":{},\"warmup\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\
+            "{{\"name\":{},\"audit\":{},\"warmup\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\
              \"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
             json_string(&self.name),
+            json_string(self.audit.as_str()),
             self.warmup,
             self.iters,
             self.min_ns,
@@ -102,15 +147,36 @@ impl Suite {
         }
     }
 
-    /// Measure `f` with the suite defaults (warmup 3, iters 30).
+    /// Measure `f` with the suite defaults (warmup 3, iters 30) and no
+    /// audit verdict ([`AuditVerdict::Skipped`]).
     pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
         self.bench_with(name, 3, 30, f);
     }
 
-    /// Measure `f` with explicit warmup/iteration counts. The
-    /// `NCSS_BENCH_WARMUP` / `NCSS_BENCH_ITERS` env knobs override both
-    /// counts globally so smoke runs can cut every bench short.
-    pub fn bench_with<F: FnMut()>(&mut self, name: &str, warmup: u32, iters: u32, mut f: F) {
+    /// Measure `f` with explicit warmup/iteration counts and no audit
+    /// verdict. The `NCSS_BENCH_WARMUP` / `NCSS_BENCH_ITERS` env knobs
+    /// override both counts globally so smoke runs can cut every bench
+    /// short.
+    pub fn bench_with<F: FnMut()>(&mut self, name: &str, warmup: u32, iters: u32, f: F) {
+        self.bench_audited_with(name, AuditVerdict::Skipped, warmup, iters, f);
+    }
+
+    /// Measure `f` with the suite defaults, recording the audit verdict the
+    /// caller obtained by running the algorithm once through
+    /// `run_checked` / `run_checked_multi` before timing it.
+    pub fn bench_audited<F: FnMut()>(&mut self, name: &str, audit: AuditVerdict, f: F) {
+        self.bench_audited_with(name, audit, 3, 30, f);
+    }
+
+    /// Measure `f` with an explicit audit verdict and warmup/iter counts.
+    pub fn bench_audited_with<F: FnMut()>(
+        &mut self,
+        name: &str,
+        audit: AuditVerdict,
+        warmup: u32,
+        iters: u32,
+        mut f: F,
+    ) {
         let warmup = self.env_warmup.unwrap_or(warmup);
         let iters = self.env_iters.unwrap_or(iters).max(1);
         for _ in 0..warmup {
@@ -127,6 +193,7 @@ impl Suite {
         let sum: u128 = samples.iter().map(|&x| u128::from(x)).sum();
         let m = Measurement {
             name: name.to_string(),
+            audit,
             warmup,
             iters,
             min_ns: samples[0],
@@ -136,8 +203,12 @@ impl Suite {
             max_ns: *samples.last().expect("at least one sample"),
         };
         eprintln!(
-            "  {:<44} median {:>12} ns   p95 {:>12} ns   ({} iters)",
-            m.name, m.median_ns, m.p95_ns, m.iters
+            "  {:<44} median {:>12} ns   p95 {:>12} ns   ({} iters, audit {})",
+            m.name,
+            m.median_ns,
+            m.p95_ns,
+            m.iters,
+            m.audit.as_str()
         );
         self.results.push(m);
     }
@@ -163,11 +234,31 @@ impl Suite {
         Ok(path)
     }
 
-    /// Print the summary line, write the JSON, and panic on I/O failure —
-    /// the convenience tail call for bench `main`s.
+    /// Names of measurements whose audit verdict is [`AuditVerdict::Fail`].
+    #[must_use]
+    pub fn audit_failures(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|m| m.audit == AuditVerdict::Fail)
+            .map(|m| m.name.as_str())
+            .collect()
+    }
+
+    /// Print the summary line, write the JSON, and panic on I/O failure or
+    /// any failed audit verdict — the convenience tail call for bench
+    /// `main`s. The JSON is written *before* the audit gate fires so the
+    /// failing entries are on disk for inspection.
     pub fn finish(self) {
         let path = self.write_json().expect("write bench JSON");
         eprintln!("{}: {} measurements -> {}", self.name, self.results.len(), path.display());
+        let failures = self.audit_failures();
+        assert!(
+            failures.is_empty(),
+            "{}: audit FAILED for {} (see {})",
+            self.name,
+            failures.join(", "),
+            path.display()
+        );
     }
 
     /// Measurements recorded so far.
@@ -212,11 +303,31 @@ mod tests {
         assert!(json.starts_with("{\"suite\":\"json\\\"test\""));
         assert!(json.contains("\"schema\":\"ncss-bench/1\""));
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
+        // Every entry carries an audit verdict; plain bench() records it
+        // as "skipped".
+        assert_eq!(json.matches("\"audit\":\"skipped\"").count(), 2);
         assert!(json.trim_end().ends_with("]}"));
         // Balanced braces/brackets (cheap well-formedness proxy without a
         // JSON parser in the dependency-free workspace).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn audit_verdicts_are_recorded_and_gate_finish() {
+        let mut suite = Suite::new("audit-verdicts");
+        suite.bench_audited_with("good", AuditVerdict::Pass, 0, 2, || {
+            busy_work();
+        });
+        suite.bench_audited_with("bad", AuditVerdict::from_passed(false), 0, 2, || {
+            busy_work();
+        });
+        let json = suite.to_json();
+        assert!(json.contains("\"name\":\"good\",\"audit\":\"pass\""));
+        assert!(json.contains("\"name\":\"bad\",\"audit\":\"fail\""));
+        assert_eq!(suite.audit_failures(), vec!["bad"]);
+        // finish() would panic here; the gate itself is what we assert.
+        assert!(!suite.audit_failures().is_empty());
     }
 
     #[test]

@@ -2,14 +2,16 @@
 
 use crate::args::{parse_args, ParsedArgs};
 use ncss_analysis::{fmt_f, Table};
-use ncss_audit::{AuditConfig, ScheduleAudit};
+use ncss_audit::{AuditConfig, MultiAudit, ScheduleAudit};
 use ncss_core::baselines::{run_active_count, run_constant_speed, run_newest_first};
 use ncss_core::{
-    run_c, run_known_weight_sharing, run_nc_nonuniform, run_nc_uniform, theory, NonUniformParams,
+    run_c, run_known_weight_sharing, run_nc_nonuniform, run_nc_uniform, theory, MultiRun,
+    NonUniformParams,
 };
+use ncss_multi::{run_c_par, run_immediate_dispatch, run_nc_par, LeastCount};
 use ncss_sim::Evaluated;
 use ncss_opt::{solve_fractional_opt, SolverOptions};
-use ncss_sim::{Instance, Objective, PowerLaw};
+use ncss_sim::{Instance, Objective, PowerLaw, Schedule};
 use ncss_workloads::{instance_from_csv, instance_to_csv, DensityDist, VolumeDist, WorkloadSpec};
 
 const HELP: &str = "\
@@ -25,19 +27,31 @@ commands:
            A = c | nc | nc-nonuniform | active-count | newest-first | constant:SPEED
   opt      --input FILE [--alpha ALPHA] [--steps N] [--iters N]
            bracket the fractional offline optimum
-  compare  --input FILE [--alpha ALPHA]
+  compare  --input FILE [--alpha ALPHA] [--machines K]
            run every applicable algorithm and print costs + certified ratios
+           plus each run's audit verdict; with --machines K also the
+           parallel-machine algorithms (cross-machine audit, ratio column -)
+           exits non-zero if any audit fails
   gantt    --algorithm A --input FILE [--alpha ALPHA] [--width W]
            render the schedule as an ASCII Gantt chart with a speed sparkline
   sweep    --input FILE [--alphas LO:HI:N]
            competitive-ratio curve of C and NC across power-law exponents
   audit    --algorithm A --input FILE [--alpha ALPHA] [--rel-tol T] [--time-tol T]
+           [--machines K] [--corrupt WHAT]
            re-derive the run's objective by independent quadrature and check
            every schedule invariant; exits non-zero if any check fails
-           A as for 'run', plus known-sharing (outcome-only audit).
+           A as for 'run', plus known-sharing (outcome-only audit) and the
+           parallel-machine algorithms c-par | nc-par | dispatch (audited
+           across machines; --machines K, default 2).
            step-integrated algorithms (nc-nonuniform) need a looser --rel-tol
+           --corrupt energy|frac-flow|int-flow|completion|schedule tampers
+           with the run before auditing (the audit MUST then fail) — the
+           end-to-end self-test of the audit gate
   help     this message
 ";
+
+/// Parallel-machine algorithms accepted by `audit`/`compare`.
+const MULTI_ALGOS: [&str; 3] = ["c-par", "nc-par", "dispatch"];
 
 fn parse_volumes(spec: &str) -> Result<VolumeDist, String> {
     let parts: Vec<&str> = spec.split(':').collect();
@@ -144,6 +158,7 @@ fn cmd_opt(args: &ParsedArgs) -> Result<String, String> {
 fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
     let inst = load_instance(args)?;
     let law = law_of(args)?;
+    let machines = args.usize_or("machines", 0)?; // 0 = single-machine only
     let sol = solve_fractional_opt(&inst, law, SolverOptions::default()).map_err(|e| e.to_string())?;
     let lb = sol.dual_bound.max(f64::MIN_POSITIVE);
 
@@ -160,11 +175,50 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
             law.alpha(),
             fmt_f(sol.dual_bound)
         ),
-        &["algorithm", "frac objective", "ratio vs OPT lb", "int objective"],
+        &["algorithm", "frac objective", "ratio vs OPT lb", "int objective", "audit", "max residual"],
     );
+    let mut failed: Vec<String> = Vec::new();
+    let mut verdict = |name: &str, report: &ncss_audit::AuditReport| -> Vec<String> {
+        if !report.passed() {
+            failed.push(name.to_string());
+        }
+        vec![
+            if report.passed() { "PASS" } else { "FAIL" }.to_string(),
+            format!("{:.1e}", report.max_residual()),
+        ]
+    };
     for name in &algos {
-        let o = run_algorithm(name, &inst, law)?;
-        t.row(vec![(*name).to_string(), fmt_f(o.fractional()), fmt_f(o.fractional() / lb), fmt_f(o.integral())]);
+        let (schedule, reported) = evaluated_of(name, &inst, law)?;
+        // Step-integrated runs are only accurate to their step size.
+        let config = if *name == "nc-nonuniform" {
+            AuditConfig { rel_tol: 1e-2, ..AuditConfig::default() }
+        } else {
+            AuditConfig::default()
+        };
+        let report = ScheduleAudit::new(config).audit(&inst, &schedule, &reported);
+        let o = &reported.objective;
+        let mut row =
+            vec![(*name).to_string(), fmt_f(o.fractional()), fmt_f(o.fractional() / lb), fmt_f(o.integral())];
+        row.extend(verdict(name, &report));
+        t.row(row);
+    }
+    if machines > 0 {
+        // The single-machine OPT lower bound does not apply across a fleet,
+        // so the ratio column is "-" for the parallel algorithms.
+        for name in MULTI_ALGOS {
+            if name != "c-par" && !inst.is_uniform_density() {
+                continue; // NC-PAR and dispatch are uniform-density algorithms
+            }
+            let run = multi_run_of(name, &inst, law, machines)?;
+            let reported = Evaluated { objective: run.objective, per_job: run.per_job.clone() };
+            let report = MultiAudit::default().audit(&inst, &run.schedules, &reported);
+            let o = &reported.objective;
+            let label = format!("{name} x{machines}");
+            let mut row =
+                vec![label.clone(), fmt_f(o.fractional()), "-".to_string(), fmt_f(o.integral())];
+            row.extend(verdict(&label, &report));
+            t.row(row);
+        }
     }
     let mut out = t.render();
     if inst.is_uniform_density() {
@@ -175,7 +229,12 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
             fmt_f(theory::nc_uniform_integral_bound(law.alpha())),
         ));
     }
-    Ok(out)
+    // Like `audit`: a failed verdict fails the command so CI sees it.
+    if failed.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("{out}audit FAILED for: {}", failed.join(", ")))
+    }
 }
 
 fn schedule_of(name: &str, inst: &Instance, law: PowerLaw) -> Result<ncss_sim::Schedule, String> {
@@ -221,21 +280,151 @@ fn evaluated_of(
     }
 }
 
+/// Run a parallel-machine algorithm by CLI name (see [`MULTI_ALGOS`]).
+fn multi_run_of(
+    name: &str,
+    inst: &Instance,
+    law: PowerLaw,
+    machines: usize,
+) -> Result<MultiRun, String> {
+    let err = |e: ncss_sim::SimError| e.to_string();
+    match name {
+        "c-par" => run_c_par(inst, law, machines).map(Into::into).map_err(err),
+        "nc-par" => run_nc_par(inst, law, machines).map(Into::into).map_err(err),
+        "dispatch" => {
+            let mut policy = LeastCount::default();
+            run_immediate_dispatch(inst, law, machines, &mut policy).map(Into::into).map_err(err)
+        }
+        _ => Err(format!("unknown parallel algorithm '{name}'; see 'ncss help'")),
+    }
+}
+
+/// Tamper with reported numbers before auditing (`--corrupt WHAT`); the
+/// audit MUST then fail, which is what `scripts/verify.sh` asserts.
+fn corrupt_reported(reported: &mut Evaluated, what: &str) -> Result<(), String> {
+    match what {
+        "energy" => reported.objective.energy *= 0.5,
+        "frac-flow" => reported.objective.frac_flow *= 0.5,
+        "int-flow" => reported.objective.int_flow *= 0.5,
+        "completion" => {
+            let c = reported
+                .per_job
+                .completion
+                .first_mut()
+                .ok_or_else(|| "--corrupt completion needs at least one job".to_string())?;
+            *c *= 0.5;
+        }
+        other => {
+            return Err(format!(
+                "unknown --corrupt component '{other}' \
+                 (energy | frac-flow | int-flow | completion | schedule)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Per-machine timeline summary for the multi-machine audit output: the
+/// recomputed quantities that feed the cross-machine residuals.
+fn per_machine_table(schedules: &[Schedule]) -> String {
+    let mut t = Table::new(
+        "per-machine timelines (independently recomputed)".to_string(),
+        &["machine", "segments", "busy time", "energy", "volume"],
+    );
+    for (m, s) in schedules.iter().enumerate() {
+        t.row(vec![
+            format!("{m}"),
+            format!("{}", s.segments().len()),
+            fmt_f(s.busy_time()),
+            fmt_f(s.energy()),
+            fmt_f(s.total_volume()),
+        ]);
+    }
+    t.render()
+}
+
+/// Audit a parallel-machine run with the cross-machine checker.
+fn audit_multi_machine(
+    args: &ParsedArgs,
+    inst: &Instance,
+    law: PowerLaw,
+    name: &str,
+    config: AuditConfig,
+) -> Result<String, String> {
+    let machines = args.usize_or("machines", 2)?;
+    let mut run = multi_run_of(name, inst, law, machines)?;
+    if let Some(what) = args.options.get("corrupt") {
+        if what == "schedule" {
+            // Replay a busy machine's timeline on a phantom extra machine:
+            // every job on it is now served twice, which only the
+            // cross-machine no-double-service check can see.
+            let dup = run
+                .schedules
+                .iter()
+                .find(|s| !s.segments().is_empty())
+                .cloned()
+                .ok_or_else(|| "--corrupt schedule needs a non-idle machine".to_string())?;
+            run.schedules.push(dup);
+        } else {
+            let mut reported =
+                Evaluated { objective: run.objective, per_job: run.per_job.clone() };
+            corrupt_reported(&mut reported, what)?;
+            run.objective = reported.objective;
+            run.per_job = reported.per_job;
+        }
+    }
+    let reported = Evaluated { objective: run.objective, per_job: run.per_job.clone() };
+    let report = MultiAudit::new(config).audit(inst, &run.schedules, &reported);
+    let out = format!(
+        "audit of {name} on {} jobs x {machines} machines (alpha = {})\n{}{}",
+        inst.len(),
+        law.alpha(),
+        per_machine_table(&run.schedules),
+        report.render()
+    );
+    if report.passed() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
 fn cmd_audit(args: &ParsedArgs) -> Result<String, String> {
     let inst = load_instance(args)?;
     let law = law_of(args)?;
     let name = args.require("algorithm")?;
     let defaults = AuditConfig::default();
-    let auditor = ScheduleAudit::new(AuditConfig {
+    let config = AuditConfig {
         rel_tol: args.f64_or("rel-tol", defaults.rel_tol)?,
         time_tol: args.f64_or("time-tol", defaults.time_tol)?,
-    });
+    };
+    if MULTI_ALGOS.contains(&name.as_str()) {
+        return audit_multi_machine(args, &inst, law, &name, config);
+    }
+    let auditor = ScheduleAudit::new(config);
+    let corrupt = args.options.get("corrupt");
     let report = if name == "known-sharing" {
         // Processor sharing has no explicit schedule: outcome-only audit.
         let r = run_known_weight_sharing(&inst, law).map_err(|e| e.to_string())?;
-        auditor.audit_outcome(&inst, &r.objective, &r.per_job)
+        let mut reported = Evaluated { objective: r.objective, per_job: r.per_job };
+        if let Some(what) = corrupt {
+            corrupt_reported(&mut reported, what)?;
+        }
+        auditor.audit_outcome(&inst, &reported.objective, &reported.per_job)
     } else {
-        let (schedule, reported) = evaluated_of(&name, &inst, law)?;
+        let (mut schedule, mut reported) = evaluated_of(&name, &inst, law)?;
+        if let Some(what) = corrupt {
+            if what == "schedule" {
+                // Drop the final segment: delivered volume no longer covers
+                // the instance, so volume conservation must fail.
+                let mut segments = schedule.segments().to_vec();
+                segments.pop().ok_or_else(|| "--corrupt schedule needs segments".to_string())?;
+                schedule = Schedule::new(schedule.power_law(), segments)
+                    .map_err(|e| e.to_string())?;
+            } else {
+                corrupt_reported(&mut reported, what)?;
+            }
+        }
         auditor.audit(&inst, &schedule, &reported)
     };
     let out = format!(
@@ -425,6 +614,79 @@ mod tests {
         ]))
         .unwrap();
         assert!(loose.contains("audit: PASS"), "{loose}");
+    }
+
+    #[test]
+    fn audit_covers_parallel_algorithms() {
+        let path = write_trace();
+        for algo in ["c-par", "nc-par", "dispatch"] {
+            let out = run_cli(&v(&[
+                "audit", "--algorithm", algo, "--input", &path, "--alpha", "2", "--machines", "3",
+            ]))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("audit: PASS"), "{algo}: {out}");
+            assert!(out.contains("no-double-service"), "{algo}: {out}");
+            assert!(out.contains("cross-machine-volume"), "{algo}: {out}");
+            // Per-machine residual table: one row per machine.
+            assert!(out.contains("per-machine timelines"), "{algo}: {out}");
+            assert!(out.contains("x 3 machines"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn corrupt_flag_fails_the_audit() {
+        let path = write_trace();
+        // Multi-machine: tampered totals and a double-served schedule.
+        for what in ["energy", "frac-flow", "completion", "schedule"] {
+            let res = run_cli(&v(&[
+                "audit", "--algorithm", "nc-par", "--input", &path, "--alpha", "2",
+                "--machines", "2", "--corrupt", what,
+            ]));
+            let msg = res.expect_err(&format!("--corrupt {what} must fail"));
+            assert!(msg.contains("audit: FAIL"), "{what}: {msg}");
+        }
+        // The double-service corruption is caught by the cross-machine check.
+        let msg = run_cli(&v(&[
+            "audit", "--algorithm", "c-par", "--input", &path, "--alpha", "2",
+            "--machines", "2", "--corrupt", "schedule",
+        ]))
+        .expect_err("duplicated timeline must fail");
+        assert!(msg.contains("FAIL no-double-service"), "{msg}");
+        // Single-machine paths take --corrupt too. The outcome-only audit
+        // (known-sharing) has no schedule to recompute energy from, so its
+        // corruptible component is the reported flow-time sums.
+        for (algo, what) in [("c", "energy"), ("known-sharing", "frac-flow")] {
+            let msg = run_cli(&v(&[
+                "audit", "--algorithm", algo, "--input", &path, "--alpha", "2",
+                "--corrupt", what,
+            ]))
+            .expect_err("corrupt reported numbers must fail");
+            assert!(msg.contains("audit: FAIL"), "{algo}: {msg}");
+        }
+        let msg = run_cli(&v(&[
+            "audit", "--algorithm", "c", "--input", &path, "--alpha", "2",
+            "--corrupt", "schedule",
+        ]))
+        .expect_err("truncated schedule must fail");
+        assert!(msg.contains("volume-conservation"), "{msg}");
+        // Unknown component is a usage error, not a panic.
+        assert!(run_cli(&v(&[
+            "audit", "--algorithm", "c", "--input", &path, "--corrupt", "entropy",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn compare_reports_audit_verdicts_and_multi_rows() {
+        let path = write_trace();
+        let out = run_cli(&v(&["compare", "--input", &path, "--alpha", "2", "--machines", "2"]))
+            .unwrap();
+        assert!(out.contains("audit"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        assert!(!out.contains("FAIL"), "{out}");
+        for label in ["c-par x2", "nc-par x2", "dispatch x2"] {
+            assert!(out.contains(label), "missing {label}: {out}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::known_weight::run_known_weight_sharing;
 use crate::nc_nonuniform::NonUniformParams;
 use crate::{run_c, run_nc_nonuniform, run_nc_uniform};
-use ncss_audit::{AuditConfig, AuditReport, ScheduleAudit};
+use ncss_audit::{AuditConfig, AuditReport, MultiAudit, ScheduleAudit};
 use ncss_sim::{Evaluated, Instance, Objective, PerJob, PowerLaw, Schedule, SimResult};
 
 /// Which algorithm to execute under the audit harness.
@@ -90,6 +90,89 @@ pub fn run_checked(
     })
 }
 
+/// The result shape a parallel-machine runner must expose to be audited:
+/// the fleet assignment, the reported totals, and one timeline per machine
+/// with segments labelled by **original** job ids.
+///
+/// This crate cannot depend on `ncss-multi` (it would be a cycle), so
+/// [`run_checked_multi`] is generic over a closure producing this struct;
+/// `ncss-multi` provides `From<ParOutcome> for MultiRun` so every parallel
+/// runner plugs in with `.map(Into::into)`.
+#[derive(Debug, Clone)]
+pub struct MultiRun {
+    /// Machine index assigned to each job (by original job id).
+    pub assignment: Vec<usize>,
+    /// Total objective summed over machines.
+    pub objective: Objective,
+    /// Per-job outcomes in original job ids.
+    pub per_job: PerJob,
+    /// Per-machine timelines (empty schedules for idle machines).
+    pub schedules: Vec<Schedule>,
+}
+
+/// A parallel-machine run plus its cross-machine audit verdicts.
+#[derive(Debug, Clone)]
+pub struct CheckedMultiRun {
+    /// Machine index assigned to each job.
+    pub assignment: Vec<usize>,
+    /// The run's reported objective.
+    pub objective: Objective,
+    /// The run's reported per-job outcomes.
+    pub per_job: PerJob,
+    /// Per-machine timelines.
+    pub schedules: Vec<Schedule>,
+    /// Verdicts from the independent cross-machine auditor.
+    pub report: AuditReport,
+}
+
+impl CheckedMultiRun {
+    /// True when the run completed *and* every audited invariant held.
+    #[must_use]
+    pub fn audit_passed(&self) -> bool {
+        self.report.passed()
+    }
+}
+
+/// Execute a parallel-machine runner on `machines` machines and audit the
+/// result with the cross-machine invariant checker ([`MultiAudit`]): per-
+/// machine segment invariants, no-double-service, cross-machine volume
+/// conservation, and fleet-total objective re-derivation.
+///
+/// Like [`run_checked`], `Err` means the algorithm itself failed; audit
+/// findings land in [`CheckedMultiRun::report`] for the caller to judge.
+///
+/// # Examples
+///
+/// Any `ncss-multi` runner plugs in through `Into<MultiRun>`:
+///
+/// ```ignore
+/// let checked = run_checked_multi(&inst, law, 4, AuditConfig::default(), |i, l, m| {
+///     ncss_multi::run_nc_par(i, l, m).map(Into::into)
+/// })?;
+/// assert!(checked.audit_passed());
+/// ```
+pub fn run_checked_multi<F>(
+    instance: &Instance,
+    law: PowerLaw,
+    machines: usize,
+    config: AuditConfig,
+    run: F,
+) -> SimResult<CheckedMultiRun>
+where
+    F: FnOnce(&Instance, PowerLaw, usize) -> SimResult<MultiRun>,
+{
+    let out = run(instance, law, machines)?;
+    let reported = Evaluated { objective: out.objective, per_job: out.per_job };
+    let report = MultiAudit::new(config).audit(instance, &out.schedules, &reported);
+    Ok(CheckedMultiRun {
+        assignment: out.assignment,
+        objective: reported.objective,
+        per_job: reported.per_job,
+        schedules: out.schedules,
+        report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +230,47 @@ mod tests {
         .unwrap();
         assert!(run.schedule.is_none());
         assert!(run.audit_passed(), "{}", run.report);
+    }
+
+    #[test]
+    fn checked_multi_audits_a_hand_built_fleet() {
+        // A trivial one-machine "fleet" backed by Algorithm C must pass the
+        // cross-machine audit with tight residuals.
+        let inst = instance();
+        let run = run_checked_multi(&inst, pl(2.0), 1, AuditConfig::default(), |i, l, m| {
+            assert_eq!(m, 1);
+            let c = run_c(i, l)?;
+            Ok(MultiRun {
+                assignment: vec![0; i.len()],
+                objective: c.objective,
+                per_job: c.per_job,
+                schedules: vec![c.schedule],
+            })
+        })
+        .unwrap();
+        assert!(run.audit_passed(), "{}", run.report);
+        assert!(run.report.max_residual() < 1e-7, "{}", run.report);
+    }
+
+    #[test]
+    fn checked_multi_catches_a_corrupted_fleet() {
+        // Same fleet, but the runner under-reports its energy: the audit
+        // must fail (and the runner's Ok is preserved — the caller decides).
+        let inst = instance();
+        let run = run_checked_multi(&inst, pl(2.0), 1, AuditConfig::default(), |i, l, _| {
+            let c = run_c(i, l)?;
+            let mut objective = c.objective;
+            objective.energy *= 0.5;
+            Ok(MultiRun {
+                assignment: vec![0; i.len()],
+                objective,
+                per_job: c.per_job,
+                schedules: vec![c.schedule],
+            })
+        })
+        .unwrap();
+        assert!(!run.audit_passed());
+        assert!(run.report.failures().iter().any(|c| c.name == "energy-recomputed"));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod reduction;
 pub mod theory;
 
 pub use bounded::{run_c_bounded, run_nc_uniform_bounded};
-pub use checked::{run_checked, CheckedAlgorithm, CheckedRun};
+pub use checked::{
+    run_checked, run_checked_multi, CheckedAlgorithm, CheckedMultiRun, CheckedRun, MultiRun,
+};
 pub use clairvoyant::{run_c, CRun};
 pub use driver::{run_online, Decision, NcView, NonClairvoyantPolicy};
 pub use generic_runs::{run_c_generic, run_nc_uniform_generic, GenericRun};

@@ -8,8 +8,25 @@
 //! in `W`, and flow-time equals energy for Algorithm C). Ties break by
 //! machine index — the total order the paper fixes.
 
-use ncss_core::run_c;
-use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, SimError, SimResult};
+use ncss_core::{run_c, CRun};
+use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, Schedule, Segment, SimError, SimResult};
+
+/// Largest supported machine count. Parallel-machine state is `O(m)` even
+/// when most machines stay idle, so an adversarial `m` near `usize::MAX`
+/// must become a structured error before any allocation is attempted.
+pub const MAX_MACHINES: usize = 1 << 16;
+
+/// Machine-count guard shared by every parallel runner: `m = 0` and
+/// `m > MAX_MACHINES` are typed errors, never a panic or an allocation.
+pub(crate) fn validate_machines(machines: usize) -> SimResult<()> {
+    if machines == 0 {
+        return Err(SimError::InvalidInstance { reason: "need at least one machine" });
+    }
+    if machines > MAX_MACHINES {
+        return Err(SimError::InvalidInstance { reason: "machine count exceeds MAX_MACHINES" });
+    }
+    Ok(())
+}
 
 /// Outcome of a parallel-machine run.
 #[derive(Debug, Clone)]
@@ -20,6 +37,23 @@ pub struct ParOutcome {
     pub objective: Objective,
     /// Per-job outcomes in original job ids.
     pub per_job: PerJob,
+    /// Per-machine timelines (one [`Schedule`] per machine, empty for idle
+    /// machines), with segments labelled by **original** job ids so the
+    /// cross-machine auditor can check them against the instance.
+    pub schedules: Vec<Schedule>,
+}
+
+impl From<ParOutcome> for ncss_core::MultiRun {
+    /// Bridge into [`ncss_core::run_checked_multi`]: every parallel runner
+    /// here plugs into the cross-machine audit driver via `.map(Into::into)`.
+    fn from(out: ParOutcome) -> Self {
+        Self {
+            assignment: out.assignment,
+            objective: out.objective,
+            per_job: out.per_job,
+            schedules: out.schedules,
+        }
+    }
 }
 
 /// Split an instance by a given assignment; returns per-machine instances
@@ -29,6 +63,7 @@ pub(crate) fn split_by_assignment(
     assignment: &[usize],
     machines: usize,
 ) -> SimResult<Vec<(Instance, Vec<usize>)>> {
+    validate_machines(machines)?;
     let mut parts: Vec<(Vec<Job>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); machines];
     for (j, job) in instance.jobs().iter().enumerate() {
         let m = assignment[j];
@@ -63,14 +98,28 @@ pub(crate) fn merge_per_job(
     PerJob { completion, frac_flow, int_flow }
 }
 
+/// Relabel a per-machine schedule's segments from machine-local job ids to
+/// the original instance ids (`ids[local] = original`).
+pub(crate) fn remap_schedule(schedule: &Schedule, ids: &[usize]) -> SimResult<Schedule> {
+    let segments = schedule
+        .segments()
+        .iter()
+        .map(|s| Segment { job: s.job.map(|local| ids[local]), ..*s })
+        .collect();
+    Schedule::new(schedule.power_law(), segments)
+}
+
 /// Run C-PAR on `machines` identical machines.
 pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResult<ParOutcome> {
-    if machines == 0 {
-        return Err(SimError::InvalidInstance { reason: "need at least one machine" });
-    }
+    validate_machines(machines)?;
     let n = instance.len();
     let mut assigned: Vec<Vec<Job>> = vec![Vec::new(); machines];
     let mut assignment = vec![0usize; n];
+    // Per-machine C run over its current job set, invalidated only when the
+    // machine receives a job: the greedy scan below would otherwise
+    // re-simulate every machine for every arrival (`n · m` runs instead of
+    // at most `n` rebuilds).
+    let mut cached: Vec<Option<CRun>> = (0..machines).map(|_| None).collect();
 
     for (j, job) in instance.jobs().iter().enumerate() {
         // Remaining fractional weight of each machine just before r_j.
@@ -83,7 +132,10 @@ pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResu
             let strictly_before = if jobs.is_empty() {
                 0.0
             } else {
-                run_c(&Instance::new(jobs.clone())?, law)?.remaining_weight_before(job.release)
+                if cached[m].is_none() {
+                    cached[m] = Some(run_c(&Instance::new(jobs.clone())?, law)?);
+                }
+                cached[m].as_ref().expect("just rebuilt").remaining_weight_before(job.release)
             };
             let ties: f64 = jobs.iter().filter(|i| i.release == job.release).map(Job::weight).sum();
             let w = strictly_before + ties;
@@ -94,21 +146,24 @@ pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResu
         }
         assignment[j] = best;
         assigned[best].push(*job);
+        cached[best] = None;
     }
 
     let parts = split_by_assignment(instance, &assignment, machines)?;
     let mut objective = Objective::default();
     let mut per_machine = Vec::with_capacity(machines);
-    for (inst, _) in &parts {
+    let mut schedules = Vec::with_capacity(machines);
+    for (inst, ids) in &parts {
         let run = run_c(inst, law)?;
         objective.energy += run.objective.energy;
         objective.frac_flow += run.objective.frac_flow;
         objective.int_flow += run.objective.int_flow;
         per_machine.push(run.per_job);
+        schedules.push(remap_schedule(&run.schedule, ids)?);
     }
     let per_job = merge_per_job(n, &parts, &per_machine);
     let objective = objective.validated("run_c_par: objective")?;
-    Ok(ParOutcome { assignment, objective, per_job })
+    Ok(ParOutcome { assignment, objective, per_job, schedules })
 }
 
 #[cfg(test)]
@@ -183,6 +238,16 @@ mod tests {
     }
 
     #[test]
+    fn absurd_machine_counts_rejected() {
+        let inst = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+        for m in [MAX_MACHINES + 1, usize::MAX - 1, usize::MAX] {
+            assert!(run_c_par(&inst, pl(2.0), m).is_err(), "m = {m}");
+        }
+        // The cap itself is usable.
+        assert!(validate_machines(MAX_MACHINES).is_ok());
+    }
+
+    #[test]
     fn energy_equals_flow_per_total() {
         // Per-machine C has energy == fractional flow; so does the sum.
         let inst = Instance::new(vec![
@@ -194,5 +259,27 @@ mod tests {
         .unwrap();
         let out = run_c_par(&inst, pl(2.5), 3).unwrap();
         assert!(approx_eq(out.objective.energy, out.objective.frac_flow, 1e-9));
+    }
+
+    #[test]
+    fn schedules_cover_every_job_on_its_machine() {
+        let inst = Instance::new(vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.3, 2.0),
+            Job::unit_density(0.5, 0.7),
+            Job::unit_density(1.5, 1.2),
+        ])
+        .unwrap();
+        let out = run_c_par(&inst, pl(2.0), 2).unwrap();
+        assert_eq!(out.schedules.len(), 2);
+        for (j, &m) in out.assignment.iter().enumerate() {
+            // The job's segments appear on its machine and nowhere else.
+            assert!(out.schedules[m].segments().iter().any(|s| s.job == Some(j)));
+            for (other, sched) in out.schedules.iter().enumerate() {
+                if other != m {
+                    assert!(sched.segments().iter().all(|s| s.job != Some(j)));
+                }
+            }
+        }
     }
 }

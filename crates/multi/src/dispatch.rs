@@ -44,13 +44,23 @@ impl ImmediateDispatch for RoundRobin {
 #[derive(Debug, Default, Clone)]
 pub struct LeastCount {
     counts: Vec<usize>,
+    dispatched: usize,
 }
 
 impl ImmediateDispatch for LeastCount {
     fn dispatch(&mut self, _job: usize, _release: f64, _density: f64, machines: usize) -> usize {
-        self.counts.resize(machines, 0);
-        let m = (0..machines).min_by_key(|&m| self.counts[m]).expect("machines > 0");
+        // After `d` dispatches at most `d` machines have nonzero count, so
+        // the minimum over `0..machines` is always attained (first) within
+        // `0..=d`: scanning `machines.min(d + 1)` slots picks the identical
+        // machine while keeping state O(jobs) even for absurd `machines`
+        // values (a `usize::MAX` resize would abort the process).
+        let effective = machines.min(self.dispatched + 1);
+        if self.counts.len() < effective {
+            self.counts.resize(effective, 0);
+        }
+        let m = (0..effective).min_by_key(|&m| self.counts[m]).expect("machines > 0");
         self.counts[m] += 1;
+        self.dispatched += 1;
         m
     }
 
@@ -103,12 +113,18 @@ pub fn collect_assignment(
 
 /// Run a policy end-to-end: dispatch every job at release, then run
 /// per-machine Algorithm NC under the resulting assignment.
+///
+/// The machine count is validated **before** the policy sees it: policies
+/// assume `machines ≥ 1` (round-robin and random both reduce modulo the
+/// count), so `m = 0` must become a typed error here, not a panic inside
+/// the policy.
 pub fn run_immediate_dispatch(
     instance: &Instance,
     law: PowerLaw,
     machines: usize,
     policy: &mut dyn ImmediateDispatch,
 ) -> SimResult<ParOutcome> {
+    crate::c_par::validate_machines(machines)?;
     let assignment = collect_assignment(instance, machines, policy);
     run_nc_with_assignment(instance, law, &assignment, machines)
 }

@@ -16,10 +16,13 @@
 //!   own past, plus the job's processed weight) — the job's *own* rounded
 //!   density drives the curve.
 
-use crate::c_par::ParOutcome;
+use crate::c_par::{validate_machines, ParOutcome};
 use ncss_core::nc_uniform::base_power;
 use ncss_sim::kernel::GrowthKernel;
-use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, SimError, SimResult};
+use ncss_sim::{
+    Instance, Job, Objective, PerJob, PowerLaw, ScheduleBuilder, Segment, SimError, SimResult,
+    SpeedLaw,
+};
 
 /// Run lazy-HDF dispatch with per-machine growth-rule processing.
 pub fn run_lazy_hdf(
@@ -28,9 +31,7 @@ pub fn run_lazy_hdf(
     machines: usize,
     rounding_base: f64,
 ) -> SimResult<ParOutcome> {
-    if machines == 0 {
-        return Err(SimError::InvalidInstance { reason: "need at least one machine" });
-    }
+    validate_machines(machines)?;
     let rounded = instance.with_rounded_densities(rounding_base)?;
     let jobs = instance.jobs();
     let n = jobs.len();
@@ -42,6 +43,8 @@ pub fn run_lazy_hdf(
     let mut energy = 0.0;
     let mut avail = vec![0.0f64; machines];
     let mut assigned: Vec<Vec<Job>> = vec![Vec::new(); machines];
+    let mut builders: Vec<ScheduleBuilder> =
+        (0..machines).map(|_| ScheduleBuilder::new(law)).collect();
     let mut queued: Vec<usize> = Vec::new(); // ids not yet dispatched
     let mut released = 0usize;
     let mut t = jobs.first().map_or(0.0, |j| j.release);
@@ -119,6 +122,15 @@ pub fn run_lazy_hdf(
             + jobs[j].density * (jobs[j].volume * tau - kernel.volume_integral(tau));
         completion[j] = t_start + tau;
         int_flow[j] = jobs[j].weight() * (completion[j] - jobs[j].release);
+        // The emitted segment carries the *rounded* density — the curve the
+        // machine actually drives — so the auditor's quadrature reproduces
+        // the reported energy and delivered volume exactly.
+        builders[m].push(Segment::new(
+            t_start,
+            completion[j],
+            Some(j),
+            SpeedLaw::Growth { u0: k_j, rho },
+        ));
         avail[m] = completion[j];
         assigned[m].push(*rounded.job(j));
         done += 1;
@@ -130,7 +142,14 @@ pub fn run_lazy_hdf(
         int_flow: int_flow.iter().sum(),
     }
     .validated("run_lazy_hdf: objective")?;
-    Ok(ParOutcome { assignment, objective, per_job: PerJob { completion, frac_flow, int_flow } })
+    let schedules =
+        builders.into_iter().map(ScheduleBuilder::build).collect::<SimResult<Vec<_>>>()?;
+    Ok(ParOutcome {
+        assignment,
+        objective,
+        per_job: PerJob { completion, frac_flow, int_flow },
+        schedules,
+    })
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ pub mod lazy_hdf;
 pub mod lower_bound;
 pub mod nc_par;
 
-pub use c_par::{run_c_par, ParOutcome};
+pub use c_par::{run_c_par, ParOutcome, MAX_MACHINES};
 pub use dispatch::{collect_assignment, run_immediate_dispatch, ImmediateDispatch, LeastCount, RoundRobin, SeededRandom};
 pub use lazy_hdf::run_lazy_hdf;
 pub use lower_bound::{fit_loglog_slope, immediate_dispatch_game, GameOutcome};

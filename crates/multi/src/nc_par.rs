@@ -13,25 +13,28 @@
 //! assignment is *identical* to clairvoyant C-PAR's, which is what lets the
 //! single-machine Lemmas 3 and 4 lift to Theorem 17.
 
-use crate::c_par::{merge_per_job, split_by_assignment, ParOutcome};
+use crate::c_par::{merge_per_job, remap_schedule, split_by_assignment, validate_machines, ParOutcome};
 use ncss_sim::kernel::GrowthKernel;
-use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, SimError, SimResult};
+use ncss_sim::{
+    Instance, Job, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment, SimError,
+    SimResult, SpeedLaw,
+};
 
 /// Run NC-PAR on `machines` identical machines (uniform densities only,
 /// matching the paper's Theorem 17 setting).
 pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResult<ParOutcome> {
-    if machines == 0 {
-        return Err(SimError::InvalidInstance { reason: "need at least one machine" });
-    }
+    validate_machines(machines)?;
     if !instance.is_uniform_density() {
         return Err(SimError::NonUniformDensity);
     }
     let jobs = instance.jobs();
     let n = jobs.len();
     let mut assignment = vec![0usize; n];
-    // Per machine: availability time and assigned jobs so far.
+    // Per machine: availability time, assigned jobs so far, and timeline.
     let mut avail = vec![0.0f64; machines];
     let mut assigned: Vec<Vec<Job>> = vec![Vec::new(); machines];
+    let mut builders: Vec<ScheduleBuilder> =
+        (0..machines).map(|_| ScheduleBuilder::new(law)).collect();
     let mut completion = vec![f64::NAN; n];
     let mut frac_flow = vec![0.0; n];
     let mut int_flow = vec![0.0; n];
@@ -50,11 +53,10 @@ pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimRes
 
         // K_j = W^C(r_j^-) over this machine's previously-assigned jobs,
         // with simultaneous releases handled as the distinct-release limit
-        // (same tie semantics as the single-machine algorithm).
-        let mut with_j = assigned[m].clone();
-        with_j.push(*job);
-        let machine_inst = Instance::new(with_j)?;
-        let k_j = ncss_core::nc_uniform::base_power(&machine_inst, law, machine_inst.len() - 1)?;
+        // (same tie semantics as the single-machine algorithm). The FIFO
+        // dispatch order keeps each machine's history release-sorted, so
+        // the history form of `base_power` applies directly.
+        let k_j = ncss_core::nc_uniform::base_power_over_history(&assigned[m], job.release, law)?;
         let rho = job.density;
         let kernel = GrowthKernel { law, u0: k_j, rho };
         let tau = kernel.time_to_volume(job.volume);
@@ -68,6 +70,12 @@ pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimRes
             + rho * (job.volume * tau - kernel.volume_integral(tau));
         completion[j] = t_start + tau;
         int_flow[j] = job.weight() * (completion[j] - job.release);
+        builders[m].push(Segment::new(
+            t_start,
+            completion[j],
+            Some(j),
+            SpeedLaw::Growth { u0: k_j, rho },
+        ));
         avail[m] = completion[j];
         assigned[m].push(*job);
     }
@@ -78,7 +86,14 @@ pub fn run_nc_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimRes
         int_flow: int_flow.iter().sum(),
     }
     .validated("run_nc_par: objective")?;
-    Ok(ParOutcome { assignment, objective, per_job: PerJob { completion, frac_flow, int_flow } })
+    let schedules =
+        builders.into_iter().map(ScheduleBuilder::build).collect::<SimResult<Vec<_>>>()?;
+    Ok(ParOutcome {
+        assignment,
+        objective,
+        per_job: PerJob { completion, frac_flow, int_flow },
+        schedules,
+    })
 }
 
 /// Run per-machine Algorithm NC under a **fixed** assignment (used by the
@@ -95,16 +110,18 @@ pub fn run_nc_with_assignment(
     let parts = split_by_assignment(instance, assignment, machines)?;
     let mut objective = Objective::default();
     let mut per_machine = Vec::with_capacity(machines);
-    for (inst, _) in &parts {
+    let mut schedules = Vec::with_capacity(machines);
+    for (inst, ids) in &parts {
         let run = ncss_core::run_nc_uniform(inst, law)?;
         objective.energy += run.objective.energy;
         objective.frac_flow += run.objective.frac_flow;
         objective.int_flow += run.objective.int_flow;
         per_machine.push(run.per_job);
+        schedules.push(remap_schedule(&run.schedule, ids)?);
     }
     let per_job = merge_per_job(instance.len(), &parts, &per_machine);
     let objective = objective.validated("run_nc_with_assignment: objective")?;
-    Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job })
+    Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job, schedules })
 }
 
 /// Run per-machine **non-uniform** Algorithm NC under a fixed assignment —
@@ -123,9 +140,11 @@ pub fn run_nonuniform_with_assignment(
     let parts = split_by_assignment(instance, assignment, machines)?;
     let mut objective = Objective::default();
     let mut per_machine = Vec::with_capacity(machines);
-    for (inst, _) in &parts {
+    let mut schedules = Vec::with_capacity(machines);
+    for (inst, ids) in &parts {
         if inst.is_empty() {
             per_machine.push(PerJob { completion: vec![], frac_flow: vec![], int_flow: vec![] });
+            schedules.push(Schedule::new(law, vec![])?);
             continue;
         }
         let run = ncss_core::run_nc_nonuniform(inst, law, params)?;
@@ -133,10 +152,11 @@ pub fn run_nonuniform_with_assignment(
         objective.frac_flow += run.objective.frac_flow;
         objective.int_flow += run.objective.int_flow;
         per_machine.push(run.per_job);
+        schedules.push(remap_schedule(&run.schedule, ids)?);
     }
     let per_job = merge_per_job(instance.len(), &parts, &per_machine);
     let objective = objective.validated("run_nonuniform_with_assignment: objective")?;
-    Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job })
+    Ok(ParOutcome { assignment: assignment.to_vec(), objective, per_job, schedules })
 }
 
 #[cfg(test)]

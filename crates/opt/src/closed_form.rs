@@ -17,7 +17,9 @@
 //! * `flow-time = (α − 1) · energy` for the single-job optimum,
 //! * total cost scales as `V^{(2α−1)/α}`.
 
-use ncss_sim::{PowerLaw, SimError, SimResult};
+use ncss_sim::{
+    Evaluated, Objective, PerJob, PowerLaw, Schedule, Segment, SimError, SimResult, SpeedLaw,
+};
 
 /// The single-job optimum in closed form.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +32,7 @@ pub struct SingleJobOpt {
     pub frac_flow: f64,
     alpha: f64,
     rho: f64,
+    volume: f64,
 }
 
 impl SingleJobOpt {
@@ -46,6 +49,58 @@ impl SingleJobOpt {
             return 0.0;
         }
         (self.rho * (self.horizon - t) / self.alpha).powf(1.0 / (self.alpha - 1.0))
+    }
+
+    /// The optimal speed profile as an executable [`Schedule`].
+    ///
+    /// The Euler–Lagrange curve `s(t)^{α−1} = ρ(T − t)/α` is *exactly* a
+    /// clairvoyant decay kernel: `s^α = W` with `W^{1−1/α}` linear in `t`,
+    /// i.e. [`SpeedLaw::Decay`] with
+    ///
+    /// ```text
+    /// w0 = (ρT/α)^{α/(α−1)},    ρ_dec = ρ/(α−1),
+    /// ```
+    ///
+    /// so the emitted single segment reproduces the optimum to machine
+    /// precision (no sampling) and can be routed through the independent
+    /// schedule auditor. The job gets id 0 over `[release, release + T]`.
+    pub fn to_schedule(&self, law: PowerLaw, release: f64) -> SimResult<Schedule> {
+        if law.alpha() != self.alpha {
+            return Err(SimError::InvalidInstance {
+                reason: "to_schedule: power law differs from the optimum's",
+            });
+        }
+        if !(release.is_finite() && release >= 0.0) {
+            return Err(SimError::InvalidInstance {
+                reason: "to_schedule: release must be finite and non-negative",
+            });
+        }
+        let a = self.alpha;
+        let w0 = (self.rho * self.horizon / a).powf(a / (a - 1.0));
+        let rho_dec = self.rho / (a - 1.0);
+        let seg = Segment::new(
+            release,
+            release + self.horizon,
+            Some(0),
+            SpeedLaw::Decay { w0, rho: rho_dec },
+        );
+        Schedule::new(law, vec![seg])
+    }
+
+    /// The reported outcome matching [`Self::to_schedule`], for auditing:
+    /// the job completes at `release + T`, fractional flow is the closed
+    /// form, and integral flow is `ρV · T` (the whole weight waits `T`).
+    #[must_use]
+    pub fn evaluated(&self, release: f64) -> Evaluated {
+        let int_flow = self.rho * self.volume * self.horizon;
+        Evaluated {
+            objective: Objective { energy: self.energy, frac_flow: self.frac_flow, int_flow },
+            per_job: PerJob {
+                completion: vec![release + self.horizon],
+                frac_flow: vec![self.frac_flow],
+                int_flow: vec![int_flow],
+            },
+        }
     }
 }
 
@@ -64,7 +119,7 @@ pub fn single_job_opt(law: PowerLaw, rho: f64, volume: f64) -> SimResult<SingleJ
     let energy = (rho / a).powf(a / (a - 1.0)) * (a - 1.0) / (2.0 * a - 1.0)
         * horizon.powf((2.0 * a - 1.0) / (a - 1.0));
     let frac_flow = (a - 1.0) * energy;
-    Ok(SingleJobOpt { horizon, energy, frac_flow, alpha: a, rho })
+    Ok(SingleJobOpt { horizon, energy, frac_flow, alpha: a, rho, volume })
 }
 
 /// Fractional-objective optimum for a **batch**: any number of jobs of the
@@ -160,6 +215,45 @@ mod tests {
     fn rejects_bad_input() {
         assert!(single_job_opt(pl(2.0), 0.0, 1.0).is_err());
         assert!(single_job_opt(pl(2.0), 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn schedule_reproduces_the_closed_form_exactly() {
+        for &(alpha, rho, v) in &[(2.0, 1.0, 1.0), (3.0, 2.0, 5.0), (1.7, 0.4, 0.3)] {
+            let opt = single_job_opt(pl(alpha), rho, v).unwrap();
+            let sched = opt.to_schedule(pl(alpha), 0.5).unwrap();
+            // Exact kernel identities, not quadrature: delivered volume and
+            // energy agree to machine precision.
+            assert!(approx_eq(sched.total_volume(), v, 1e-12), "volume α={alpha}");
+            assert!(approx_eq(sched.energy(), opt.energy, 1e-12), "energy α={alpha}");
+            // Pointwise: the decay segment IS the Euler–Lagrange curve.
+            for frac in [0.0, 0.25, 0.5, 0.9, 0.999] {
+                let t = frac * opt.horizon;
+                assert!(
+                    approx_eq(sched.speed_at(0.5 + t), opt.speed_at(t), 1e-10),
+                    "speed at {frac}T, α={alpha}"
+                );
+            }
+            // The curve drains to zero exactly at the horizon.
+            assert!(sched.speed_at(0.5 + opt.horizon) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn evaluated_matches_schedule_and_identities() {
+        let opt = single_job_opt(pl(2.5), 1.3, 2.0).unwrap();
+        let ev = opt.evaluated(1.0);
+        assert!(approx_eq(ev.per_job.completion[0], 1.0 + opt.horizon, 1e-12));
+        assert!(approx_eq(ev.objective.int_flow, 1.3 * 2.0 * opt.horizon, 1e-12));
+        assert!(approx_eq(ev.objective.frac_flow, (2.5 - 1.0) * ev.objective.energy, 1e-12));
+    }
+
+    #[test]
+    fn schedule_rejects_mismatched_law_and_bad_release() {
+        let opt = single_job_opt(pl(2.0), 1.0, 1.0).unwrap();
+        assert!(opt.to_schedule(pl(3.0), 0.0).is_err());
+        assert!(opt.to_schedule(pl(2.0), f64::NAN).is_err());
+        assert!(opt.to_schedule(pl(2.0), -1.0).is_err());
     }
 
     #[test]

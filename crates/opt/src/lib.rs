@@ -25,4 +25,4 @@ pub mod yds;
 pub use closed_form::{batch_uniform_opt, single_job_opt, SingleJobOpt};
 pub use integral::{integral_opt_upper, IntegralUpperBound};
 pub use solver::{solve_fractional_opt, FracOpt, SolverOptions};
-pub use yds::{yds, DeadlineJob, YdsSchedule};
+pub use yds::{yds, yds_execution, DeadlineJob, YdsExecution, YdsSchedule};

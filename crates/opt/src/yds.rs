@@ -13,7 +13,10 @@
 //! [`crate::integral`]: for fixed completion times, the cheapest energy is
 //! a YDS instance with deadlines at the completion times.
 
-use ncss_sim::{PowerLaw, SimError, SimResult};
+use ncss_sim::{
+    Evaluated, Instance, Job, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment,
+    SimError, SimResult, SpeedLaw,
+};
 
 /// A deadline-constrained job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +148,135 @@ pub fn yds(jobs: &[DeadlineJob], law: PowerLaw) -> SimResult<YdsSchedule> {
     Ok(YdsSchedule { blocks, energy })
 }
 
+/// A YDS optimum lowered to a concrete single-machine timeline.
+///
+/// [`YdsSchedule`] is a speed *profile* (blocks, no job order); this pairs
+/// it with an earliest-deadline-first execution so the result is a
+/// first-class [`Schedule`] that the independent auditor (`ncss-audit`) can
+/// check against an [`Instance`] like any algorithm's output.
+#[derive(Debug, Clone)]
+pub struct YdsExecution {
+    /// The deadline jobs as a flow-time instance (unit density); job `j`
+    /// here is the `j`-th input job after a stable sort by release, which is
+    /// exactly the id order [`Instance`] assigns.
+    pub instance: Instance,
+    /// Deadline of each job, in instance id order.
+    pub deadlines: Vec<f64>,
+    /// The executed timeline: EDF over the YDS profile's constant-speed
+    /// elementary intervals.
+    pub schedule: Schedule,
+    /// First-principles outcome of the execution (energy and flow times),
+    /// the reported numbers a schedule audit checks against.
+    pub evaluated: Evaluated,
+}
+
+/// Execute a YDS profile with earliest-deadline-first job selection.
+///
+/// The speed at time `t` is the speed of the earliest-*peeled* block whose
+/// span contains `t` (earlier rounds run faster and sit nested inside later
+/// spans). EDF over that profile is the classical feasibility argument, so
+/// every job must finish by its deadline; if accumulated numeric error
+/// leaves volume unserved, this returns a structured error instead of a
+/// silently short schedule.
+pub fn yds_execution(
+    jobs: &[DeadlineJob],
+    sched: &YdsSchedule,
+    law: PowerLaw,
+) -> SimResult<YdsExecution> {
+    // Stable sort by release so instance ids are the identity mapping.
+    let mut sorted: Vec<DeadlineJob> = jobs.to_vec();
+    sorted.sort_by(|a, b| a.release.total_cmp(&b.release));
+    let instance =
+        Instance::new(sorted.iter().map(|j| Job::unit_density(j.release, j.volume)).collect())?;
+    let deadlines: Vec<f64> = sorted.iter().map(|j| j.deadline).collect();
+    let n = sorted.len();
+
+    // Elementary points: block boundaries and releases. Speed is constant
+    // and the released set fixed inside each window, so EDF only switches
+    // jobs at these points or at a completion.
+    let mut points: Vec<f64> = sched
+        .blocks
+        .iter()
+        .flat_map(|b| [b.start, b.end])
+        .chain(sorted.iter().map(|j| j.release))
+        .collect();
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    points.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+    let mut rem: Vec<f64> = sorted.iter().map(|j| j.volume).collect();
+    let mut completion = vec![f64::NAN; n];
+    let mut frac_flow = vec![0.0; n];
+    let mut energy = 0.0;
+    let mut builder = ScheduleBuilder::new(law);
+    for w in points.windows(2) {
+        let (mut t, end) = (w[0], w[1]);
+        // Earliest-peeled containing block wins (probe at the midpoint to
+        // stay clear of boundary ties).
+        let mid = 0.5 * (t + end);
+        let speed = sched
+            .blocks
+            .iter()
+            .find(|b| b.start <= mid && mid < b.end)
+            .map_or(0.0, |b| b.speed);
+        while t < end - 1e-15 {
+            let served = if speed > 0.0 {
+                (0..n)
+                    .filter(|&j| rem[j] > 0.0 && sorted[j].release <= t + 1e-12)
+                    .min_by(|&a, &b| deadlines[a].total_cmp(&deadlines[b]).then(a.cmp(&b)))
+            } else {
+                None
+            };
+            let Some(k) = served else {
+                // Idle window (or profile speed with no released work —
+                // the final volume check below catches a genuinely broken
+                // profile). Waiting jobs still accrue fractional flow.
+                for j in 0..n {
+                    if rem[j] > 0.0 && sorted[j].release <= t + 1e-12 {
+                        frac_flow[j] += rem[j] * (end - t);
+                    }
+                }
+                t = end;
+                continue;
+            };
+            let dt = (rem[k] / speed).min(end - t);
+            // ∫ remaining dt: constant for waiters, quadratic for the
+            // served job (unit density, so weight = volume).
+            for j in 0..n {
+                if rem[j] > 0.0 && sorted[j].release <= t + 1e-12 {
+                    frac_flow[j] += rem[j] * dt;
+                }
+            }
+            frac_flow[k] -= 0.5 * speed * dt * dt;
+            rem[k] -= speed * dt;
+            energy += law.power(speed) * dt;
+            builder.push(Segment::new(t, t + dt, Some(k), SpeedLaw::Constant { speed }));
+            t += dt;
+            if rem[k] <= 1e-9 * sorted[k].volume {
+                rem[k] = 0.0;
+                completion[k] = t;
+            }
+        }
+    }
+    if rem.iter().any(|&v| v > 0.0) {
+        return Err(SimError::NonConvergence { what: "YDS execution left volume unserved" });
+    }
+
+    let int_flow: Vec<f64> =
+        (0..n).map(|j| sorted[j].volume * (completion[j] - sorted[j].release)).collect();
+    let objective = Objective {
+        energy,
+        frac_flow: frac_flow.iter().sum(),
+        int_flow: int_flow.iter().sum(),
+    }
+    .validated("yds_execution: objective")?;
+    Ok(YdsExecution {
+        instance,
+        deadlines,
+        schedule: builder.build()?,
+        evaluated: Evaluated { objective, per_job: PerJob { completion, frac_flow, int_flow } },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +356,70 @@ mod tests {
         // Total volume conserved.
         let vol: f64 = s.blocks.iter().map(|b| b.speed * b.duration).sum();
         assert!(vol >= 6.5 - 1e-9);
+    }
+
+    #[test]
+    fn execution_meets_deadlines_and_reproduces_energy() {
+        let jobs = [
+            DeadlineJob { release: 0.0, deadline: 10.0, volume: 4.0 },
+            DeadlineJob { release: 4.0, deadline: 6.0, volume: 4.0 },
+        ];
+        let s = yds(&jobs, pl(2.0)).unwrap();
+        let exec = yds_execution(&jobs, &s, pl(2.0)).unwrap();
+        for (j, &d) in exec.deadlines.iter().enumerate() {
+            assert!(
+                exec.evaluated.per_job.completion[j] <= d + 1e-9,
+                "job {j} misses deadline {d}: {}",
+                exec.evaluated.per_job.completion[j]
+            );
+        }
+        assert!(approx_eq(exec.evaluated.objective.energy, s.energy, 1e-9));
+        assert!(approx_eq(exec.schedule.total_volume(), 8.0, 1e-9));
+        // EDF: the tight job owns its whole peak window [4, 6].
+        assert!(exec
+            .schedule
+            .segments()
+            .iter()
+            .filter(|seg| seg.start >= 4.0 - 1e-9 && seg.end <= 6.0 + 1e-9)
+            .all(|seg| seg.job == Some(1)));
+    }
+
+    #[test]
+    fn execution_idles_between_disjoint_windows() {
+        let jobs = [
+            DeadlineJob { release: 0.0, deadline: 1.0, volume: 2.0 },
+            DeadlineJob { release: 5.0, deadline: 7.0, volume: 2.0 },
+        ];
+        let s = yds(&jobs, pl(2.0)).unwrap();
+        let exec = yds_execution(&jobs, &s, pl(2.0)).unwrap();
+        assert!(approx_eq(exec.evaluated.per_job.completion[0], 1.0, 1e-9));
+        assert!(approx_eq(exec.evaluated.per_job.completion[1], 7.0, 1e-9));
+        assert_eq!(exec.schedule.speed_at(3.0), 0.0);
+        // Unit-density jobs run back to back: frac flow = ∫ remaining dt =
+        // V²/(2s) per job (no waiting), i.e. 1.0 and 2.0.
+        assert!(approx_eq(exec.evaluated.per_job.frac_flow[0], 1.0, 1e-9));
+        assert!(approx_eq(exec.evaluated.per_job.frac_flow[1], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn execution_handles_many_overlapping_windows() {
+        let jobs = [
+            DeadlineJob { release: 0.0, deadline: 8.0, volume: 2.0 },
+            DeadlineJob { release: 1.0, deadline: 3.0, volume: 3.0 },
+            DeadlineJob { release: 5.0, deadline: 6.0, volume: 1.5 },
+            DeadlineJob { release: 0.5, deadline: 7.5, volume: 0.4 },
+        ];
+        let s = yds(&jobs, pl(3.0)).unwrap();
+        let exec = yds_execution(&jobs, &s, pl(3.0)).unwrap();
+        for (j, &d) in exec.deadlines.iter().enumerate() {
+            assert!(exec.evaluated.per_job.completion[j] <= d + 1e-9, "job {j}");
+        }
+        assert!(approx_eq(exec.evaluated.objective.energy, s.energy, 1e-9));
+        let vols = exec.schedule.volume_by_job(4);
+        let expect: Vec<f64> = exec.instance.jobs().iter().map(|j| j.volume).collect();
+        for (got, want) in vols.iter().zip(&expect) {
+            assert!(approx_eq(*got, *want, 1e-9), "{vols:?} vs {expect:?}");
+        }
     }
 
     #[test]

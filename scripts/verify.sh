@@ -11,7 +11,9 @@
 #   3. fault-injection robustness contract in --release (the guard rails
 #      must hold where debug_assert! is compiled out)
 #   4. audit smoke: every schedule-producing algorithm on a generated
-#      trace must pass the independent quadrature audit
+#      trace must pass the independent quadrature audit; the parallel
+#      algorithms go through the cross-machine auditor, and a
+#      deliberately corrupted report must come back non-zero
 #   5. warning-clean `cargo doc --no-deps`
 #
 # Run from anywhere; it cd's to the repo root.
@@ -42,6 +44,19 @@ done
 "$cli" audit --algorithm nc-nonuniform --input "$trace" --alpha 2 --rel-tol 1e-2 > /dev/null \
     || { echo "FAIL: audit rejected nc-nonuniform" >&2; exit 1; }
 echo "audit smoke passed"
+
+echo "==> multi-machine audit smoke (cross-machine auditor via ncss-cli)"
+for algo in c-par nc-par dispatch; do
+    "$cli" audit --algorithm "$algo" --machines 3 --input "$trace" --alpha 2 > /dev/null \
+        || { echo "FAIL: multi audit rejected $algo" >&2; exit 1; }
+done
+# A corrupted report must be rejected (non-zero exit) by the same gate.
+if "$cli" audit --algorithm nc-par --machines 3 --input "$trace" --alpha 2 \
+        --corrupt energy > /dev/null 2>&1; then
+    echo "FAIL: corrupted nc-par report passed the multi audit" >&2
+    exit 1
+fi
+echo "multi audit smoke passed"
 
 echo "==> cargo doc --workspace --no-deps --offline (must be warning-clean)"
 doc_log="$(RUSTDOCFLAGS="${RUSTDOCFLAGS:-}" cargo doc --workspace --no-deps --offline 2>&1)" || {

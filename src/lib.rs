@@ -54,13 +54,19 @@ pub use ncss_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use ncss_audit::{audit_outcome, audit_run, AuditConfig, AuditReport, ScheduleAudit};
-    pub use ncss_core::{
-        reduce_to_integral, run_c, run_checked, run_nc_nonuniform, run_nc_uniform, theory,
-        CheckedRun, CRun, IntegralRun, NcRun, NonUniformParams,
+    pub use ncss_audit::{
+        audit_multi, audit_outcome, audit_run, AuditConfig, AuditReport, MultiAudit, ScheduleAudit,
     };
-    pub use ncss_multi::{run_c_par, run_nc_par, ParOutcome};
-    pub use ncss_opt::{single_job_opt, solve_fractional_opt, SolverOptions};
+    pub use ncss_core::{
+        reduce_to_integral, run_c, run_checked, run_checked_multi, run_nc_nonuniform,
+        run_nc_uniform, theory, CheckedMultiRun, CheckedRun, CRun, IntegralRun, MultiRun, NcRun,
+        NonUniformParams,
+    };
+    pub use ncss_multi::{run_c_par, run_nc_par, ParOutcome, MAX_MACHINES};
+    pub use ncss_opt::{
+        single_job_opt, solve_fractional_opt, yds, yds_execution, DeadlineJob, SolverOptions,
+        YdsExecution,
+    };
     pub use ncss_sim::{evaluate, Instance, Job, Objective, PowerLaw, Schedule, SimError, SimResult};
     pub use ncss_workloads::{CloudSpec, VolumeDist, WorkloadSpec};
 }

@@ -170,3 +170,149 @@ fn clean_instances_audit_below_1e7_residual() {
         assert!(report.max_residual() < 1e-7, "NC α={alpha}: residual {}", report.max_residual());
     }
 }
+
+use ncss::audit::audit_multi;
+use ncss::multi::{run_c_par, run_nc_par, LeastCount, SeededRandom, MAX_MACHINES};
+use ncss::sim::numeric::rel_diff;
+use ncss::sim::{Job, SimError};
+
+fn small_instance() -> Instance {
+    Instance::new(vec![
+        Job::unit_density(0.0, 2.0),
+        Job::unit_density(0.4, 1.0),
+        Job::unit_density(1.1, 0.5),
+    ])
+    .expect("valid instance")
+}
+
+#[test]
+fn dispatcher_machine_count_faults_are_typed_errors() {
+    // m = 0, m just past MAX_MACHINES, and usize::MAX-adjacent counts must
+    // all come back as structured `SimError`s from every dispatcher — no
+    // divide-by-zero, no attempted multi-terabyte Vec, no panic.
+    let inst = small_instance();
+    let law = PowerLaw::new(2.0).expect("valid alpha");
+    for m in [0usize, MAX_MACHINES + 1, usize::MAX - 1, usize::MAX] {
+        assert!(
+            matches!(run_c_par(&inst, law, m), Err(SimError::InvalidInstance { .. })),
+            "run_c_par accepted m={m}"
+        );
+        assert!(
+            matches!(run_nc_par(&inst, law, m), Err(SimError::InvalidInstance { .. })),
+            "run_nc_par accepted m={m}"
+        );
+        assert!(
+            matches!(
+                run_immediate_dispatch(&inst, law, m, &mut RoundRobin::default()),
+                Err(SimError::InvalidInstance { .. })
+            ),
+            "round-robin dispatch accepted m={m}"
+        );
+        assert!(
+            matches!(
+                run_immediate_dispatch(&inst, law, m, &mut LeastCount::default()),
+                Err(SimError::InvalidInstance { .. })
+            ),
+            "least-count dispatch accepted m={m}"
+        );
+        assert!(
+            matches!(
+                run_immediate_dispatch(&inst, law, m, &mut SeededRandom::new(7)),
+                Err(SimError::InvalidInstance { .. })
+            ),
+            "seeded-random dispatch accepted m={m}"
+        );
+        assert!(
+            matches!(run_lazy_hdf(&inst, law, m, 5.0), Err(SimError::InvalidInstance { .. })),
+            "lazy-HDF accepted m={m}"
+        );
+    }
+}
+
+#[test]
+fn one_machine_matches_the_single_machine_algorithms_exactly() {
+    // The m = 1 fleet is the single machine: same objective, same
+    // completions, to floating-point identity tolerances.
+    let inst = small_instance();
+    for alpha in [2.0, 3.0] {
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+
+        let par = run_c_par(&inst, law, 1).expect("C-PAR on one machine");
+        let single = run_c(&inst, law).expect("C");
+        assert!(rel_diff(par.objective.energy, single.objective.energy) < 1e-12);
+        assert!(rel_diff(par.objective.frac_flow, single.objective.frac_flow) < 1e-12);
+        for j in 0..inst.len() {
+            assert!(
+                rel_diff(par.per_job.completion[j], single.per_job.completion[j]) < 1e-12,
+                "α={alpha} job {j}: {} vs {}",
+                par.per_job.completion[j],
+                single.per_job.completion[j]
+            );
+        }
+
+        let par = run_nc_par(&inst, law, 1).expect("NC-PAR on one machine");
+        let single = run_nc_uniform(&inst, law).expect("NC");
+        assert!(rel_diff(par.objective.energy, single.objective.energy) < 1e-12);
+        assert!(rel_diff(par.objective.frac_flow, single.objective.frac_flow) < 1e-12);
+        for j in 0..inst.len() {
+            assert!(
+                rel_diff(par.per_job.completion[j], single.per_job.completion[j]) < 1e-12,
+                "α={alpha} NC job {j}: {} vs {}",
+                par.per_job.completion[j],
+                single.per_job.completion[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn more_machines_than_jobs_completes_and_passes_the_multi_audit() {
+    // m > n leaves machines idle but must neither error nor emit anything
+    // the cross-machine auditor rejects.
+    let inst = small_instance();
+    let law = PowerLaw::new(2.5).expect("valid alpha");
+    let m = inst.len() + 5;
+    for (name, out) in [
+        ("c_par", run_c_par(&inst, law, m).expect("C-PAR")),
+        ("nc_par", run_nc_par(&inst, law, m).expect("NC-PAR")),
+    ] {
+        assert_eq!(out.schedules.len(), m, "{name}: one timeline per machine");
+        let reported = Evaluated { objective: out.objective, per_job: out.per_job.clone() };
+        let report = audit_multi(&inst, &out.schedules, &reported);
+        assert!(report.passed(), "{name} with m={m}:\n{report}");
+        assert!(report.max_residual() < 1e-7, "{name}: residual {}", report.max_residual());
+    }
+}
+
+#[test]
+fn bounded_speed_caps_near_zero_and_infinity_respect_the_contract() {
+    // Finite caps — however extreme — obey the robustness contract over
+    // the fault suite; non-positive and non-finite caps are typed errors.
+    let seed = fault_seed();
+    for case in fault_suite(seed, 40) {
+        let Ok(inst) = &case.instance else { continue };
+        let law = PowerLaw::new(2.0).expect("valid alpha");
+        for cap in [1e-300, 1e-9, 1e9, 1e300, f64::MAX] {
+            let tag = |algo: &str| format!("seed {seed} case {} cap={cap:e} {algo}", case.label);
+            contract(&tag("run_c_bounded"), || {
+                run_c_bounded(inst, law, cap).ok().map(|(_, ev)| ev.objective)
+            });
+            contract(&tag("run_nc_uniform_bounded"), || {
+                run_nc_uniform_bounded(inst, law, cap).ok().map(|(_, ev)| ev.objective)
+            });
+        }
+        for cap in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            assert!(
+                matches!(run_c_bounded(inst, law, cap), Err(SimError::InvalidInstance { .. })),
+                "run_c_bounded accepted cap={cap}"
+            );
+            assert!(
+                matches!(
+                    run_nc_uniform_bounded(inst, law, cap),
+                    Err(SimError::InvalidInstance { .. })
+                ),
+                "run_nc_uniform_bounded accepted cap={cap}"
+            );
+        }
+    }
+}

@@ -115,3 +115,108 @@ fn nc_par_beats_all_dispatch_policies_on_the_batch() {
         game.ratio
     );
 }
+
+use ncss::sim::{Evaluated, Segment};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn merged_audit_agrees_with_independent_per_machine_audits(
+        inst in uniform_instance(), k in 2usize..5
+    ) {
+        // The cross-machine auditor on the merged run must agree with
+        // auditing each machine in isolation: rebuild every machine's
+        // private instance, remap original job ids to local ones, and run
+        // the single-machine auditor on each timeline. Both views must
+        // pass, and the per-machine evaluations must reassemble into the
+        // globally reported numbers.
+        let law = PowerLaw::new(2.5).unwrap();
+        let nc = run_nc_par(&inst, law, k).unwrap();
+        let reported = Evaluated { objective: nc.objective, per_job: nc.per_job.clone() };
+        let merged = audit_multi(&inst, &nc.schedules, &reported);
+        prop_assert!(merged.passed(), "merged audit:\n{}", merged);
+        prop_assert!(merged.max_residual() < 1e-7, "residual {}", merged.max_residual());
+
+        let mut energy_sum = 0.0;
+        let mut frac_sum = 0.0;
+        for m in 0..k {
+            let members: Vec<usize> =
+                (0..inst.len()).filter(|&j| nc.assignment[j] == m).collect();
+            if members.is_empty() {
+                prop_assert!(nc.schedules[m].segments().iter().all(|s| s.job.is_none()));
+                continue;
+            }
+            // Original ids are release-sorted, so the members (in original
+            // id order) are already release-sorted and the local instance's
+            // stable sort keeps local id = rank within `members`.
+            let local_inst = Instance::new(
+                members.iter().map(|&j| *inst.job(j)).collect()
+            ).unwrap();
+            let segments: Vec<Segment> = nc.schedules[m].segments().iter().map(|s| {
+                let job = s.job.map(|orig| {
+                    members.iter().position(|&j| j == orig).expect("job served off-machine")
+                });
+                Segment { job, ..*s }
+            }).collect();
+            let local_sched = Schedule::new(law, segments).unwrap();
+            let local_eval = evaluate(&local_sched, &local_inst).unwrap();
+            let local = audit_run(&local_inst, &local_sched, &local_eval);
+            prop_assert!(local.passed(), "machine {} audit:\n{}", m, local);
+            prop_assert!(local.max_residual() < 1e-7,
+                "machine {} residual {}", m, local.max_residual());
+            for (local_id, &orig) in members.iter().enumerate() {
+                prop_assert!(
+                    rel_diff(local_eval.per_job.completion[local_id],
+                             nc.per_job.completion[orig]) < 1e-7,
+                    "machine {} job {}: local completion {} vs reported {}",
+                    m, orig, local_eval.per_job.completion[local_id],
+                    nc.per_job.completion[orig]
+                );
+            }
+            energy_sum += local_eval.objective.energy;
+            frac_sum += local_eval.objective.frac_flow;
+        }
+        prop_assert!(rel_diff(energy_sum, nc.objective.energy) < 1e-7,
+            "per-machine energies {} vs reported {}", energy_sum, nc.objective.energy);
+        prop_assert!(rel_diff(frac_sum, nc.objective.frac_flow) < 1e-7,
+            "per-machine frac flows {} vs reported {}", frac_sum, nc.objective.frac_flow);
+    }
+}
+
+#[test]
+fn double_service_escapes_the_outcome_audit_but_not_the_multi_audit() {
+    // A phantom machine re-serving an already-served job leaves every
+    // reported number untouched, so the schedule-less outcome audit cannot
+    // see it. The cross-machine auditor must: the duplicated segment
+    // double-serves a job and over-delivers volume.
+    let inst = Instance::new(vec![
+        Job::unit_density(0.0, 2.0),
+        Job::unit_density(0.3, 1.0),
+        Job::unit_density(0.9, 1.5),
+        Job::unit_density(1.4, 0.5),
+    ])
+    .unwrap();
+    let law = PowerLaw::new(3.0).unwrap();
+    let nc = run_nc_par(&inst, law, 2).unwrap();
+    let reported = Evaluated { objective: nc.objective, per_job: nc.per_job.clone() };
+
+    let outcome = audit_outcome(&inst, &nc.objective, &nc.per_job);
+    assert!(outcome.passed(), "clean outcome audit must pass:\n{outcome}");
+
+    let mut schedules = nc.schedules.clone();
+    let phantom = *schedules
+        .iter()
+        .flat_map(|s| s.segments())
+        .find(|s| s.job.is_some())
+        .expect("some served segment");
+    schedules.push(Schedule::new(law, vec![phantom]).unwrap());
+
+    let corrupted = audit_multi(&inst, &schedules, &reported);
+    assert!(!corrupted.passed(), "multi audit must catch double service:\n{corrupted}");
+    let rendered = format!("{corrupted}");
+    assert!(
+        rendered.contains("FAIL no-double-service"),
+        "expected a no-double-service failure:\n{rendered}"
+    );
+}

@@ -106,3 +106,62 @@ fn lower_bound_survives_extreme_density_spread() {
     assert!(sol.dual_bound > 0.0);
     assert!(c >= sol.dual_bound * (1.0 - 1e-9));
 }
+
+#[test]
+fn closed_form_schedule_passes_the_audit_across_alphas() {
+    // The closed-form optimum now emits a real `Schedule` (one exact Decay
+    // segment). Route it through the independent auditor: the quadrature
+    // re-derivation must agree with the closed-form numbers to < 1e-7 for
+    // every power law and job shape.
+    for alpha in [1.5, 2.0, 2.5, 3.0, 4.0] {
+        let law = PowerLaw::new(alpha).unwrap();
+        for (rho, volume, release) in
+            [(1.0, 1.0, 0.0), (0.3, 2.5, 1.7), (4.0, 0.2, 0.5), (0.05, 7.0, 3.2)]
+        {
+            let opt = single_job_opt(law, rho, volume).unwrap();
+            let inst = Instance::single(Job::new(release, volume, rho)).unwrap();
+            let sched = opt.to_schedule(law, release).unwrap();
+            let report = audit_run(&inst, &sched, &opt.evaluated(release));
+            assert!(report.passed(), "alpha={alpha} rho={rho} V={volume}:\n{report}");
+            assert!(
+                report.max_residual() < 1e-7,
+                "alpha={alpha} rho={rho} V={volume}: residual {}",
+                report.max_residual()
+            );
+        }
+    }
+}
+
+#[test]
+fn yds_execution_passes_the_audit_and_meets_deadlines() {
+    // The YDS profile's EDF execution produces a per-job `Schedule`; the
+    // auditor must certify it against the execution's own reported numbers,
+    // its energy must match the YDS closed form, and no deadline may slip.
+    let jobs = vec![
+        DeadlineJob { release: 0.0, deadline: 6.0, volume: 2.0 },
+        DeadlineJob { release: 1.0, deadline: 3.0, volume: 1.5 },
+        DeadlineJob { release: 4.0, deadline: 9.0, volume: 1.0 },
+        DeadlineJob { release: 4.5, deadline: 5.5, volume: 0.8 },
+    ];
+    for alpha in [2.0, 3.0] {
+        let law = PowerLaw::new(alpha).unwrap();
+        let sched = yds(&jobs, law).unwrap();
+        let exec = yds_execution(&jobs, &sched, law).unwrap();
+        let report = audit_run(&exec.instance, &exec.schedule, &exec.evaluated);
+        assert!(report.passed(), "alpha={alpha}:\n{report}");
+        assert!(report.max_residual() < 1e-7, "alpha={alpha}: residual {}", report.max_residual());
+        for (j, completion) in exec.evaluated.per_job.completion.iter().enumerate() {
+            assert!(
+                *completion <= exec.deadlines[j] + 1e-7,
+                "alpha={alpha}: job {j} completed {completion} after deadline {}",
+                exec.deadlines[j]
+            );
+        }
+        assert!(
+            approx_eq(exec.evaluated.objective.energy, sched.energy, 1e-9),
+            "alpha={alpha}: execution energy {} vs YDS energy {}",
+            exec.evaluated.objective.energy,
+            sched.energy
+        );
+    }
+}
