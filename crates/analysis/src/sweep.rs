@@ -1,4 +1,4 @@
-//! Parallel parameter sweeps on `std::thread::scope` — no external crates.
+//! Parallel parameter sweeps on the shared [`ncss_pool`] worker pool.
 //!
 //! Experiments evaluate many independent `(instance, α, parameter)` cells;
 //! these helpers fan the cells out across cores while preserving input
@@ -7,94 +7,18 @@
 //! pure `f`, regardless of thread count or interleaving (the determinism
 //! test below proves it against the workload generators).
 //!
-//! Two schedulers are provided. [`parallel_map`] balances dynamically via
-//! an atomic cursor — right for uneven cells (OPT solves of different
-//! sizes). [`parallel_map_chunked`] hands each worker fixed contiguous
-//! chunks — lower coordination overhead for many cheap uniform cells
-//! (one atomic fetch per *chunk* instead of per item, and adjacent items
-//! stay adjacent in cache). The bench harness records both against the
-//! serial path (`cargo bench -p ncss-bench --bench perf_sweep`).
+//! The scheduler itself lives in the `ncss-pool` crate — the same
+//! atomic-cursor chunked pool that shards the audit quadrature and the
+//! fault/contract suites — and these functions re-export its auto-sized
+//! policy. [`parallel_map`] balances dynamically via an atomic cursor —
+//! right for uneven cells (OPT solves of different sizes).
+//! [`parallel_map_chunked`] hands each worker fixed contiguous chunks —
+//! lower coordination overhead for many cheap uniform cells (one atomic
+//! fetch per *chunk* instead of per item, and adjacent items stay adjacent
+//! in cache). The bench harness records both against the serial path
+//! (`cargo bench -p ncss-bench --bench perf_sweep`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-fn worker_count(n: usize) -> usize {
-    std::thread::available_parallelism().map_or(1, |p| p.get()).min(n)
-}
-
-/// Run `threads` scoped workers, each claiming batches of `chunk`
-/// consecutive indices from an atomic cursor and returning `(index, value)`
-/// pairs; results are reassembled in input order.
-fn scoped_indexed_map<T: Sync, U: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> U + Sync,
-    threads: usize,
-    chunk: usize,
-) -> Vec<U> {
-    let n = items.len();
-    let cursor = AtomicUsize::new(0);
-    let f = &f;
-    let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for i in start..(start + chunk).min(n) {
-                            local.push((i, f(&items[i])));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    });
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    for (i, v) in per_worker.into_iter().flatten() {
-        debug_assert!(out[i].is_none(), "index {i} claimed twice");
-        out[i] = Some(v);
-    }
-    out.into_iter().map(|v| v.expect("every slot filled")).collect()
-}
-
-/// Map `f` over `items` in parallel, preserving order.
-///
-/// Work is distributed dynamically via an atomic cursor (one item per
-/// claim), so uneven cell costs (e.g. OPT solves of different sizes)
-/// balance automatically.
-pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-    let threads = worker_count(items.len());
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    scoped_indexed_map(items, f, threads, 1)
-}
-
-/// Map `f` over `items` in parallel with contiguous chunks of `chunk`
-/// items per claim, preserving order.
-///
-/// Prefer this over [`parallel_map`] when cells are cheap and uniform:
-/// the cursor is touched once per chunk and adjacent results are produced
-/// by the same worker. `chunk = 0` picks a default of `n / (8 · threads)`,
-/// clamped to at least 1 (≈8 claims per worker keeps the tail balanced).
-pub fn parallel_map_chunked<T: Sync, U: Send>(
-    items: &[T],
-    chunk: usize,
-    f: impl Fn(&T) -> U + Sync,
-) -> Vec<U> {
-    let n = items.len();
-    let threads = worker_count(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = if chunk == 0 { (n / (8 * threads)).max(1) } else { chunk };
-    scoped_indexed_map(items, f, threads, chunk)
-}
+pub use ncss_pool::{parallel_map, parallel_map_chunked, Pool};
 
 /// Cartesian product helper for sweep grids.
 #[must_use]
@@ -113,46 +37,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..500).collect();
-        let out = parallel_map(&items, |&x| x * x);
-        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn chunked_preserves_order_for_every_chunk_size() {
-        let items: Vec<u64> = (0..257).collect();
-        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
-        for chunk in [0, 1, 2, 7, 64, 300] {
-            let out = parallel_map_chunked(&items, chunk, |&x| x * 3 + 1);
-            assert_eq!(out, serial, "chunk {chunk}");
-        }
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
-        assert!(out.is_empty());
-        let out: Vec<u64> = parallel_map_chunked(&[] as &[u64], 4, |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn uneven_work_balances() {
-        // Mix trivial and heavy items; result must still be ordered.
-        let items: Vec<u64> = (0..64).collect();
-        let out = parallel_map(&items, |&x| {
-            if x % 7 == 0 {
-                (0..50_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
-            } else {
-                x
-            }
-        });
-        assert_eq!(out.len(), 64);
-        assert_eq!(out[1], 1);
-    }
-
-    #[test]
     fn grid_product() {
         let g = grid2(&[1, 2], &["a", "b", "c"]);
         assert_eq!(g.len(), 6);
@@ -163,7 +47,8 @@ mod tests {
     /// Cross-thread determinism: generating workloads inside a parallel
     /// sweep yields exactly the instances the serial path produces — the
     /// RNG state lives per cell (seeded from the cell's own seed), so
-    /// thread interleaving cannot leak into the draws.
+    /// thread interleaving cannot leak into the draws. Forced worker
+    /// counts make this meaningful even on a single-core runner.
     #[test]
     fn parallel_workload_generation_equals_serial() {
         use ncss_workloads::{VolumeDist, WorkloadSpec};
@@ -176,5 +61,8 @@ mod tests {
         let serial: Vec<_> = seeds.iter().map(gen).collect();
         assert_eq!(parallel_map(&seeds, gen), serial);
         assert_eq!(parallel_map_chunked(&seeds, 5, gen), serial);
+        for threads in [2, 8] {
+            assert_eq!(Pool::with_threads(threads).map(&seeds, gen), serial);
+        }
     }
 }

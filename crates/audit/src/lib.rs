@@ -32,8 +32,21 @@
 //! re-derivation). Runs that produce no `Schedule` at all (processor
 //! sharing) are covered by the weaker but still useful
 //! [`ScheduleAudit::audit_outcome`].
+//!
+//! ## Parallelism and timing
+//!
+//! The quadrature-heavy derivations — per-job volume/completion
+//! re-derivation, energy per segment, fractional flow per job, and the
+//! `O(k²)` no-double-service pass — fan out over the shared `ncss-pool`
+//! worker pool ([`AuditConfig::threads`] picks the worker count). The
+//! fan-out is order-preserving and every sum is reduced serially, so
+//! **serial and parallel audits produce identical verdicts and residuals**
+//! and the residual tolerances are unchanged under sharding (DESIGN.md
+//! §8). Every verdict records the wall-time its check took
+//! ([`CheckVerdict::elapsed_ns`]); bench binaries surface these as the
+//! `audit_timing` block in `BENCH_*.json` (EXPERIMENTS.md).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod multi_audit;
 pub mod quad;
@@ -41,7 +54,7 @@ pub mod report;
 mod schedule_audit;
 
 pub use multi_audit::MultiAudit;
-pub use report::{AuditReport, CheckVerdict};
+pub use report::{AuditReport, CheckVerdict, Stopwatch};
 pub use schedule_audit::{AuditConfig, ScheduleAudit};
 
 use ncss_sim::{Evaluated, Instance, Objective, PerJob, Schedule};

@@ -25,7 +25,7 @@
 //! [`Schedule`] — the merge happens per job, where serial service is an
 //! invariant rather than an accident.
 
-use crate::report::AuditReport;
+use crate::report::{AuditReport, Stopwatch};
 use crate::schedule_audit::{
     derive_per_job, frac_flow_quadrature, measurement_resolution, release_residual, residual,
     wellformed_residual, AuditConfig, ScheduleAudit,
@@ -59,6 +59,12 @@ impl MultiAudit {
     /// Audit a parallel-machine run: `schedules[m]` is machine `m`'s
     /// timeline (empty schedules for idle machines are fine), `reported`
     /// the fleet-wide evaluation the run claims.
+    ///
+    /// Per-machine scans, the `O(k²)` per-job no-double-service pass, and
+    /// every quadrature re-derivation fan out over [`AuditConfig::pool`];
+    /// each check records its wall-time. As in the single-machine pass,
+    /// shared derivation cost rides with the first consuming check
+    /// (`cross-machine-volume` carries the per-job derivation).
     #[must_use]
     pub fn audit(
         &self,
@@ -67,12 +73,30 @@ impl MultiAudit {
         reported: &Evaluated,
     ) -> AuditReport {
         let mut report = AuditReport::default();
+        let mut clock = Stopwatch::new();
+        let pool = self.config.pool();
         let n = instance.len();
         // An all-idle fleet has no law to read; any law integrates the
         // empty segment set to zero, so the fallback is inert.
         let pl = schedules.first().map_or_else(PowerLaw::cube, Schedule::power_law);
         let horizon = schedules.iter().map(|s| s.end_time().abs()).fold(0.0f64, f64::max);
         let time_tol = self.config.time_tol * (1.0 + horizon);
+
+        // Fold order-preserved per-machine `(residual, detail)` rows into
+        // the single worst row, serially, so the verdict is identical for
+        // any worker count (strict `>` keeps the first/lowest machine on
+        // ties, matching the serial scan).
+        let worst_of = |rows: Vec<(f64, String)>, ok: &str| -> (f64, String) {
+            let mut worst = 0.0f64;
+            let mut detail = String::from(ok);
+            for (m, (w, d)) in rows.into_iter().enumerate() {
+                if w > worst {
+                    worst = w;
+                    detail = format!("machine {m}: {d}");
+                }
+            }
+            (worst, detail)
+        };
 
         // --- power-law-consistent: one fleet, one energy model.
         let mut worst = 0.0f64;
@@ -88,30 +112,17 @@ impl MultiAudit {
                 );
             }
         }
-        report.record("power-law-consistent", worst, self.config.rel_tol, detail);
+        report.record_timed("power-law-consistent", worst, self.config.rel_tol, detail, clock.lap());
 
-        // --- per-machine segment invariants, via the single-machine pass.
-        let mut worst = 0.0f64;
-        let mut detail = String::from("all machine timelines ordered");
-        for (m, s) in schedules.iter().enumerate() {
-            let (w, d) = wellformed_residual(s.segments());
-            if w > worst {
-                worst = w;
-                detail = format!("machine {m}: {d}");
-            }
-        }
-        report.record("segments-wellformed", worst, time_tol, detail);
+        // --- per-machine segment invariants, via the single-machine
+        // helpers, one machine per pool cell.
+        let rows = pool.map(schedules, |s| wellformed_residual(s.segments()));
+        let (worst, detail) = worst_of(rows, "all machine timelines ordered");
+        report.record_timed("segments-wellformed", worst, time_tol, detail, clock.lap());
 
-        let mut worst = 0.0f64;
-        let mut detail = String::from("no early service");
-        for (m, s) in schedules.iter().enumerate() {
-            let (w, d) = release_residual(instance, s.segments());
-            if w > worst {
-                worst = w;
-                detail = format!("machine {m}: {d}");
-            }
-        }
-        report.record("release-before-service", worst, time_tol, detail);
+        let rows = pool.map(schedules, |s| release_residual(instance, s.segments()));
+        let (worst, detail) = worst_of(rows, "no early service");
+        report.record_timed("release-before-service", worst, time_tol, detail, clock.lap());
 
         // --- gather each job's serving segments across machines, in
         // increasing start order.
@@ -133,10 +144,11 @@ impl MultiAudit {
         // machines must not overlap in wall-clock time. (Same-machine
         // overlap is already excluded by segments-wellformed.) The
         // residual is the worst overlap duration, so a clean run audits
-        // at exactly zero.
-        let mut worst = 0.0f64;
-        let mut detail = String::from("no cross-machine overlap");
-        for (j, segs) in by_job.iter().enumerate() {
+        // at exactly zero. The O(k²) interval comparison is per job, so
+        // jobs fan out over the pool and the worst rows fold serially.
+        let per_job_overlap: Vec<(f64, String)> = pool.map(&by_job, |segs| {
+            let mut worst = f64::NEG_INFINITY;
+            let mut detail = String::new();
             for (i, (m_a, a)) in segs.iter().enumerate() {
                 for (m_b, b) in &segs[i + 1..] {
                     if m_a == m_b {
@@ -147,14 +159,21 @@ impl MultiAudit {
                     let overlap = hi - lo;
                     if overlap > worst {
                         worst = overlap;
-                        detail = format!(
-                            "job {j}: machines {m_a}/{m_b} both serve [{lo:.6}, {hi:.6}]"
-                        );
+                        detail = format!("machines {m_a}/{m_b} both serve [{lo:.6}, {hi:.6}]");
                     }
                 }
             }
+            (worst, detail)
+        });
+        let mut worst = 0.0f64;
+        let mut detail = String::from("no cross-machine overlap");
+        for (j, (w, d)) in per_job_overlap.into_iter().enumerate() {
+            if w > worst {
+                worst = w;
+                detail = format!("job {j}: {d}");
+            }
         }
-        report.record("no-double-service", worst.max(0.0), time_tol, detail);
+        report.record_timed("no-double-service", worst.max(0.0), time_tol, detail, clock.lap());
 
         // --- cross-machine volume conservation and derived completions,
         // over the merged per-job timelines.
@@ -163,6 +182,7 @@ impl MultiAudit {
         let resolution =
             measurement_resolution(pl, schedules.iter().map(Schedule::segments), horizon);
         let (delivered, completions) = derive_per_job(
+            pool,
             pl,
             instance,
             &merged,
@@ -181,7 +201,7 @@ impl MultiAudit {
                 detail = format!("job {j}: machines delivered {cum:.9e} of {volume:.9e}");
             }
         }
-        report.record("cross-machine-volume", worst, self.config.rel_tol, detail);
+        report.record_timed("cross-machine-volume", worst, self.config.rel_tol, detail, clock.lap());
 
         let mut worst = 0.0f64;
         let mut detail = String::from("completions agree");
@@ -195,27 +215,32 @@ impl MultiAudit {
                     format!("job {j}: derived {:.9} vs reported {reported_c:.9}", completions[j]);
             }
         }
-        report.record("completion-consistency", worst, self.config.rel_tol, detail);
+        report.record_timed("completion-consistency", worst, self.config.rel_tol, detail, clock.lap());
 
-        // --- total energy: quadrature over every machine's timeline.
-        let energy: f64 = schedules
+        // --- total energy: one quadrature per segment across the whole
+        // fleet, fanned over the pool and summed serially in timeline
+        // order (machine 0's segments first, as in the serial pass).
+        let fleet_segments: Vec<Segment> =
+            schedules.iter().flat_map(Schedule::segments).copied().collect();
+        let energy: f64 = pool
+            .map(&fleet_segments, |s| integrate(|t| s.power_at(pl, t), s.start, s.end))
             .iter()
-            .flat_map(Schedule::segments)
-            .map(|s| integrate(|t| s.power_at(pl, t), s.start, s.end))
             .sum();
-        report.record(
+        report.record_timed(
             "energy-recomputed",
             residual(energy, reported.objective.energy),
             self.config.rel_tol,
             format!("quadrature {energy:.9e} vs reported {:.9e}", reported.objective.energy),
+            clock.lap(),
         );
 
-        let frac = frac_flow_quadrature(pl, instance, &merged, &completions);
-        report.record(
+        let frac = frac_flow_quadrature(pool, pl, instance, &merged, &completions);
+        report.record_timed(
             "frac-flow-recomputed",
             residual(frac, reported.objective.frac_flow),
             self.config.rel_tol,
             format!("quadrature {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
+            clock.lap(),
         );
 
         let int: f64 = (0..n)
@@ -224,11 +249,12 @@ impl MultiAudit {
                 job.weight() * (completions[j] - job.release)
             })
             .sum();
-        report.record(
+        report.record_timed(
             "int-flow-recomputed",
             residual(int, reported.objective.int_flow),
             self.config.rel_tol,
             format!("derived {int:.9e} vs reported {:.9e}", reported.objective.int_flow),
+            clock.lap(),
         );
 
         ScheduleAudit::new(self.config).outcome_checks(

@@ -11,18 +11,62 @@
 //! this class of integrands — with a fixed, modest number of evaluations.
 
 use std::f64::consts::FRAC_PI_2;
+use std::sync::OnceLock;
 
 /// Step in the trapezoidal sum over the transformed axis.
 const H: f64 = 0.0625;
 /// Half-width of the truncated sum; `K·H ≈ 3.2` puts the discarded tail
 /// weights below `1e-14`.
 const K: i32 = 51;
+/// Number of quadrature nodes: `2K + 1`.
+const NODES: usize = (2 * K + 1) as usize;
+
+/// The `(abscissa, weight)` table on `[-1, 1]`, computed once per process.
+///
+/// The transformed nodes depend only on `H` and `K`, never on the interval
+/// or integrand, so the ~5 transcendentals per node are hoisted out of
+/// every `integrate` call. The per-node arithmetic is exactly the loop body
+/// the table replaced, in the same `k = -K..=K` order, so results are
+/// bitwise identical to computing the nodes inline.
+fn node_table() -> &'static [(f64, f64); NODES] {
+    static TABLE: OnceLock<[(f64, f64); NODES]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [(0.0f64, 0.0f64); NODES];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let k = i as i32 - K;
+            let t = H * f64::from(k);
+            let u = FRAC_PI_2 * t.sinh();
+            let x = u.tanh();
+            let sech = 1.0 / u.cosh();
+            *slot = (x, FRAC_PI_2 * t.cosh() * sech * sech);
+        }
+        table
+    })
+}
 
 /// `∫_a^b f(x) dx` by tanh–sinh quadrature (103 evaluations).
 ///
 /// Returns 0 for empty or reversed intervals. Non-finite integrand values
 /// propagate into the result rather than panicking — the audit's checks
 /// treat a NaN integral as a failed verdict.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_audit::quad::integrate;
+///
+/// // Spectrally accurate on smooth integrands: ∫_0^2 3x² dx = 8.
+/// let v = integrate(|x| 3.0 * x * x, 0.0, 2.0);
+/// assert!((v - 8.0).abs() < 1e-12);
+///
+/// // …and on the audit's hard case, algebraic endpoint singularities in
+/// // the derivative: ∫_0^1 √x dx = 2/3 (a decay-speed curve at α = 3).
+/// let v = integrate(f64::sqrt, 0.0, 1.0);
+/// assert!((v - 2.0 / 3.0).abs() < 1e-12);
+///
+/// // Degenerate intervals integrate to zero rather than erroring.
+/// assert_eq!(integrate(|_| 1.0, 1.0, 1.0), 0.0);
+/// ```
 pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64) -> f64 {
     if !(b > a) {
         return 0.0;
@@ -30,12 +74,7 @@ pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64) -> f64 {
     let mid = 0.5 * (a + b);
     let half = 0.5 * (b - a);
     let mut sum = 0.0;
-    for k in -K..=K {
-        let t = H * f64::from(k);
-        let u = FRAC_PI_2 * t.sinh();
-        let x = u.tanh();
-        let sech = 1.0 / u.cosh();
-        let weight = FRAC_PI_2 * t.cosh() * sech * sech;
+    for &(x, weight) in node_table() {
         sum += weight * f(mid + half * x);
     }
     sum * H * half

@@ -1,6 +1,7 @@
-//! Structured audit verdicts.
+//! Structured audit verdicts with per-check wall-time.
 
 use std::fmt;
+use std::time::Instant;
 
 /// Outcome of one audited invariant.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,9 +16,64 @@ pub struct CheckVerdict {
     pub residual: f64,
     /// Human-readable context: which job / segment / component was worst.
     pub detail: String,
+    /// Wall-clock nanoseconds spent producing this verdict (0 when the
+    /// check was recorded without timing). Shared derivations feeding
+    /// several checks are attributed to the first check that consumes
+    /// them — see DESIGN.md §8 for the attribution rules.
+    pub elapsed_ns: u64,
+}
+
+/// A stopwatch for attributing audit wall-time to consecutive checks.
+///
+/// [`Stopwatch::lap`] returns the nanoseconds since the previous lap (or
+/// since construction), so an audit that runs its checks in order gets an
+/// exhaustive, non-overlapping decomposition of its total wall-time with
+/// one call per [`AuditReport::record_timed`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    mark: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { mark: Instant::now() }
+    }
+
+    /// Nanoseconds since the previous lap (or construction); resets the
+    /// mark so consecutive laps tile the elapsed time exactly.
+    pub fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = u64::try_from(now.duration_since(self.mark).as_nanos()).unwrap_or(u64::MAX);
+        self.mark = now;
+        ns
+    }
 }
 
 /// A full audit: one verdict per invariant, never a panic.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_audit::AuditReport;
+///
+/// let mut report = AuditReport::default();
+/// report.record("energy-recomputed", 3.0e-9, 1e-6, "quadrature agrees".into());
+/// report.record("volume-conservation", 0.25, 1e-6, "job 1 short by 25%".into());
+///
+/// assert!(!report.passed());
+/// assert_eq!(report.failures().len(), 1);
+/// assert_eq!(report.failures()[0].name, "volume-conservation");
+/// assert!((report.max_residual() - 0.25).abs() < 1e-15);
+/// assert!(report.render().contains("FAIL volume-conservation"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AuditReport {
     /// All verdicts, in the order the checks ran.
@@ -47,16 +103,37 @@ impl AuditReport {
             .fold(0.0, f64::max)
     }
 
+    /// Total wall-clock nanoseconds attributed across all checks — the
+    /// audit's own cost, as surfaced in the `audit_timing` block of
+    /// `BENCH_*.json` (see EXPERIMENTS.md).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.checks.iter().map(|c| c.elapsed_ns).fold(0, u64::saturating_add)
+    }
+
     /// Append a verdict.
     pub fn push(&mut self, verdict: CheckVerdict) {
         self.checks.push(verdict);
     }
 
     /// Record a residual-style check: passes iff `residual ≤ tol` and the
-    /// residual is a number.
+    /// residual is a number. No wall-time is attributed (`elapsed_ns = 0`).
     pub fn record(&mut self, name: &'static str, residual: f64, tol: f64, detail: String) {
+        self.record_timed(name, residual, tol, detail, 0);
+    }
+
+    /// Record a residual-style check together with the wall-clock
+    /// nanoseconds spent producing it (typically a [`Stopwatch::lap`]).
+    pub fn record_timed(
+        &mut self,
+        name: &'static str,
+        residual: f64,
+        tol: f64,
+        detail: String,
+        elapsed_ns: u64,
+    ) {
         let passed = residual.is_finite() && residual <= tol;
-        self.push(CheckVerdict { name, passed, residual, detail });
+        self.push(CheckVerdict { name, passed, residual, detail, elapsed_ns });
     }
 
     /// Plain-text rendering, one line per verdict.
@@ -66,14 +143,44 @@ impl AuditReport {
     }
 }
 
+/// Human-readable duration: picks ns/µs/ms/s by magnitude.
+fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns_f / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns_f / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns_f / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let timed = self.total_ns() > 0;
         for c in &self.checks {
             let tag = if c.passed { "PASS" } else { "FAIL" };
-            writeln!(f, "{tag} {:<26} residual={:>12.3e}  {}", c.name, c.residual, c.detail)?;
+            if timed {
+                writeln!(
+                    f,
+                    "{tag} {:<26} residual={:>12.3e}  t={:>8}  {}",
+                    c.name,
+                    c.residual,
+                    fmt_ns(c.elapsed_ns),
+                    c.detail
+                )?;
+            } else {
+                writeln!(f, "{tag} {:<26} residual={:>12.3e}  {}", c.name, c.residual, c.detail)?;
+            }
         }
         let overall = if self.passed() { "audit: PASS" } else { "audit: FAIL" };
-        write!(f, "{overall} (max residual {:.3e})", self.max_residual())
+        write!(f, "{overall} (max residual {:.3e}", self.max_residual())?;
+        if timed {
+            write!(f, ", total {}", fmt_ns(self.total_ns()))?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -86,6 +193,7 @@ mod tests {
         let r = AuditReport::default();
         assert!(r.passed());
         assert_eq!(r.max_residual(), 0.0);
+        assert_eq!(r.total_ns(), 0);
     }
 
     #[test]
@@ -116,5 +224,45 @@ mod tests {
         assert!(s.contains("PASS alpha-check"));
         assert!(s.contains("FAIL beta-check"));
         assert!(s.contains("audit: FAIL"));
+    }
+
+    #[test]
+    fn timed_checks_accumulate_and_render() {
+        let mut r = AuditReport::default();
+        r.record_timed("fast", 0.0, 1e-6, String::new(), 800);
+        r.record_timed("slow", 0.0, 1e-6, String::new(), 2_500_000);
+        assert_eq!(r.total_ns(), 2_500_800);
+        let s = r.render();
+        assert!(s.contains("t="), "{s}");
+        assert!(s.contains("2.5ms"), "{s}");
+        assert!(s.contains("800ns"), "{s}");
+        assert!(s.contains("total"), "{s}");
+    }
+
+    #[test]
+    fn untimed_reports_render_without_timing_columns() {
+        let mut r = AuditReport::default();
+        r.record("plain", 0.0, 1e-6, String::new());
+        let s = r.render();
+        assert!(!s.contains("t="), "{s}");
+        assert!(!s.contains("total"), "{s}");
+    }
+
+    #[test]
+    fn stopwatch_laps_tile_elapsed_time() {
+        let mut sw = Stopwatch::new();
+        let a = sw.lap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = sw.lap();
+        assert!(b >= 1_000_000, "sleep lap too short: {b}ns");
+        assert!(a < b, "first lap {a} should be shorter than sleep lap {b}");
+    }
+
+    #[test]
+    fn total_saturates_instead_of_overflowing() {
+        let mut r = AuditReport::default();
+        r.record_timed("a", 0.0, 1e-6, String::new(), u64::MAX);
+        r.record_timed("b", 0.0, 1e-6, String::new(), 10);
+        assert_eq!(r.total_ns(), u64::MAX);
     }
 }

@@ -7,10 +7,11 @@
 //! from (one timeline vs. one per machine).
 
 use crate::quad::integrate;
-use crate::report::AuditReport;
+use crate::report::{AuditReport, Stopwatch};
+use ncss_pool::Pool;
 use ncss_sim::{Evaluated, Instance, Objective, PerJob, PowerLaw, Schedule, Segment};
 
-/// Tunable audit tolerances.
+/// Tunable audit tolerances and sharding policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AuditConfig {
     /// Tolerance on the scale-free residuals (`|x − ref| / (1 + |ref|)`)
@@ -20,11 +21,26 @@ pub struct AuditConfig {
     /// Absolute slack allowed on event-level time comparisons (overlap,
     /// release-before-service), per unit of schedule horizon.
     pub time_tol: f64,
+    /// Worker count for the quadrature fan-out: `None` sizes to the
+    /// machine ([`Pool::auto`]), `Some(k)` forces exactly `k` workers.
+    /// Serial (`Some(1)`) and parallel audits produce identical verdicts
+    /// and residuals — the pool preserves order, every per-item sum is
+    /// reduced serially, and tolerances are therefore unchanged under
+    /// sharding (DESIGN.md §8).
+    pub threads: Option<usize>,
 }
 
 impl Default for AuditConfig {
     fn default() -> Self {
-        Self { rel_tol: 1e-6, time_tol: 1e-9 }
+        Self { rel_tol: 1e-6, time_tol: 1e-9, threads: None }
+    }
+}
+
+impl AuditConfig {
+    /// The worker pool this configuration implies.
+    #[must_use]
+    pub fn pool(&self) -> Pool {
+        self.threads.map_or_else(Pool::auto, Pool::with_threads)
     }
 }
 
@@ -108,8 +124,12 @@ pub(crate) fn measurement_resolution<'a>(
 /// Re-derive per-job delivered volumes and completion times from the
 /// serving segments alone, by quadrature. `by_job[j]` must hold job `j`'s
 /// serving segments in increasing start order (across machines, in the
-/// multi case). Returns `(delivered, completions)`.
+/// multi case). Jobs are independent, so the derivation fans out over
+/// `pool` — the per-job arithmetic is untouched, so any worker count gives
+/// the same `(delivered, completions)` bit for bit. Returns
+/// `(delivered, completions)`.
 pub(crate) fn derive_per_job(
+    pool: Pool,
     pl: PowerLaw,
     instance: &Instance,
     by_job: &[Vec<Segment>],
@@ -117,23 +137,23 @@ pub(crate) fn derive_per_job(
     rel_tol: f64,
     resolution: f64,
 ) -> (Vec<f64>, Vec<f64>) {
-    let n = instance.len();
     let speed_of = |s: &Segment| {
         let s = *s; // Segment is Copy; detach from the borrow
         move |t: f64| s.speed_at(pl, t)
     };
-    let mut delivered = vec![0.0f64; n];
-    let mut completions = vec![f64::NAN; n];
-    for (j, segs) in by_job.iter().enumerate() {
+    let jobs: Vec<usize> = (0..instance.len()).collect();
+    let derived: Vec<(f64, f64)> = pool.map(&jobs, |&j| {
+        let segs = &by_job[j];
         let volume = instance.job(j).volume;
         let mut cum = 0.0;
+        let mut completion = f64::NAN;
         for s in segs {
             let dv = integrate(speed_of(s), s.start, s.end);
             // First segment slice in which the cumulative quadrature
             // volume reaches the job size: bisect for the crossing. The
             // margin is scale-free so 1e-150-scale volumes (whose
             // quadrature can underflow to 0) still register.
-            if completions[j].is_nan() && cum + dv >= volume - 1e-9 * (1.0 + volume) {
+            if completion.is_nan() && cum + dv >= volume - 1e-9 * (1.0 + volume) {
                 let target = (volume - cum).min(dv).max(0.0);
                 if dv - target <= 1e-9 * (1.0 + volume) {
                     // The job's remaining volume at the segment boundary is
@@ -142,7 +162,7 @@ pub(crate) fn derive_per_job(
                     // tail and land ~ε^{1/k} early on curves that drain
                     // exactly at the segment end (the closed-form optimum
                     // at α < 2 loses ~1e-6 that way).
-                    completions[j] = s.end;
+                    completion = s.end;
                 } else {
                     let (mut lo, mut hi) = (s.start, s.end);
                     for _ in 0..60 {
@@ -153,13 +173,12 @@ pub(crate) fn derive_per_job(
                             hi = mid;
                         }
                     }
-                    completions[j] = 0.5 * (lo + hi);
+                    completion = 0.5 * (lo + hi);
                 }
             }
             cum += dv;
         }
-        if completions[j].is_nan() && (cum - volume).abs() <= rel_tol * (1.0 + volume + resolution)
-        {
+        if completion.is_nan() && (cum - volume).abs() <= rel_tol * (1.0 + volume + resolution) {
             // All measurable volume was delivered but no crossing was
             // detectable (zero-scale jobs whose serving segments are
             // empty or underflow the quadrature): the inversion cannot
@@ -167,12 +186,11 @@ pub(crate) fn derive_per_job(
             // instant — or the reported value when the job never
             // measurably ran at all.
             let reported_c = reported_completion.get(j).copied().unwrap_or(f64::NAN);
-            completions[j] =
-                segs.last().map_or(reported_c, |s| s.end).max(instance.job(j).release);
+            completion = segs.last().map_or(reported_c, |s| s.end).max(instance.job(j).release);
         }
-        delivered[j] = cum;
-    }
-    (delivered, completions)
+        (cum, completion)
+    });
+    derived.into_iter().unzip()
 }
 
 /// Fractional weighted flow-time by quadrature. With `q_j(t)` the volume
@@ -181,15 +199,19 @@ pub(crate) fn derive_per_job(
 ///       `= ρ_j [ V_j (c_j − r_j) − ∫_{r_j}^{c_j} (c_j − τ) s_j(τ) dτ ]`
 /// by Fubini — one weighted quadrature per serving segment, with no
 /// closed-form volume integrals involved. NaN when any completion is
-/// non-finite.
+/// non-finite. Per-job contributions are quadrature-heavy and independent,
+/// so they fan out over `pool`; the final sum runs serially in job order,
+/// so the result is identical for any worker count.
 pub(crate) fn frac_flow_quadrature(
+    pool: Pool,
     pl: PowerLaw,
     instance: &Instance,
     by_job: &[Vec<Segment>],
     completions: &[f64],
 ) -> f64 {
-    let mut frac = 0.0;
-    for (j, segs) in by_job.iter().enumerate() {
+    let jobs: Vec<usize> = (0..by_job.len()).collect();
+    let contributions = pool.map(&jobs, |&j| {
+        let segs = &by_job[j];
         let job = instance.job(j);
         let c = completions[j];
         if !c.is_finite() {
@@ -200,9 +222,9 @@ pub(crate) fn frac_flow_quadrature(
             let hi = s.end.min(c);
             served += integrate(|t| (c - t) * s.speed_at(pl, t), s.start, hi);
         }
-        frac += job.density * (job.volume * (c - job.release) - served);
-    }
-    frac
+        job.density * (job.volume * (c - job.release) - served)
+    });
+    contributions.iter().sum()
 }
 
 impl ScheduleAudit {
@@ -219,19 +241,28 @@ impl ScheduleAudit {
     }
 
     /// Audit a schedule-producing run against its reported evaluation.
+    ///
+    /// The quadrature-heavy derivations (per-job volumes/completions, the
+    /// energy and fractional-flow re-integrations) fan out over
+    /// [`AuditConfig::pool`]; every check also records the wall-time it
+    /// took ([`crate::CheckVerdict::elapsed_ns`]). Shared derivation cost
+    /// is attributed to the first consuming check (`volume-conservation`
+    /// carries the per-job quadrature derivation).
     #[must_use]
     pub fn audit(&self, instance: &Instance, schedule: &Schedule, reported: &Evaluated) -> AuditReport {
         let mut report = AuditReport::default();
+        let mut clock = Stopwatch::new();
+        let pool = self.config.pool();
         let pl = schedule.power_law();
         let n = instance.len();
         let horizon_scale = 1.0 + schedule.end_time().abs();
         let time_tol = self.config.time_tol * horizon_scale;
 
         let (worst, detail) = wellformed_residual(schedule.segments());
-        report.record("segments-wellformed", worst, time_tol, detail);
+        report.record_timed("segments-wellformed", worst, time_tol, detail, clock.lap());
 
         let (worst, detail) = release_residual(instance, schedule.segments());
-        report.record("release-before-service", worst, time_tol, detail);
+        report.record_timed("release-before-service", worst, time_tol, detail, clock.lap());
 
         // --- per-job quadrature volumes and re-derived completions.
         let by_job: Vec<Vec<Segment>> = (0..n)
@@ -243,6 +274,7 @@ impl ScheduleAudit {
             schedule.end_time(),
         );
         let (delivered, derived_completion) = derive_per_job(
+            pool,
             pl,
             instance,
             &by_job,
@@ -261,7 +293,13 @@ impl ScheduleAudit {
                 vol_detail = format!("job {j}: delivered {cum:.9e} of {volume:.9e}");
             }
         }
-        report.record("volume-conservation", vol_worst, self.config.rel_tol, vol_detail);
+        report.record_timed(
+            "volume-conservation",
+            vol_worst,
+            self.config.rel_tol,
+            vol_detail,
+            clock.lap(),
+        );
 
         let mut c_worst = 0.0f64;
         let mut c_detail = String::from("completions agree");
@@ -277,27 +315,35 @@ impl ScheduleAudit {
                 );
             }
         }
-        report.record("completion-consistency", c_worst, self.config.rel_tol, c_detail);
+        report.record_timed(
+            "completion-consistency",
+            c_worst,
+            self.config.rel_tol,
+            c_detail,
+            clock.lap(),
+        );
 
-        // --- energy re-derivation from pointwise powers.
-        let energy: f64 = schedule
-            .segments()
+        // --- energy re-derivation from pointwise powers: one quadrature
+        // per segment across the pool, summed serially in segment order.
+        let energy: f64 = pool
+            .map(schedule.segments(), |s| integrate(|t| s.power_at(pl, t), s.start, s.end))
             .iter()
-            .map(|s| integrate(|t| s.power_at(pl, t), s.start, s.end))
             .sum();
-        report.record(
+        report.record_timed(
             "energy-recomputed",
             residual(energy, reported.objective.energy),
             self.config.rel_tol,
             format!("quadrature {energy:.9e} vs reported {:.9e}", reported.objective.energy),
+            clock.lap(),
         );
 
-        let frac = frac_flow_quadrature(pl, instance, &by_job, &derived_completion);
-        report.record(
+        let frac = frac_flow_quadrature(pool, pl, instance, &by_job, &derived_completion);
+        report.record_timed(
             "frac-flow-recomputed",
             residual(frac, reported.objective.frac_flow),
             self.config.rel_tol,
             format!("quadrature {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
+            clock.lap(),
         );
 
         // --- integral flow from the derived completions.
@@ -307,11 +353,12 @@ impl ScheduleAudit {
                 job.weight() * (derived_completion[j] - job.release)
             })
             .sum();
-        report.record(
+        report.record_timed(
             "int-flow-recomputed",
             residual(int, reported.objective.int_flow),
             self.config.rel_tol,
             format!("derived {int:.9e} vs reported {:.9e}", reported.objective.int_flow),
+            clock.lap(),
         );
 
         self.outcome_checks(&mut report, instance, &reported.objective, &reported.per_job);
@@ -344,6 +391,7 @@ impl ScheduleAudit {
     ) {
         let n = instance.len();
         let tol = self.config.rel_tol;
+        let mut clock = Stopwatch::new();
 
         // --- objective-finite: every component a finite non-negative number.
         let mut worst = 0.0f64;
@@ -358,7 +406,7 @@ impl ScheduleAudit {
                 detail = format!("{what} = {v}");
             }
         }
-        report.record("objective-finite", worst, tol, detail);
+        report.record_timed("objective-finite", worst, tol, detail, clock.lap());
 
         // --- completion-after-release (reported completions).
         let mut worst = 0.0f64;
@@ -375,7 +423,7 @@ impl ScheduleAudit {
             worst = f64::INFINITY;
             detail = format!("{} completions for {n} jobs", per_job.completion.len());
         }
-        report.record("completion-after-release", worst.max(0.0), tol, detail);
+        report.record_timed("completion-after-release", worst.max(0.0), tol, detail, clock.lap());
 
         // --- frac-dominated-by-int, per job: ρ_j ∫ V_j(t) dt never exceeds
         // w_j (c_j − r_j) because the remaining volume is at most V_j.
@@ -392,7 +440,7 @@ impl ScheduleAudit {
                 );
             }
         }
-        report.record("frac-dominated-by-int", worst, tol, detail);
+        report.record_timed("frac-dominated-by-int", worst, tol, detail, clock.lap());
 
         // --- reported-sums-consistent: the aggregate objective must equal
         // the per-job sums it claims to summarise.
@@ -400,11 +448,12 @@ impl ScheduleAudit {
         let int_sum: f64 = per_job.int_flow.iter().sum();
         let v = residual(frac_sum, objective.frac_flow).max(residual(int_sum, objective.int_flow));
         let v = if v.is_nan() { f64::INFINITY } else { v };
-        report.record(
+        report.record_timed(
             "reported-sums-consistent",
             v,
             tol,
             format!("Σfrac {frac_sum:.9e} / Σint {int_sum:.9e}"),
+            clock.lap(),
         );
     }
 }

@@ -7,11 +7,12 @@
 //! non-uniform algorithm pays two nested C runs per integration step.
 //!
 //! Before timing, each algorithm runs once through `run_checked` so its
-//! audit verdict lands next to the numbers in `BENCH_algorithms.json`: a
-//! speedup that breaks an invariant fails the bench binary.
+//! audit verdict — and the audit's own per-check `audit_timing` block —
+//! lands next to the numbers in `BENCH_algorithms.json`: a speedup that
+//! breaks an invariant fails the bench binary.
 
-use ncss_audit::AuditConfig;
-use ncss_bench::harness::{black_box, AuditVerdict, Suite};
+use ncss_audit::{AuditConfig, AuditReport};
+use ncss_bench::harness::{black_box, Suite};
 use ncss_core::{
     run_c, run_checked, run_nc_nonuniform, run_nc_uniform, CheckedAlgorithm, NonUniformParams,
 };
@@ -24,17 +25,22 @@ fn uniform_instance(n: usize) -> ncss_sim::Instance {
         .expect("valid spec")
 }
 
-/// One checked run before the clock starts: the verdict recorded with the
-/// measurement.
-fn verdict(
+/// One checked run before the clock starts: the full report (verdict plus
+/// per-check timing) is recorded with the measurement. An algorithm error
+/// yields an all-failed placeholder so the bench binary still fails.
+fn gate(
     inst: &Instance,
     law: PowerLaw,
     algo: CheckedAlgorithm,
     config: AuditConfig,
-) -> AuditVerdict {
+) -> AuditReport {
     match run_checked(inst, law, algo, config) {
-        Ok(run) => AuditVerdict::from_passed(run.audit_passed()),
-        Err(_) => AuditVerdict::Fail,
+        Ok(run) => run.report,
+        Err(_) => {
+            let mut report = AuditReport::default();
+            report.record("algorithm-ran", f64::INFINITY, 0.0, "run_checked errored".into());
+            report
+        }
     }
 }
 
@@ -45,15 +51,15 @@ fn main() {
     // Uniform-density hot path: Algorithm C and Algorithm NC.
     for n in [10usize, 100, 1000] {
         let inst = uniform_instance(n);
-        let v = verdict(&inst, law, CheckedAlgorithm::C, AuditConfig::default());
-        suite.bench_audited(&format!("algorithm_c/{n}"), v, || {
+        let r = gate(&inst, law, CheckedAlgorithm::C, AuditConfig::default());
+        suite.bench_report(&format!("algorithm_c/{n}"), Some(&r), || {
             black_box(run_c(&inst, law).expect("C run"));
         });
     }
     for n in [10usize, 100, 400] {
         let inst = uniform_instance(n);
-        let v = verdict(&inst, law, CheckedAlgorithm::NcUniform, AuditConfig::default());
-        suite.bench_audited(&format!("algorithm_nc_uniform/{n}"), v, || {
+        let r = gate(&inst, law, CheckedAlgorithm::NcUniform, AuditConfig::default());
+        suite.bench_report(&format!("algorithm_nc_uniform/{n}"), Some(&r), || {
             black_box(run_nc_uniform(&inst, law).expect("NC run"));
         });
     }
@@ -72,8 +78,8 @@ fn main() {
         // Step-integrated: reported numbers are accurate to the integration
         // step, so the audit runs at step-level tolerance.
         let config = AuditConfig { rel_tol: 1e-2, ..AuditConfig::default() };
-        let v = verdict(&inst, law, CheckedAlgorithm::NcNonUniform(params), config);
-        suite.bench_audited_with(&format!("algorithm_nc_nonuniform/{n}"), v, 2, 10, || {
+        let r = gate(&inst, law, CheckedAlgorithm::NcNonUniform(params), config);
+        suite.bench_report_with(&format!("algorithm_nc_nonuniform/{n}"), Some(&r), 2, 10, || {
             black_box(run_nc_nonuniform(&inst, law, params).expect("NC run"));
         });
     }

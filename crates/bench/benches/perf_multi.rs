@@ -8,21 +8,27 @@
 //! fails the binary. The adversary game produces no fleet schedule, so it
 //! stays unaudited.
 
-use ncss_audit::AuditConfig;
-use ncss_bench::harness::{black_box, AuditVerdict, Suite};
+use ncss_audit::{AuditConfig, AuditReport};
+use ncss_bench::harness::{black_box, Suite};
 use ncss_core::run_checked_multi;
 use ncss_multi::{immediate_dispatch_game, run_c_par, run_nc_par, RoundRobin};
 use ncss_sim::{Instance, PowerLaw, SimResult};
 use ncss_workloads::{VolumeDist, WorkloadSpec};
 
-/// One audited run of a parallel-machine algorithm before timing it.
-fn multi_verdict<F>(inst: &Instance, law: PowerLaw, machines: usize, run: F) -> AuditVerdict
+/// One audited run of a parallel-machine algorithm before timing it; the
+/// full report carries the cross-machine per-check timings into
+/// `BENCH_multi.json`.
+fn multi_gate<F>(inst: &Instance, law: PowerLaw, machines: usize, run: F) -> AuditReport
 where
     F: FnOnce(&Instance, PowerLaw, usize) -> SimResult<ncss_core::MultiRun>,
 {
     match run_checked_multi(inst, law, machines, AuditConfig::default(), run) {
-        Ok(checked) => AuditVerdict::from_passed(checked.audit_passed()),
-        Err(_) => AuditVerdict::Fail,
+        Ok(checked) => checked.report,
+        Err(_) => {
+            let mut report = AuditReport::default();
+            report.record("algorithm-ran", f64::INFINITY, 0.0, "run_checked_multi errored".into());
+            report
+        }
     }
 }
 
@@ -34,12 +40,12 @@ fn main() {
         .generate(3)
         .expect("valid spec");
     for k in [2usize, 4, 8] {
-        let v = multi_verdict(&inst, law, k, |i, l, m| run_c_par(i, l, m).map(Into::into));
-        suite.bench_audited_with(&format!("c_par/60x{k}"), v, 2, 20, || {
+        let r = multi_gate(&inst, law, k, |i, l, m| run_c_par(i, l, m).map(Into::into));
+        suite.bench_report_with(&format!("c_par/60x{k}"), Some(&r), 2, 20, || {
             black_box(run_c_par(&inst, law, k).expect("C-PAR"));
         });
-        let v = multi_verdict(&inst, law, k, |i, l, m| run_nc_par(i, l, m).map(Into::into));
-        suite.bench_audited_with(&format!("nc_par/60x{k}"), v, 2, 20, || {
+        let r = multi_gate(&inst, law, k, |i, l, m| run_nc_par(i, l, m).map(Into::into));
+        suite.bench_report_with(&format!("nc_par/60x{k}"), Some(&r), 2, 20, || {
             black_box(run_nc_par(&inst, law, k).expect("NC-PAR"));
         });
     }

@@ -7,7 +7,7 @@
 //! discretised primal has no `Schedule` form, so it stays unaudited.
 
 use ncss_audit::audit_run;
-use ncss_bench::harness::{black_box, AuditVerdict, Suite};
+use ncss_bench::harness::{black_box, Suite};
 use ncss_opt::{single_job_opt, solve_fractional_opt, SolverOptions};
 use ncss_sim::{Instance, Job, PowerLaw};
 use ncss_workloads::{VolumeDist, WorkloadSpec};
@@ -16,14 +16,14 @@ fn main() {
     let law = PowerLaw::cube();
     let mut suite = Suite::new("opt");
 
-    let closed_form_verdict = {
+    let closed_form_report = {
         let (rho, volume) = (1.3, 2.7);
         let opt = single_job_opt(law, rho, volume).expect("closed form");
         let inst = Instance::single(Job::new(0.0, volume, rho)).expect("single job");
         let sched = opt.to_schedule(law, 0.0).expect("opt schedule");
-        AuditVerdict::from_passed(audit_run(&inst, &sched, &opt.evaluated(0.0)).passed())
+        audit_run(&inst, &sched, &opt.evaluated(0.0))
     };
-    suite.bench_audited("single_job_opt_closed_form", closed_form_verdict, || {
+    suite.bench_report("single_job_opt_closed_form", Some(&closed_form_report), || {
         black_box(single_job_opt(law, 1.3, 2.7).expect("closed form"));
     });
 

@@ -16,6 +16,8 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use ncss_audit::AuditReport;
+
 /// Re-export of [`std::hint::black_box`] so benches don't reach into
 /// `std::hint` themselves (Criterion's `black_box` had the same role).
 pub use std::hint::black_box;
@@ -62,6 +64,78 @@ impl AuditVerdict {
     }
 }
 
+/// One named check's cost and worst residual, copied from the audit that
+/// gated a measurement — the `audit_timing.checks[]` rows of
+/// `BENCH_*.json` (schema in EXPERIMENTS.md, "Performance benches").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckTiming {
+    /// The invariant's stable kebab-case name (e.g. `energy-recomputed`).
+    pub name: String,
+    /// Wall-clock nanoseconds the check took inside the audit.
+    pub elapsed_ns: u64,
+    /// Worst residual the check observed (serialised as `null` when
+    /// non-finite, since JSON has no `inf`/NaN).
+    pub residual: f64,
+}
+
+/// The audit's own cost, attached to every measurement: per-check timing
+/// and residual magnitude plus the audit's total wall-time. Present on
+/// every `BENCH_*.json` row — empty (`total_ns: 0`, no checks) when the
+/// measurement was not audit-gated — so the perf trajectory of the
+/// auditor itself is recorded alongside the algorithms it guards.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditTiming {
+    /// Total wall-clock nanoseconds across all checks.
+    pub total_ns: u64,
+    /// One row per check, in the order the audit ran them.
+    pub checks: Vec<CheckTiming>,
+}
+
+impl AuditTiming {
+    /// Copy the timing and residual columns out of an [`AuditReport`].
+    #[must_use]
+    pub fn from_report(report: &AuditReport) -> Self {
+        Self {
+            total_ns: report.total_ns(),
+            checks: report
+                .checks
+                .iter()
+                .map(|c| CheckTiming {
+                    name: c.name.to_string(),
+                    elapsed_ns: c.elapsed_ns,
+                    residual: c.residual,
+                })
+                .collect(),
+        }
+    }
+
+    fn json(&self) -> String {
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":{},\"elapsed_ns\":{},\"residual\":{}}}",
+                    json_string(&c.name),
+                    c.elapsed_ns,
+                    json_f64(c.residual),
+                )
+            })
+            .collect();
+        format!("{{\"total_ns\":{},\"checks\":[{}]}}", self.total_ns, checks.join(","))
+    }
+}
+
+/// JSON-safe float: JSON has no `inf`/NaN, so non-finite residuals
+/// serialise as `null` (readers treat `null` as "off the scale").
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// One benchmark measurement: per-iteration wall-clock statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
@@ -69,6 +143,8 @@ pub struct Measurement {
     pub name: String,
     /// Audit verdict for the benched algorithm's output.
     pub audit: AuditVerdict,
+    /// Per-check audit cost (empty when the audit was skipped).
+    pub audit_timing: AuditTiming,
     /// Unrecorded warmup iterations that preceded timing.
     pub warmup: u32,
     /// Timed iterations.
@@ -88,10 +164,11 @@ pub struct Measurement {
 impl Measurement {
     fn json(&self) -> String {
         format!(
-            "{{\"name\":{},\"audit\":{},\"warmup\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\
-             \"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            "{{\"name\":{},\"audit\":{},\"audit_timing\":{},\"warmup\":{},\"iters\":{},\
+             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
             json_string(&self.name),
             json_string(self.audit.as_str()),
+            self.audit_timing.json(),
             self.warmup,
             self.iters,
             self.min_ns,
@@ -175,6 +252,42 @@ impl Suite {
         audit: AuditVerdict,
         warmup: u32,
         iters: u32,
+        f: F,
+    ) {
+        self.measure(name, audit, AuditTiming::default(), warmup, iters, f);
+    }
+
+    /// Measure `f` with the suite defaults, deriving the verdict *and* the
+    /// per-check `audit_timing` block from the gating [`AuditReport`]
+    /// (`None` records a skipped audit with empty timing).
+    pub fn bench_report<F: FnMut()>(&mut self, name: &str, report: Option<&AuditReport>, f: F) {
+        self.bench_report_with(name, report, 3, 30, f);
+    }
+
+    /// Measure `f` with an [`AuditReport`]-derived verdict and timing block
+    /// plus explicit warmup/iter counts. Prefer this over
+    /// [`Suite::bench_audited_with`] whenever the report is at hand — it
+    /// puts the auditor's own perf trajectory into `BENCH_*.json`.
+    pub fn bench_report_with<F: FnMut()>(
+        &mut self,
+        name: &str,
+        report: Option<&AuditReport>,
+        warmup: u32,
+        iters: u32,
+        f: F,
+    ) {
+        let audit = report.map_or(AuditVerdict::Skipped, |r| AuditVerdict::from_passed(r.passed()));
+        let timing = report.map(AuditTiming::from_report).unwrap_or_default();
+        self.measure(name, audit, timing, warmup, iters, f);
+    }
+
+    fn measure<F: FnMut()>(
+        &mut self,
+        name: &str,
+        audit: AuditVerdict,
+        audit_timing: AuditTiming,
+        warmup: u32,
+        iters: u32,
         mut f: F,
     ) {
         let warmup = self.env_warmup.unwrap_or(warmup);
@@ -194,6 +307,7 @@ impl Suite {
         let m = Measurement {
             name: name.to_string(),
             audit,
+            audit_timing,
             warmup,
             iters,
             min_ns: samples[0],
@@ -218,7 +332,7 @@ impl Suite {
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self.results.iter().map(Measurement::json).collect();
         format!(
-            "{{\"suite\":{},\"schema\":\"ncss-bench/1\",\"results\":[{}]}}\n",
+            "{{\"suite\":{},\"schema\":\"ncss-bench/2\",\"results\":[{}]}}\n",
             json_string(&self.name),
             results.join(",")
         )
@@ -301,11 +415,14 @@ mod tests {
         });
         let json = suite.to_json();
         assert!(json.starts_with("{\"suite\":\"json\\\"test\""));
-        assert!(json.contains("\"schema\":\"ncss-bench/1\""));
+        assert!(json.contains("\"schema\":\"ncss-bench/2\""));
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
         // Every entry carries an audit verdict; plain bench() records it
         // as "skipped".
         assert_eq!(json.matches("\"audit\":\"skipped\"").count(), 2);
+        // ...and every entry carries an audit_timing block (empty when the
+        // measurement was not audit-gated).
+        assert_eq!(json.matches("\"audit_timing\":{\"total_ns\":0,\"checks\":[]}").count(), 2);
         assert!(json.trim_end().ends_with("]}"));
         // Balanced braces/brackets (cheap well-formedness proxy without a
         // JSON parser in the dependency-free workspace).
@@ -328,6 +445,36 @@ mod tests {
         assert_eq!(suite.audit_failures(), vec!["bad"]);
         // finish() would panic here; the gate itself is what we assert.
         assert!(!suite.audit_failures().is_empty());
+    }
+
+    #[test]
+    fn report_backed_bench_serialises_per_check_timing() {
+        let mut report = AuditReport::default();
+        report.record_timed("energy-recomputed", 2.5e-9, 1e-6, "fine".into(), 1200);
+        report.record_timed("volume-conservation", f64::INFINITY, 1e-6, "blown".into(), 800);
+        let mut suite = Suite::new("timing");
+        suite.bench_report_with("audited", Some(&report), 0, 2, || {
+            busy_work();
+        });
+        suite.bench_report_with("unaudited", None, 0, 2, || {
+            busy_work();
+        });
+        let json = suite.to_json();
+        // The failing report yields a fail verdict and per-check rows with
+        // nanosecond costs; the non-finite residual serialises as null.
+        assert!(json.contains("\"name\":\"audited\",\"audit\":\"fail\""), "{json}");
+        assert!(json.contains("\"total_ns\":2000"), "{json}");
+        assert!(
+            json.contains("{\"name\":\"energy-recomputed\",\"elapsed_ns\":1200,\"residual\":2.5e-9}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"name\":\"volume-conservation\",\"elapsed_ns\":800,\"residual\":null}"),
+            "{json}"
+        );
+        assert!(json.contains("\"name\":\"unaudited\",\"audit\":\"skipped\""), "{json}");
+        assert_eq!(suite.audit_failures(), vec!["audited"]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

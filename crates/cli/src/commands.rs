@@ -29,7 +29,8 @@ commands:
            bracket the fractional offline optimum
   compare  --input FILE [--alpha ALPHA] [--machines K]
            run every applicable algorithm and print costs + certified ratios
-           plus each run's audit verdict; with --machines K also the
+           plus each run's audit verdict and audit wall-time; with
+           --machines K also the
            parallel-machine algorithms (cross-machine audit, ratio column -)
            exits non-zero if any audit fails
   gantt    --algorithm A --input FILE [--alpha ALPHA] [--width W]
@@ -37,9 +38,11 @@ commands:
   sweep    --input FILE [--alphas LO:HI:N]
            competitive-ratio curve of C and NC across power-law exponents
   audit    --algorithm A --input FILE [--alpha ALPHA] [--rel-tol T] [--time-tol T]
-           [--machines K] [--corrupt WHAT]
+           [--machines K] [--threads K] [--corrupt WHAT]
            re-derive the run's objective by independent quadrature and check
-           every schedule invariant; exits non-zero if any check fails
+           every schedule invariant, reporting per-check wall-time;
+           --threads K forces K audit workers (default: auto-size);
+           exits non-zero if any check fails
            A as for 'run', plus known-sharing (outcome-only audit) and the
            parallel-machine algorithms c-par | nc-par | dispatch (audited
            across machines; --machines K, default 2).
@@ -175,7 +178,10 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
             law.alpha(),
             fmt_f(sol.dual_bound)
         ),
-        &["algorithm", "frac objective", "ratio vs OPT lb", "int objective", "audit", "max residual"],
+        &[
+            "algorithm", "frac objective", "ratio vs OPT lb", "int objective", "audit",
+            "max residual", "audit time",
+        ],
     );
     let mut failed: Vec<String> = Vec::new();
     let mut verdict = |name: &str, report: &ncss_audit::AuditReport| -> Vec<String> {
@@ -185,6 +191,7 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
         vec![
             if report.passed() { "PASS" } else { "FAIL" }.to_string(),
             format!("{:.1e}", report.max_residual()),
+            format!("{:.2}ms", report.total_ns() as f64 / 1e6),
         ]
     };
     for name in &algos {
@@ -394,9 +401,11 @@ fn cmd_audit(args: &ParsedArgs) -> Result<String, String> {
     let law = law_of(args)?;
     let name = args.require("algorithm")?;
     let defaults = AuditConfig::default();
+    let threads = args.usize_or("threads", 0)?; // 0 = auto-size to the machine
     let config = AuditConfig {
         rel_tol: args.f64_or("rel-tol", defaults.rel_tol)?,
         time_tol: args.f64_or("time-tol", defaults.time_tol)?,
+        threads: if threads == 0 { None } else { Some(threads) },
     };
     if MULTI_ALGOS.contains(&name.as_str()) {
         return audit_multi_machine(args, &inst, law, &name, config);

@@ -52,6 +52,25 @@ impl CheckedRun {
 ///
 /// Returns `Err` only when the algorithm itself fails (invalid input,
 /// numeric guard, non-convergence); audit findings never error.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_audit::AuditConfig;
+/// use ncss_core::{run_checked, CheckedAlgorithm};
+/// use ncss_sim::{Instance, Job, PowerLaw};
+///
+/// let instance = Instance::new(vec![
+///     Job::unit_density(0.0, 2.0),
+///     Job::unit_density(0.4, 1.0),
+/// ]).unwrap();
+/// let law = PowerLaw::cube();
+///
+/// let run = run_checked(&instance, law, CheckedAlgorithm::C, AuditConfig::default()).unwrap();
+/// assert!(run.audit_passed(), "{}", run.report);
+/// assert!(run.report.max_residual() < 1e-7);
+/// assert!(run.schedule.is_some());
+/// ```
 pub fn run_checked(
     instance: &Instance,
     law: PowerLaw,
@@ -143,13 +162,28 @@ impl CheckedMultiRun {
 ///
 /// # Examples
 ///
-/// Any `ncss-multi` runner plugs in through `Into<MultiRun>`:
+/// Any runner producing a [`MultiRun`] plugs in — `ncss-multi`'s runners
+/// via `.map(Into::into)`, or a hand-built closure like this one-machine
+/// "fleet" backed by Algorithm C:
 ///
-/// ```ignore
-/// let checked = run_checked_multi(&inst, law, 4, AuditConfig::default(), |i, l, m| {
-///     ncss_multi::run_nc_par(i, l, m).map(Into::into)
-/// })?;
-/// assert!(checked.audit_passed());
+/// ```
+/// use ncss_audit::AuditConfig;
+/// use ncss_core::{run_c, run_checked_multi, MultiRun};
+/// use ncss_sim::{Instance, Job, PowerLaw};
+///
+/// let instance = Instance::new(vec![Job::unit_density(0.0, 1.0)]).unwrap();
+/// let law = PowerLaw::new(2.0).unwrap();
+///
+/// let checked = run_checked_multi(&instance, law, 1, AuditConfig::default(), |i, l, _m| {
+///     let c = run_c(i, l)?;
+///     Ok(MultiRun {
+///         assignment: vec![0; i.len()],
+///         objective: c.objective,
+///         per_job: c.per_job,
+///         schedules: vec![c.schedule],
+///     })
+/// }).unwrap();
+/// assert!(checked.audit_passed(), "{}", checked.report);
 /// ```
 pub fn run_checked_multi<F>(
     instance: &Instance,

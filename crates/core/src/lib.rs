@@ -15,7 +15,7 @@
 //!   and the preemption-interval structure,
 //! * [`theory`] — every theoretical constant as an executable formula.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // `!(x > 1.0)`-style validation is deliberate: unlike `x <= 1.0`, it also
 // rejects NaN, which is exactly what input validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]

@@ -1,0 +1,270 @@
+//! # ncss-pool — the shared scoped worker pool
+//!
+//! One `std::thread::scope` chunked worker pool for everything in the
+//! workspace that fans independent cells out across cores: the parameter
+//! sweeps in `ncss-analysis`, the quadrature sharding inside `ncss-audit`
+//! (per-segment energy, per-job volume/completion/flow derivations), and
+//! the fault/contract suites under `tests/`. Before this crate each of
+//! those call sites re-implemented the same atomic-cursor pattern; now
+//! they share a single, tested scheduler.
+//!
+//! ## Determinism contract
+//!
+//! Every map in this crate is **order-preserving and interleaving-free**:
+//! `pool.map(items, f)` equals `items.iter().map(f).collect()` for any
+//! pure `f`, bit for bit, regardless of worker count or OS scheduling.
+//! Each `(index, value)` pair is computed by exactly one worker and
+//! reassembled by input index, so downstream order-sensitive folds (e.g.
+//! floating-point sums over per-segment integrals) see the same operand
+//! sequence as the serial path. The serial==parallel audit and sweep
+//! determinism tests in this workspace are the enforcement.
+//!
+//! ## Worker count
+//!
+//! [`Pool::auto`] sizes itself to `std::thread::available_parallelism`,
+//! clamped to the item count; a single worker short-circuits to a plain
+//! serial map with zero thread overhead. [`Pool::with_threads`] forces an
+//! explicit count — larger *or smaller* than the core count — which is how
+//! the determinism tests exercise real cross-thread interleavings even on
+//! single-core CI runners, and how benches pin comparisons. The
+//! `NCSS_POOL_THREADS` environment variable overrides [`Pool::auto`]
+//! globally for experiments.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sizing policy for scoped worker teams.
+///
+/// The pool holds no threads — `std::thread::scope` workers are spawned
+/// per call and joined before the call returns, so a `Pool` is nothing
+/// but a worker-count policy and is `Copy`.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_pool::Pool;
+///
+/// let squares = Pool::auto().map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+///
+/// // Forcing a worker count exercises real threads even on one core, and
+/// // the result is identical to the serial path by construction.
+/// let forced = Pool::with_threads(8).map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(forced, squares);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    /// Explicit worker count, or `None` for the auto policy.
+    threads: Option<usize>,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Pool {
+    /// Size to the machine: `available_parallelism` workers (overridable
+    /// via the `NCSS_POOL_THREADS` environment variable), clamped to the
+    /// item count at each call.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self { threads: None }
+    }
+
+    /// Force an explicit worker count (≥ 1; 0 is treated as 1). Counts
+    /// above the core count are honoured — oversubscription is exactly
+    /// what the serial==parallel tests need on small machines.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: Some(threads.max(1)) }
+    }
+
+    /// The worker count this pool would use for `n` items.
+    #[must_use]
+    pub fn worker_count(&self, n: usize) -> usize {
+        let auto = || {
+            std::env::var("NCSS_POOL_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        };
+        self.threads.unwrap_or_else(auto).min(n).max(1)
+    }
+
+    /// Map `f` over `items` in parallel, preserving input order.
+    ///
+    /// Work is distributed dynamically via an atomic cursor (one item per
+    /// claim), so uneven cell costs — OPT solves of different sizes,
+    /// audit quadratures over jobs with very different segment counts —
+    /// balance automatically.
+    pub fn map<T: Sync, U: Send>(&self, items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+        self.map_chunked(items, 1, f)
+    }
+
+    /// Map `f` over `items` in parallel with contiguous chunks of `chunk`
+    /// items per claim, preserving input order.
+    ///
+    /// Prefer this over [`Pool::map`] when cells are cheap and uniform:
+    /// the cursor is touched once per chunk and adjacent results are
+    /// produced by the same worker. `chunk = 0` picks a default of
+    /// `n / (8 · workers)`, clamped to at least 1 (≈8 claims per worker
+    /// keeps the tail balanced).
+    pub fn map_chunked<T: Sync, U: Send>(
+        &self,
+        items: &[T],
+        chunk: usize,
+        f: impl Fn(&T) -> U + Sync,
+    ) -> Vec<U> {
+        let n = items.len();
+        let threads = self.worker_count(n);
+        if threads <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let chunk = if chunk == 0 { (n / (8 * threads)).max(1) } else { chunk };
+        scoped_indexed_map(items, f, threads, chunk)
+    }
+}
+
+/// Run `threads` scoped workers, each claiming batches of `chunk`
+/// consecutive indices from an atomic cursor and returning `(index, value)`
+/// pairs; results are reassembled in input order.
+fn scoped_indexed_map<T: Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync,
+    threads: usize,
+    chunk: usize,
+) -> Vec<U> {
+    let n = items.len();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            local.push((i, f(&items[i])));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    });
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, v) in per_worker.into_iter().flatten() {
+        debug_assert!(out[i].is_none(), "index {i} claimed twice");
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("every slot filled")).collect()
+}
+
+/// Map `f` over `items` in parallel with the [`Pool::auto`] policy,
+/// preserving order. Free-function form of [`Pool::map`] for call sites
+/// that don't carry a pool.
+pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    Pool::auto().map(items, f)
+}
+
+/// Map `f` over `items` in parallel with contiguous chunks, preserving
+/// order. Free-function form of [`Pool::map_chunked`].
+pub fn parallel_map_chunked<T: Sync, U: Send>(
+    items: &[T],
+    chunk: usize,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    Pool::auto().map_chunked(items, chunk, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_preserves_order_for_every_chunk_size() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for chunk in [0, 1, 2, 7, 64, 300] {
+            let out = parallel_map_chunked(&items, chunk, |&x| x * 3 + 1);
+            assert_eq!(out, serial, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn forced_thread_counts_match_serial_exactly() {
+        // Oversubscription (threads ≫ cores) and undersubscription both
+        // reduce to the same ordered result — the determinism contract.
+        let items: Vec<u64> = (0..313).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let out = Pool::with_threads(threads).map(&items, |x| x.wrapping_mul(0x9E37_79B9));
+            assert_eq!(out, serial, "threads {threads}");
+            let out = Pool::with_threads(threads).map_chunked(&items, 5, |x| {
+                x.wrapping_mul(0x9E37_79B9)
+            });
+            assert_eq!(out, serial, "chunked threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+        let out: Vec<u64> = Pool::with_threads(4).map_chunked(&[] as &[u64], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Mix trivial and heavy items; result must still be ordered.
+        let items: Vec<u64> = (0..64).collect();
+        let out = Pool::with_threads(4).map(&items, |&x| {
+            if x % 7 == 0 {
+                (0..50_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_items() {
+        assert_eq!(Pool::with_threads(16).worker_count(3), 3);
+        assert_eq!(Pool::with_threads(0).worker_count(10), 1);
+        assert!(Pool::auto().worker_count(1000) >= 1);
+        assert_eq!(Pool::auto().worker_count(0), 1);
+    }
+
+    #[test]
+    fn ordered_float_sums_are_bitwise_stable() {
+        // The property the audit's energy re-derivation rests on: summing
+        // the order-preserved parallel results gives the exact serial sum.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let cell = |&x: &f64| (x * 1.000_000_1).sin();
+        let serial: f64 = items.iter().map(cell).sum();
+        for threads in [2, 5, 17] {
+            let par: f64 = Pool::with_threads(threads).map(&items, cell).iter().sum();
+            assert_eq!(par.to_bits(), serial.to_bits(), "threads {threads}");
+        }
+    }
+}

@@ -8,13 +8,15 @@
 #
 #   1. offline release build of every crate
 #   2. offline workspace test suite (unit + integration + property tests)
-#   3. fault-injection robustness contract in --release (the guard rails
-#      must hold where debug_assert! is compiled out)
-#   4. audit smoke: every schedule-producing algorithm on a generated
+#   3. offline doc-tests (the rustdoc examples are executable contracts)
+#   4. fault-injection robustness contract in --release (the guard rails
+#      must hold where debug_assert! is compiled out); its wall-time is
+#      reported so sharding/step-cap regressions are visible in CI logs
+#   5. audit smoke: every schedule-producing algorithm on a generated
 #      trace must pass the independent quadrature audit; the parallel
 #      algorithms go through the cross-machine auditor, and a
 #      deliberately corrupted report must come back non-zero
-#   5. warning-clean `cargo doc --no-deps`
+#   6. warning-clean `cargo doc --no-deps`
 #
 # Run from anywhere; it cd's to the repo root.
 
@@ -28,8 +30,13 @@ cargo build --workspace --release --offline
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
 
+echo "==> cargo test --workspace --doc -q --offline"
+cargo test --workspace --doc -q --offline
+
 echo "==> cargo test --release -q --offline --test fault_contract"
+fault_start=$(date +%s)
 cargo test --release -q --offline --test fault_contract
+echo "fault contract wall-time: $(($(date +%s) - fault_start))s"
 
 echo "==> audit smoke (ncss-cli audit on a generated trace)"
 cli=target/release/ncss-cli

@@ -18,6 +18,7 @@
 //! | [`multi`] | identical parallel machines: C-PAR, NC-PAR, dispatch policies, the `Ω(k^{1−1/α})` lower-bound game |
 //! | [`audit`] | independent run auditing: quadrature re-derivation of objectives + event-level invariants |
 //! | [`analysis`] | ratio measurement, parallel sweeps, ASCII tables/charts |
+//! | [`pool`] | shared scoped worker pool: order-preserving parallel maps used by sweeps, audits, and the fault/contract suites |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use ncss_audit as audit;
 pub use ncss_core as core;
 pub use ncss_multi as multi;
 pub use ncss_opt as opt;
+pub use ncss_pool as pool;
 pub use ncss_sim as sim;
 pub use ncss_workloads as workloads;
 

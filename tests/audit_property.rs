@@ -1,0 +1,243 @@
+//! Property tests for the audit layer itself.
+//!
+//! Two contracts:
+//!
+//! * **Tamper sensitivity** — a seeded tamperer perturbs known-good runs
+//!   (segment shifts, speed scalings, dropped segments, completion swaps,
+//!   objective edits) and every tampering must trip at least one *named*
+//!   check. Trials shard over `ncss-pool`, the same worker pool the audits
+//!   themselves use.
+//! * **Serial == parallel determinism** — auditing with one worker and with
+//!   many workers must produce bit-identical verdicts: same check names in
+//!   the same order, same pass/fail, same residual bits, same detail text.
+//!   Only the wall-clock `elapsed_ns` fields may differ.
+
+use ncss::audit::{AuditConfig, AuditReport, MultiAudit, ScheduleAudit};
+use ncss::core::run_c;
+use ncss::pool::Pool;
+use ncss::sim::{Evaluated, Instance, PowerLaw, Schedule};
+use ncss::workloads::{VolumeDist, WorkloadSpec};
+use ncss_rng::Pcg64;
+
+const TRIALS: usize = 40;
+
+fn workload(seed: u64) -> Instance {
+    WorkloadSpec::uniform(6, 1.0, VolumeDist::Uniform { lo: 0.4, hi: 1.6 })
+        .generate(seed)
+        .expect("valid spec")
+}
+
+/// The tamperings the auditor must catch. Each takes a valid
+/// (schedule, reported) pair and corrupts exactly one aspect of it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Tamper {
+    /// Multiply one serving segment's speed scale: delivered volume and
+    /// energy both change.
+    ScaleSpeed,
+    /// Shift the last segment later in time: the served job's re-derived
+    /// completion moves while the reported one does not.
+    ShiftLast,
+    /// Remove one serving segment: its volume is never delivered.
+    DropSegment,
+    /// Swap two jobs' reported completion times.
+    SwapCompletions,
+    /// Under-report the objective's energy term.
+    ScaleEnergy,
+}
+
+const TAMPERS: [Tamper; 5] = [
+    Tamper::ScaleSpeed,
+    Tamper::ShiftLast,
+    Tamper::DropSegment,
+    Tamper::SwapCompletions,
+    Tamper::ScaleEnergy,
+];
+
+/// Apply `tamper` to a valid run; returns the corrupted pair, or `None`
+/// when the run's shape cannot host this tampering (e.g. too few segments).
+fn apply(
+    tamper: Tamper,
+    rng: &mut Pcg64,
+    schedule: &Schedule,
+    reported: &Evaluated,
+) -> Option<(Schedule, Evaluated)> {
+    let law = schedule.power_law();
+    let mut segments = schedule.segments().to_vec();
+    let mut reported = reported.clone();
+    let serving: Vec<usize> =
+        (0..segments.len()).filter(|&i| segments[i].job.is_some()).collect();
+    match tamper {
+        Tamper::ScaleSpeed => {
+            let i = serving[(rng.next_u64() as usize) % serving.len()];
+            segments[i].scale *= rng.range_f64(1.3, 2.0);
+        }
+        Tamper::ShiftLast => {
+            let last = segments.last_mut()?;
+            let shift = rng.range_f64(0.5, 1.5) * last.duration().max(0.5);
+            last.start += shift;
+            last.end += shift;
+        }
+        Tamper::DropSegment => {
+            if serving.len() < 2 {
+                return None;
+            }
+            segments.remove(serving[(rng.next_u64() as usize) % serving.len()]);
+        }
+        Tamper::SwapCompletions => {
+            let n = reported.per_job.completion.len();
+            if n < 2 {
+                return None;
+            }
+            let (a, b) = (0, 1 + (rng.next_u64() as usize) % (n - 1));
+            let (ca, cb) = (reported.per_job.completion[a], reported.per_job.completion[b]);
+            // A swap of near-equal completions would be invisible at audit
+            // tolerance — make sure the pair actually differs.
+            if (ca - cb).abs() < 1e-3 * (ca.abs() + cb.abs()) {
+                return None;
+            }
+            reported.per_job.completion.swap(a, b);
+        }
+        Tamper::ScaleEnergy => {
+            reported.objective.energy *= rng.range_f64(0.4, 0.8);
+        }
+    }
+    let schedule = Schedule::new(law, segments).ok()?;
+    Some((schedule, reported))
+}
+
+#[test]
+fn every_tampering_trips_a_named_check() {
+    let auditor = ScheduleAudit::new(AuditConfig::default());
+    let trials: Vec<u64> = (0..TRIALS as u64).collect();
+
+    // One shard per trial over the shared pool; each returns either a
+    // violation message or the names of the checks the tampering tripped.
+    let outcomes: Vec<Result<(Tamper, Vec<&'static str>), String>> =
+        Pool::auto().map(&trials, |&trial| {
+            let mut rng = Pcg64::seed_from_u64(0xA0D17 + trial);
+            let tamper = TAMPERS[(trial as usize) % TAMPERS.len()];
+            let inst = workload(100 + trial);
+            let law = PowerLaw::cube();
+            let run = run_c(&inst, law).expect("clean run");
+            let reported = Evaluated { objective: run.objective, per_job: run.per_job };
+
+            // The untampered run must pass — otherwise the trial proves
+            // nothing about the tampering.
+            let clean = auditor.audit(&inst, &run.schedule, &reported);
+            if !clean.passed() {
+                return Err(format!("trial {trial}: clean run failed its audit:\n{clean}"));
+            }
+            let Some((schedule, reported)) = apply(tamper, &mut rng, &run.schedule, &reported)
+            else {
+                return Ok((tamper, Vec::new())); // shape couldn't host it
+            };
+            let report = auditor.audit(&inst, &schedule, &reported);
+            let tripped: Vec<&'static str> =
+                report.failures().iter().map(|c| c.name).collect();
+            if tripped.is_empty() {
+                return Err(format!(
+                    "trial {trial}: tampering {tamper:?} slipped past the auditor:\n{report}"
+                ));
+            }
+            Ok((tamper, tripped))
+        });
+
+    let mut violations = Vec::new();
+    let mut caught: Vec<(Tamper, Vec<&'static str>)> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok((tamper, tripped)) if !tripped.is_empty() => caught.push((tamper, tripped)),
+            Ok(_) => {}
+            Err(msg) => violations.push(msg),
+        }
+    }
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+
+    // Every tampering kind must have been exercised at least once, and the
+    // suite as a whole must reach the three core re-derivation checks.
+    for tamper in TAMPERS {
+        assert!(
+            caught.iter().any(|(t, _)| *t == tamper),
+            "no trial exercised {tamper:?} — tampering coverage regressed"
+        );
+    }
+    for check in ["volume-conservation", "completion-consistency", "energy-recomputed"] {
+        assert!(
+            caught.iter().any(|(_, tripped)| tripped.contains(&check)),
+            "no tampering tripped {check}"
+        );
+    }
+}
+
+#[test]
+fn duplicated_fleet_timelines_trip_the_cross_machine_auditor() {
+    // Two machines both claiming the whole single-machine timeline: the
+    // same job is served twice in parallel and twice the volume arrives.
+    let inst = workload(7);
+    let run = run_c(&inst, PowerLaw::cube()).expect("clean run");
+    let reported = Evaluated { objective: run.objective, per_job: run.per_job };
+    let fleet = vec![run.schedule.clone(), run.schedule];
+    let report = MultiAudit::new(AuditConfig::default()).audit(&inst, &fleet, &reported);
+    assert!(!report.passed());
+    let tripped: Vec<&'static str> = report.failures().iter().map(|c| c.name).collect();
+    assert!(
+        tripped.contains(&"no-double-service"),
+        "expected no-double-service among {tripped:?}"
+    );
+    assert!(
+        tripped.contains(&"cross-machine-volume"),
+        "expected cross-machine-volume among {tripped:?}"
+    );
+}
+
+/// Everything observable except wall-time must match bit-for-bit.
+fn assert_reports_identical(serial: &AuditReport, parallel: &AuditReport, context: &str) {
+    assert_eq!(serial.checks.len(), parallel.checks.len(), "{context}: check count");
+    for (s, p) in serial.checks.iter().zip(&parallel.checks) {
+        assert_eq!(s.name, p.name, "{context}: check order");
+        assert_eq!(s.passed, p.passed, "{context}: {} verdict", s.name);
+        assert_eq!(
+            s.residual.to_bits(),
+            p.residual.to_bits(),
+            "{context}: {} residual {} vs {}",
+            s.name,
+            s.residual,
+            p.residual
+        );
+        assert_eq!(s.detail, p.detail, "{context}: {} detail", s.name);
+    }
+}
+
+#[test]
+fn serial_and_parallel_audits_are_bit_identical() {
+    let serial_cfg = AuditConfig { threads: Some(1), ..AuditConfig::default() };
+    let parallel_cfg = AuditConfig { threads: Some(8), ..AuditConfig::default() };
+
+    for seed in [3u64, 11, 29] {
+        let inst = workload(seed);
+        let law = PowerLaw::cube();
+        let run = run_c(&inst, law).expect("clean run");
+        let reported = Evaluated { objective: run.objective, per_job: run.per_job.clone() };
+
+        // Single-machine audit, clean and tampered (tampered residuals are
+        // large and must still agree exactly).
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let cases = std::iter::once((run.schedule.clone(), reported.clone())).chain(
+            TAMPERS
+                .iter()
+                .filter_map(|&t| apply(t, &mut rng, &run.schedule, &reported)),
+        );
+        for (i, (schedule, reported)) in cases.enumerate() {
+            let s = ScheduleAudit::new(serial_cfg).audit(&inst, &schedule, &reported);
+            let p = ScheduleAudit::new(parallel_cfg).audit(&inst, &schedule, &reported);
+            assert_reports_identical(&s, &p, &format!("seed {seed} case {i}"));
+        }
+
+        // Cross-machine audit over a duplicated fleet (a failing case with
+        // every check exercised).
+        let fleet = vec![run.schedule.clone(), run.schedule.clone()];
+        let s = MultiAudit::new(serial_cfg).audit(&inst, &fleet, &reported);
+        let p = MultiAudit::new(parallel_cfg).audit(&inst, &fleet, &reported);
+        assert_reports_identical(&s, &p, &format!("seed {seed} fleet"));
+    }
+}

@@ -11,6 +11,11 @@
 //! and must **never panic** — in `--release` builds too, which is where the
 //! numeric guard rails (rather than debug assertions) earn their keep.
 //! Seeds come from `NCSS_FAULT_SEED` when set, so CI failures reproduce.
+//!
+//! The suite shards its cases over `ncss-pool` (the same worker pool the
+//! sweeps and the audit layer use): each case's violations come back as
+//! strings and are aggregated after the order-preserving parallel map, so
+//! one assertion reports every failing case instead of the first.
 
 use ncss::audit::{audit_outcome, audit_run};
 use ncss::core::{
@@ -19,6 +24,7 @@ use ncss::core::{
 };
 use ncss::multi::{run_immediate_dispatch, run_lazy_hdf, RoundRobin};
 use ncss::opt::{solve_fractional_opt, SolverOptions};
+use ncss::pool::Pool;
 use ncss::sim::{Evaluated, Instance, Objective, PowerLaw};
 use ncss::workloads::{fault_seed, fault_suite};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -30,32 +36,44 @@ fn quick_solver() -> SolverOptions {
     SolverOptions { steps: 120, max_iters: 60, ..SolverOptions::default() }
 }
 
-/// Fast non-uniform settings for tiny adversarial instances.
+/// Fast non-uniform settings for tiny adversarial instances. The step cap
+/// bounds runaway integration on magnitude-blowup cases: every convergent
+/// suite case finishes below 25k steps, so 60k changes no verdict while
+/// cutting the non-convergent cases' wasted work by ~7x.
 fn quick_nonuniform() -> NonUniformParams {
-    NonUniformParams { steps_per_job: 60, max_steps: 400_000, ..NonUniformParams::default() }
+    NonUniformParams { steps_per_job: 60, max_steps: 60_000, ..NonUniformParams::default() }
 }
 
-fn assert_finite(objective: &Objective, context: &str) {
+fn finite_violation(objective: &Objective, context: &str) -> Option<String> {
     for (what, v) in [
         ("energy", objective.energy),
         ("frac_flow", objective.frac_flow),
         ("int_flow", objective.int_flow),
     ] {
-        assert!(v.is_finite(), "{context}: non-finite {what} = {v}");
+        if !v.is_finite() {
+            return Some(format!("{context}: non-finite {what} = {v}"));
+        }
     }
+    None
 }
 
 /// Run one algorithm under the contract: no panic, no non-finite output.
-fn contract<F>(label: &str, f: F)
+/// A violation comes back as a message (not a panic) so sharded cases can
+/// aggregate every failure across the suite.
+fn contract<F>(label: &str, f: F) -> Option<String>
 where
     F: FnOnce() -> Option<Objective>,
 {
-    let outcome = catch_unwind(AssertUnwindSafe(f));
-    match outcome {
-        Ok(Some(objective)) => assert_finite(&objective, label),
-        Ok(None) => {} // structured error — allowed
-        Err(_) => panic!("{label}: PANICKED"),
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Some(objective)) => finite_violation(&objective, label),
+        Ok(None) => None, // structured error — allowed
+        Err(_) => Some(format!("{label}: PANICKED")),
     }
+}
+
+/// Fail with every collected violation, or pass when there are none.
+fn assert_no_violations(failures: Vec<String>) {
+    assert!(failures.is_empty(), "{} contract violations:\n{}", failures.len(), failures.join("\n"));
 }
 
 #[test]
@@ -63,56 +81,59 @@ fn no_algorithm_panics_or_emits_nan_under_fault_injection() {
     let seed = fault_seed();
     let suite = fault_suite(seed, CASES);
     assert!(suite.len() >= 200);
-    let mut ran = 0usize;
-    let mut rejected = 0usize;
 
-    for case in &suite {
+    // One shard per case, chunked over the shared worker pool; each shard
+    // reports (was runnable, violations) and the aggregation below is
+    // identical to the old serial loop by the pool's ordering guarantee.
+    let results: Vec<(bool, Vec<String>)> = Pool::auto().map_chunked(&suite, 0, |case| {
         let inst = match &case.instance {
+            // Structured rejection at construction is a passing outcome.
             Ok(inst) => inst,
-            Err(_) => {
-                // Structured rejection at construction is a passing outcome.
-                rejected += 1;
-                continue;
-            }
+            Err(_) => return (false, Vec::new()),
         };
-        ran += 1;
+        let mut failures = Vec::new();
         for alpha in [2.0, 3.0] {
             let law = PowerLaw::new(alpha).expect("valid alpha");
             let tag = |algo: &str| format!("seed {seed} case {} α={alpha} {algo}", case.label);
 
-            contract(&tag("run_c"), || run_c(inst, law).ok().map(|r| r.objective));
-            contract(&tag("run_nc_uniform"), || {
+            failures.extend(contract(&tag("run_c"), || run_c(inst, law).ok().map(|r| r.objective)));
+            failures.extend(contract(&tag("run_nc_uniform"), || {
                 run_nc_uniform(inst, law).ok().map(|r| r.objective)
-            });
-            contract(&tag("run_nc_nonuniform"), || {
+            }));
+            failures.extend(contract(&tag("run_nc_nonuniform"), || {
                 run_nc_nonuniform(inst, law, quick_nonuniform()).ok().map(|r| r.objective)
-            });
-            contract(&tag("run_known_weight_sharing"), || {
+            }));
+            failures.extend(contract(&tag("run_known_weight_sharing"), || {
                 run_known_weight_sharing(inst, law).ok().map(|r| r.objective)
-            });
-            contract(&tag("run_c_bounded"), || {
+            }));
+            failures.extend(contract(&tag("run_c_bounded"), || {
                 run_c_bounded(inst, law, 4.0).ok().map(|(_, ev)| ev.objective)
-            });
-            contract(&tag("run_nc_uniform_bounded"), || {
+            }));
+            failures.extend(contract(&tag("run_nc_uniform_bounded"), || {
                 run_nc_uniform_bounded(inst, law, 4.0).ok().map(|(_, ev)| ev.objective)
-            });
-            contract(&tag("run_immediate_dispatch"), || {
+            }));
+            failures.extend(contract(&tag("run_immediate_dispatch"), || {
                 run_immediate_dispatch(inst, law, 2, &mut RoundRobin::default())
                     .ok()
                     .map(|r| r.objective)
-            });
-            contract(&tag("run_lazy_hdf"), || {
+            }));
+            failures.extend(contract(&tag("run_lazy_hdf"), || {
                 run_lazy_hdf(inst, law, 2, 5.0).ok().map(|r| r.objective)
-            });
-            contract(&tag("solve_fractional_opt"), || {
+            }));
+            failures.extend(contract(&tag("solve_fractional_opt"), || {
                 solve_fractional_opt(inst, law, quick_solver()).ok().map(|sol| Objective {
                     energy: 0.0,
                     frac_flow: sol.primal_cost,
                     int_flow: sol.dual_bound,
                 })
-            });
+            }));
         }
-    }
+        (true, failures)
+    });
+
+    let ran = results.iter().filter(|(runnable, _)| *runnable).count();
+    let rejected = results.len() - ran;
+    assert_no_violations(results.into_iter().flat_map(|(_, f)| f).collect());
 
     // The suite must actually exercise both outcomes: plenty of runnable
     // instances, and at least some structured rejections.
@@ -127,21 +148,30 @@ fn runs_that_succeed_under_faults_also_pass_the_audit() {
     // (Blow-up cases that legitimately complete at extreme scale are held
     // to the same tolerance — the audit is scale-free.)
     let seed = fault_seed();
-    let mut audited = 0usize;
-    for case in fault_suite(seed, 60) {
-        let Ok(inst) = &case.instance else { continue };
+    let suite = fault_suite(seed, 60);
+    let results: Vec<(usize, Vec<String>)> = Pool::auto().map_chunked(&suite, 0, |case| {
+        let Ok(inst) = &case.instance else { return (0, Vec::new()) };
         let law = PowerLaw::new(2.0).expect("valid alpha");
+        let mut audited = 0usize;
+        let mut failures = Vec::new();
         if let Ok(run) = run_c(inst, law) {
-            let reported = Evaluated { objective: run.objective, per_job: run.per_job };
+            let reported = Evaluated { objective: run.objective, per_job: run.per_job.clone() };
             let report = audit_run(inst, &run.schedule, &reported);
-            assert!(report.passed(), "seed {seed} case {}:\n{report}", case.label);
+            if !report.passed() {
+                failures.push(format!("seed {seed} case {}:\n{report}", case.label));
+            }
             audited += 1;
         }
         if let Ok(run) = run_known_weight_sharing(inst, law) {
             let report = audit_outcome(inst, &run.objective, &run.per_job);
-            assert!(report.passed(), "seed {seed} case {} (sharing):\n{report}", case.label);
+            if !report.passed() {
+                failures.push(format!("seed {seed} case {} (sharing):\n{report}", case.label));
+            }
         }
-    }
+        (audited, failures)
+    });
+    let audited: usize = results.iter().map(|(n, _)| n).sum();
+    assert_no_violations(results.into_iter().flat_map(|(_, f)| f).collect());
     assert!(audited >= 10, "too few successful runs reached the audit ({audited})");
 }
 
@@ -289,30 +319,32 @@ fn bounded_speed_caps_near_zero_and_infinity_respect_the_contract() {
     // Finite caps — however extreme — obey the robustness contract over
     // the fault suite; non-positive and non-finite caps are typed errors.
     let seed = fault_seed();
-    for case in fault_suite(seed, 40) {
-        let Ok(inst) = &case.instance else { continue };
+    let suite = fault_suite(seed, 40);
+    let failures: Vec<Vec<String>> = Pool::auto().map_chunked(&suite, 0, |case| {
+        let Ok(inst) = &case.instance else { return Vec::new() };
         let law = PowerLaw::new(2.0).expect("valid alpha");
+        let mut failures = Vec::new();
         for cap in [1e-300, 1e-9, 1e9, 1e300, f64::MAX] {
             let tag = |algo: &str| format!("seed {seed} case {} cap={cap:e} {algo}", case.label);
-            contract(&tag("run_c_bounded"), || {
+            failures.extend(contract(&tag("run_c_bounded"), || {
                 run_c_bounded(inst, law, cap).ok().map(|(_, ev)| ev.objective)
-            });
-            contract(&tag("run_nc_uniform_bounded"), || {
+            }));
+            failures.extend(contract(&tag("run_nc_uniform_bounded"), || {
                 run_nc_uniform_bounded(inst, law, cap).ok().map(|(_, ev)| ev.objective)
-            });
+            }));
         }
         for cap in [0.0, -1.0, f64::INFINITY, f64::NAN] {
-            assert!(
-                matches!(run_c_bounded(inst, law, cap), Err(SimError::InvalidInstance { .. })),
-                "run_c_bounded accepted cap={cap}"
-            );
-            assert!(
-                matches!(
-                    run_nc_uniform_bounded(inst, law, cap),
-                    Err(SimError::InvalidInstance { .. })
-                ),
-                "run_nc_uniform_bounded accepted cap={cap}"
-            );
+            if !matches!(run_c_bounded(inst, law, cap), Err(SimError::InvalidInstance { .. })) {
+                failures.push(format!("run_c_bounded accepted cap={cap}"));
+            }
+            if !matches!(
+                run_nc_uniform_bounded(inst, law, cap),
+                Err(SimError::InvalidInstance { .. })
+            ) {
+                failures.push(format!("run_nc_uniform_bounded accepted cap={cap}"));
+            }
         }
-    }
+        failures
+    });
+    assert_no_violations(failures.into_iter().flatten().collect());
 }
