@@ -4,8 +4,8 @@
 //!
 //! * [`ratio`] — competitive-ratio measurement against the certified OPT
 //!   dual bound (every reported ratio upper-bounds the true ratio),
-//! * [`sweep`] — order-preserving parallel parameter sweeps on
-//!   `std::thread::scope` (dynamic and chunked scheduling),
+//! * [`sweep`] — order-preserving parallel parameter sweeps on the
+//!   persistent `ncss-pool` workers (dynamic and chunked scheduling),
 //! * [`table`] / [`chart`] — aligned ASCII tables and charts,
 //! * [`stats`] — summary statistics.
 

@@ -13,7 +13,7 @@
 //!   the single-machine pass uses;
 //! * **no-double-service**: no job is served on two different machines in
 //!   overlapping time (the residual is the worst overlap duration);
-//! * **cross-machine-volume**: per-job quadrature volume summed over all
+//! * **cross-machine-volume**: per-job re-derived volume summed over all
 //!   machines equals the job size;
 //! * total energy, fractional and integral flow re-derived from the
 //!   merged per-job timelines match the reported outcome;
@@ -25,10 +25,11 @@
 //! [`Schedule`] — the merge happens per job, where serial service is an
 //! invariant rather than an accident.
 
+use crate::closed_form;
 use crate::report::{AuditReport, Stopwatch};
 use crate::schedule_audit::{
-    derive_per_job, frac_flow_quadrature, measurement_resolution, release_residual, residual,
-    wellformed_residual, AuditConfig, ScheduleAudit,
+    derive_per_job, frac_flow_rederived, measurement_resolution, release_residual, residual,
+    sampled, wellformed_residual, AuditConfig, ScheduleAudit,
 };
 use ncss_sim::{Evaluated, Instance, PowerLaw, Schedule, Segment};
 
@@ -189,6 +190,7 @@ impl MultiAudit {
             &reported.per_job.completion,
             self.config.rel_tol,
             resolution,
+            self.config.cross_check_stride,
         );
 
         let mut worst = 0.0f64;
@@ -217,29 +219,40 @@ impl MultiAudit {
         }
         report.record_timed("completion-consistency", worst, self.config.rel_tol, detail, clock.lap());
 
-        // --- total energy: one quadrature per segment across the whole
-        // fleet, fanned over the pool and summed serially in timeline
-        // order (machine 0's segments first, as in the serial pass).
+        // --- total energy: closed-form antiderivative per segment across
+        // the whole fleet (every stride-th segment re-measured by
+        // quadrature — the cross-check tier), fanned over the pool and
+        // summed serially in timeline order (machine 0's segments first,
+        // as in the serial pass).
+        let stride = self.config.cross_check_stride;
         let fleet_segments: Vec<Segment> =
             schedules.iter().flat_map(Schedule::segments).copied().collect();
+        let seg_idx: Vec<usize> = (0..fleet_segments.len()).collect();
         let energy: f64 = pool
-            .map(&fleet_segments, |s| integrate(|t| s.power_at(pl, t), s.start, s.end))
+            .map(&seg_idx, |&i| {
+                let s = &fleet_segments[i];
+                if sampled(stride, i) {
+                    integrate(|t| s.power_at(pl, t), s.start, s.end)
+                } else {
+                    closed_form::energy(pl, s)
+                }
+            })
             .iter()
             .sum();
         report.record_timed(
             "energy-recomputed",
             residual(energy, reported.objective.energy),
             self.config.rel_tol,
-            format!("quadrature {energy:.9e} vs reported {:.9e}", reported.objective.energy),
+            format!("re-derived {energy:.9e} vs reported {:.9e}", reported.objective.energy),
             clock.lap(),
         );
 
-        let frac = frac_flow_quadrature(pool, pl, instance, &merged, &completions);
+        let frac = frac_flow_rederived(pool, pl, instance, &merged, &completions, stride);
         report.record_timed(
             "frac-flow-recomputed",
             residual(frac, reported.objective.frac_flow),
             self.config.rel_tol,
-            format!("quadrature {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
+            format!("re-derived {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
             clock.lap(),
         );
 

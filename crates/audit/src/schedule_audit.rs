@@ -6,10 +6,11 @@
 //! pointwise speed curves, they just differ in where the segments come
 //! from (one timeline vs. one per machine).
 
+use crate::closed_form;
 use crate::quad::integrate;
 use crate::report::{AuditReport, Stopwatch};
 use ncss_pool::Pool;
-use ncss_sim::{Evaluated, Instance, Objective, PerJob, PowerLaw, Schedule, Segment};
+use ncss_sim::{Evaluated, Instance, Objective, PerJob, PowerLaw, Schedule, Segment, SegmentIndex};
 
 /// Tunable audit tolerances and sharding policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,19 +22,32 @@ pub struct AuditConfig {
     /// Absolute slack allowed on event-level time comparisons (overlap,
     /// release-before-service), per unit of schedule horizon.
     pub time_tol: f64,
-    /// Worker count for the quadrature fan-out: `None` sizes to the
+    /// Worker count for the re-derivation fan-out: `None` sizes to the
     /// machine ([`Pool::auto`]), `Some(k)` forces exactly `k` workers.
     /// Serial (`Some(1)`) and parallel audits produce identical verdicts
     /// and residuals — the pool preserves order, every per-item sum is
     /// reduced serially, and tolerances are therefore unchanged under
     /// sharding (DESIGN.md §8).
     pub threads: Option<usize>,
+    /// Quadrature cross-check stride for the closed-form fast path: every
+    /// `stride`-th integral (by deterministic index, so serial == parallel)
+    /// is still measured by tanh-sinh quadrature of the pointwise curve
+    /// and folded into the *same* check, so a shared algebra error between
+    /// the simulators and [`crate::closed_form`] cannot certify itself.
+    /// `1` re-measures everything (the pre-fast-path behaviour); `0`
+    /// disables the cross-check tier entirely.
+    pub cross_check_stride: usize,
 }
 
 impl Default for AuditConfig {
     fn default() -> Self {
-        Self { rel_tol: 1e-6, time_tol: 1e-9, threads: None }
+        Self { rel_tol: 1e-6, time_tol: 1e-9, threads: None, cross_check_stride: 8 }
     }
+}
+
+/// Whether index `i` falls on the quadrature cross-check tier.
+pub(crate) fn sampled(stride: usize, i: usize) -> bool {
+    stride > 0 && i % stride == 0
 }
 
 impl AuditConfig {
@@ -122,11 +136,16 @@ pub(crate) fn measurement_resolution<'a>(
 }
 
 /// Re-derive per-job delivered volumes and completion times from the
-/// serving segments alone, by quadrature. `by_job[j]` must hold job `j`'s
-/// serving segments in increasing start order (across machines, in the
-/// multi case). Jobs are independent, so the derivation fans out over
-/// `pool` — the per-job arithmetic is untouched, so any worker count gives
-/// the same `(delivered, completions)` bit for bit. Returns
+/// serving segments alone. `by_job[j]` must hold job `j`'s serving
+/// segments in increasing start order (across machines, in the multi
+/// case). Per-segment volumes come from the audit's own closed forms
+/// ([`crate::closed_form`]) with every `stride`-th integral re-measured by
+/// tanh-sinh quadrature (the cross-check tier); the completion crossing is
+/// located by binary search over a prefix-sum [`SegmentIndex`] and
+/// inverted analytically inside the crossing segment. Jobs are
+/// independent, so the derivation fans out over `pool` — the per-job
+/// arithmetic is untouched, so any worker count gives the same
+/// `(delivered, completions)` bit for bit. Returns
 /// `(delivered, completions)`.
 pub(crate) fn derive_per_job(
     pool: Pool,
@@ -136,6 +155,7 @@ pub(crate) fn derive_per_job(
     reported_completion: &[f64],
     rel_tol: f64,
     resolution: f64,
+    stride: usize,
 ) -> (Vec<f64>, Vec<f64>) {
     let speed_of = |s: &Segment| {
         let s = *s; // Segment is Copy; detach from the borrow
@@ -145,46 +165,49 @@ pub(crate) fn derive_per_job(
     let derived: Vec<(f64, f64)> = pool.map(&jobs, |&j| {
         let segs = &by_job[j];
         let volume = instance.job(j).volume;
-        let mut cum = 0.0;
-        let mut completion = f64::NAN;
-        for s in segs {
-            let dv = integrate(speed_of(s), s.start, s.end);
-            // First segment slice in which the cumulative quadrature
-            // volume reaches the job size: bisect for the crossing. The
-            // margin is scale-free so 1e-150-scale volumes (whose
-            // quadrature can underflow to 0) still register.
-            if completion.is_nan() && cum + dv >= volume - 1e-9 * (1.0 + volume) {
-                let target = (volume - cum).min(dv).max(0.0);
-                if dv - target <= 1e-9 * (1.0 + volume) {
-                    // The job's remaining volume at the segment boundary is
-                    // indistinguishable from zero, so the boundary is the
-                    // completion. Bisecting would chase the vanishing-speed
-                    // tail and land ~ε^{1/k} early on curves that drain
-                    // exactly at the segment end (the closed-form optimum
-                    // at α < 2 loses ~1e-6 that way).
-                    completion = s.end;
+        // Closed-form per-segment volumes; the `(j + i)`-indexed sampling
+        // spreads the quadrature tier across jobs and is a pure function
+        // of position, so serial and parallel audits sample identically.
+        let dvs: Vec<f64> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if sampled(stride, j + i) {
+                    integrate(speed_of(s), s.start, s.end)
                 } else {
-                    let (mut lo, mut hi) = (s.start, s.end);
-                    for _ in 0..60 {
-                        let mid = 0.5 * (lo + hi);
-                        if integrate(speed_of(s), s.start, mid) < target {
-                            lo = mid;
-                        } else {
-                            hi = mid;
-                        }
-                    }
-                    completion = 0.5 * (lo + hi);
+                    closed_form::volume(pl, s)
                 }
+            })
+            .collect();
+        let index = SegmentIndex::from_volumes(segs, dvs.iter().copied());
+        // First segment in which the cumulative volume reaches the job
+        // size: binary search over the prefix sums. The margin is
+        // scale-free so 1e-150-scale volumes (which can underflow to 0)
+        // still register.
+        let margin = 1e-9 * (1.0 + volume);
+        let mut completion = f64::NAN;
+        let i = index.first_reaching(volume - margin);
+        if let Some(s) = segs.get(i) {
+            let target = (volume - index.volume_before(i)).min(dvs[i]).max(0.0);
+            if dvs[i] - target <= margin {
+                // The job's remaining volume at the segment boundary is
+                // indistinguishable from zero, so the boundary is the
+                // completion. Inverting would chase the vanishing-speed
+                // tail and land early on curves that drain exactly at the
+                // segment end (the closed-form optimum at α < 2 loses
+                // ~1e-6 that way).
+                completion = s.end;
+            } else {
+                completion = closed_form::time_at_volume(pl, s, target);
             }
-            cum += dv;
         }
+        let cum = index.total_volume();
         if completion.is_nan() && (cum - volume).abs() <= rel_tol * (1.0 + volume + resolution) {
             // All measurable volume was delivered but no crossing was
             // detectable (zero-scale jobs whose serving segments are
-            // empty or underflow the quadrature): the inversion cannot
-            // constrain the completion, so adopt the last serving
-            // instant — or the reported value when the job never
-            // measurably ran at all.
+            // empty or underflow): the inversion cannot constrain the
+            // completion, so adopt the last serving instant — or the
+            // reported value when the job never measurably ran at all.
             let reported_c = reported_completion.get(j).copied().unwrap_or(f64::NAN);
             completion = segs.last().map_or(reported_c, |s| s.end).max(instance.job(j).release);
         }
@@ -193,21 +216,25 @@ pub(crate) fn derive_per_job(
     derived.into_iter().unzip()
 }
 
-/// Fractional weighted flow-time by quadrature. With `q_j(t)` the volume
+/// Fractional weighted flow-time re-derivation. With `q_j(t)` the volume
 /// of job `j` processed by `t` and `c_j` the *derived* completion,
 ///   `F_j = ρ_j ∫_{r_j}^{c_j} (V_j − q_j(t)) dt`
 ///       `= ρ_j [ V_j (c_j − r_j) − ∫_{r_j}^{c_j} (c_j − τ) s_j(τ) dτ ]`
-/// by Fubini — one weighted quadrature per serving segment, with no
-/// closed-form volume integrals involved. NaN when any completion is
-/// non-finite. Per-job contributions are quadrature-heavy and independent,
-/// so they fan out over `pool`; the final sum runs serially in job order,
-/// so the result is identical for any worker count.
-pub(crate) fn frac_flow_quadrature(
+/// by Fubini. The per-segment weighted integral is evaluated analytically
+/// ([`closed_form::weighted_volume`]); every `stride`-th *job* is instead
+/// integrated by tanh-sinh quadrature of the pointwise speed curve (the
+/// cross-check tier). Segments at or past `c_j` contribute nothing, so a
+/// binary search over the (start-ordered) serving segments skips the
+/// tail. NaN when any completion is non-finite. Per-job contributions are
+/// independent, so they fan out over `pool`; the final sum runs serially
+/// in job order, so the result is identical for any worker count.
+pub(crate) fn frac_flow_rederived(
     pool: Pool,
     pl: PowerLaw,
     instance: &Instance,
     by_job: &[Vec<Segment>],
     completions: &[f64],
+    stride: usize,
 ) -> f64 {
     let jobs: Vec<usize> = (0..by_job.len()).collect();
     let contributions = pool.map(&jobs, |&j| {
@@ -217,10 +244,14 @@ pub(crate) fn frac_flow_quadrature(
         if !c.is_finite() {
             return f64::NAN;
         }
+        let cut = segs.partition_point(|s| s.start < c);
         let mut served = 0.0;
-        for s in segs {
-            let hi = s.end.min(c);
-            served += integrate(|t| (c - t) * s.speed_at(pl, t), s.start, hi);
+        for s in &segs[..cut] {
+            served += if sampled(stride, j) {
+                integrate(|t| (c - t) * s.speed_at(pl, t), s.start, s.end.min(c))
+            } else {
+                closed_form::weighted_volume(pl, s, c)
+            };
         }
         job.density * (job.volume * (c - job.release) - served)
     });
@@ -242,12 +273,14 @@ impl ScheduleAudit {
 
     /// Audit a schedule-producing run against its reported evaluation.
     ///
-    /// The quadrature-heavy derivations (per-job volumes/completions, the
-    /// energy and fractional-flow re-integrations) fan out over
-    /// [`AuditConfig::pool`]; every check also records the wall-time it
-    /// took ([`crate::CheckVerdict::elapsed_ns`]). Shared derivation cost
-    /// is attributed to the first consuming check (`volume-conservation`
-    /// carries the per-job quadrature derivation).
+    /// The integral re-derivations (per-job volumes/completions, the
+    /// energy and fractional-flow re-integrations) use the closed-form
+    /// fast path in [`crate::closed_form`] with a sampled quadrature
+    /// cross-check tier ([`AuditConfig::cross_check_stride`]) and fan out
+    /// over [`AuditConfig::pool`]; every check also records the wall-time
+    /// it took ([`crate::CheckVerdict::elapsed_ns`]). Shared derivation
+    /// cost is attributed to the first consuming check
+    /// (`volume-conservation` carries the per-job derivation).
     #[must_use]
     pub fn audit(&self, instance: &Instance, schedule: &Schedule, reported: &Evaluated) -> AuditReport {
         let mut report = AuditReport::default();
@@ -281,6 +314,7 @@ impl ScheduleAudit {
             &reported.per_job.completion,
             self.config.rel_tol,
             resolution,
+            self.config.cross_check_stride,
         );
 
         let mut vol_worst = 0.0f64;
@@ -323,26 +357,37 @@ impl ScheduleAudit {
             clock.lap(),
         );
 
-        // --- energy re-derivation from pointwise powers: one quadrature
-        // per segment across the pool, summed serially in segment order.
+        // --- energy re-derivation: closed-form antiderivative per segment
+        // across the pool, with every stride-th segment re-measured by
+        // quadrature of the pointwise power curve; summed serially in
+        // segment order.
+        let stride = self.config.cross_check_stride;
+        let seg_idx: Vec<usize> = (0..schedule.segments().len()).collect();
         let energy: f64 = pool
-            .map(schedule.segments(), |s| integrate(|t| s.power_at(pl, t), s.start, s.end))
+            .map(&seg_idx, |&i| {
+                let s = &schedule.segments()[i];
+                if sampled(stride, i) {
+                    integrate(|t| s.power_at(pl, t), s.start, s.end)
+                } else {
+                    closed_form::energy(pl, s)
+                }
+            })
             .iter()
             .sum();
         report.record_timed(
             "energy-recomputed",
             residual(energy, reported.objective.energy),
             self.config.rel_tol,
-            format!("quadrature {energy:.9e} vs reported {:.9e}", reported.objective.energy),
+            format!("re-derived {energy:.9e} vs reported {:.9e}", reported.objective.energy),
             clock.lap(),
         );
 
-        let frac = frac_flow_quadrature(pool, pl, instance, &by_job, &derived_completion);
+        let frac = frac_flow_rederived(pool, pl, instance, &by_job, &derived_completion, stride);
         report.record_timed(
             "frac-flow-recomputed",
             residual(frac, reported.objective.frac_flow),
             self.config.rel_tol,
-            format!("quadrature {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
+            format!("re-derived {frac:.9e} vs reported {:.9e}", reported.objective.frac_flow),
             clock.lap(),
         );
 

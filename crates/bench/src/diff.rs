@@ -1,0 +1,712 @@
+//! Compare two `BENCH_<suite>.json` artifacts and flag regressions.
+//!
+//! The workspace records a perf trajectory per commit (see [`crate::harness`]
+//! and EXPERIMENTS.md, "Performance benches"). This module is the reader
+//! side: parse two bench documents — a *baseline* (usually the committed
+//! artifact) and a *candidate* (a fresh run) — match their entries by name,
+//! and report every measurement that got slower, every audit check whose
+//! cost or residual blew up, and every verdict that flipped from `pass`.
+//!
+//! Comparison rules (all tunable through [`DiffOptions`]):
+//!
+//! * a timing quantile (`min/mean/median/p95/max_ns`) regresses when the
+//!   candidate exceeds `base × (1 + threshold)` **and** grows by more than
+//!   `floor_ns` absolute nanoseconds (the floor suppresses noise on
+//!   sub-microsecond rows where ±40% is timer jitter);
+//! * an `audit_timing` check regresses on the same rule applied to its
+//!   `elapsed_ns`, keyed by `entry/check` name;
+//! * a check's residual regresses when it grows past both
+//!   `base × residual_factor` and the `residual_floor` — residuals live on
+//!   a log scale, so the factor defaults to an order of magnitude;
+//! * an audit verdict that was `pass` in the baseline and is anything else
+//!   in the candidate is **always** a regression, no thresholds;
+//! * entries present in the baseline but missing from the candidate are
+//!   regressions (a silently dropped bench reads as "covered" when it
+//!   isn't); new entries are reported but never fail the diff.
+//!
+//! The JSON reader is a minimal recursive-descent parser scoped to what the
+//! harness emits (objects, arrays, strings, numbers, `null`, booleans) —
+//! the workspace is dependency-free by policy, so there is no serde.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. `Number` keeps `f64` — bench files only carry
+/// nanosecond counts (exact in `f64` below 2^53) and residuals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; `BTreeMap` keeps iteration deterministic.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::String),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Json::Number).map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy a full UTF-8 scalar, not a byte.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        map.insert(key, parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench document model
+// ---------------------------------------------------------------------------
+
+/// One `audit_timing.checks[]` row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRow {
+    /// Check name (e.g. `energy-recomputed`).
+    pub name: String,
+    /// Wall-clock nanoseconds the check took.
+    pub elapsed_ns: u64,
+    /// Worst residual; `None` when serialised as `null` (non-finite).
+    pub residual: Option<f64>,
+}
+
+/// One `results[]` entry of a bench document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark id, e.g. `algorithm_c/100`.
+    pub name: String,
+    /// Audit verdict string (`pass` / `fail` / `skipped`).
+    pub audit: String,
+    /// Total audit nanoseconds.
+    pub audit_total_ns: u64,
+    /// Per-check audit rows.
+    pub checks: Vec<CheckRow>,
+    /// The five timing quantiles, in `QUANTILES` order.
+    pub quantiles: [u64; 5],
+}
+
+/// The quantile keys of a bench entry, in document order.
+pub const QUANTILES: [&str; 5] = ["min_ns", "mean_ns", "median_ns", "p95_ns", "max_ns"];
+
+/// A parsed `BENCH_<suite>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Suite name (`algorithms`, `opt`, …).
+    pub suite: String,
+    /// Schema tag (`ncss-bench/2`).
+    pub schema: String,
+    /// All measurements, in file order.
+    pub entries: Vec<BenchEntry>,
+}
+
+fn req_u64(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    let v = obj
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric {key:?}"))?;
+    if !(v >= 0.0 && v.is_finite()) {
+        return Err(format!("{ctx}: {key:?} is not a non-negative finite number"));
+    }
+    Ok(v as u64)
+}
+
+fn req_str(obj: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}: missing string {key:?}"))
+}
+
+impl BenchDoc {
+    /// Parse a bench JSON document, validating the schema tag.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let suite = req_str(&root, "suite", "document")?;
+        let schema = req_str(&root, "schema", "document")?;
+        if !schema.starts_with("ncss-bench/") {
+            return Err(format!("unrecognised schema {schema:?} (want ncss-bench/*)"));
+        }
+        let mut entries = Vec::new();
+        for (i, entry) in root
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or("document: missing \"results\" array")?
+            .iter()
+            .enumerate()
+        {
+            let ctx = format!("results[{i}]");
+            let name = req_str(entry, "name", &ctx)?;
+            let audit = req_str(entry, "audit", &ctx)?;
+            let timing = entry
+                .get("audit_timing")
+                .ok_or_else(|| format!("{ctx}: missing \"audit_timing\""))?;
+            let audit_total_ns = req_u64(timing, "total_ns", &ctx)?;
+            let mut checks = Vec::new();
+            for (k, row) in timing
+                .get("checks")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("{ctx}: missing \"checks\" array"))?
+                .iter()
+                .enumerate()
+            {
+                let rctx = format!("{ctx}.checks[{k}]");
+                checks.push(CheckRow {
+                    name: req_str(row, "name", &rctx)?,
+                    elapsed_ns: req_u64(row, "elapsed_ns", &rctx)?,
+                    residual: match row.get("residual") {
+                        Some(Json::Null) | None => None,
+                        Some(v) => v.as_f64(),
+                    },
+                });
+            }
+            let mut quantiles = [0u64; 5];
+            for (q, key) in QUANTILES.iter().enumerate() {
+                quantiles[q] = req_u64(entry, key, &ctx)?;
+            }
+            entries.push(BenchEntry { name, audit, audit_total_ns, checks, quantiles });
+        }
+        Ok(Self { suite, schema, entries })
+    }
+
+    fn by_name(&self) -> BTreeMap<&str, &BenchEntry> {
+        self.entries.iter().map(|e| (e.name.as_str(), e)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+// ---------------------------------------------------------------------------
+
+/// Thresholds controlling what counts as a regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Relative slowdown needed to flag a timing (0.25 = 25% slower).
+    pub threshold: f64,
+    /// Absolute floor: a timing must also grow by this many nanoseconds.
+    /// Suppresses jitter on sub-microsecond rows.
+    pub floor_ns: u64,
+    /// Multiplicative growth needed to flag a residual (residuals live on a
+    /// log scale, so the default is one order of magnitude).
+    pub residual_factor: f64,
+    /// Residuals below this are noise regardless of growth.
+    pub residual_floor: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self { threshold: 0.25, floor_ns: 50_000, residual_factor: 10.0, residual_floor: 1e-9 }
+    }
+}
+
+/// What kind of regression a [`Finding`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A timing quantile of the measurement itself got slower.
+    Quantile,
+    /// An audit check's `elapsed_ns` got slower.
+    CheckTime,
+    /// An audit check's residual grew.
+    Residual,
+    /// The audit verdict flipped away from `pass` (always fatal).
+    Verdict,
+    /// A baseline entry or check is missing from the candidate.
+    Missing,
+}
+
+/// One flagged difference between baseline and candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// What regressed.
+    pub kind: Kind,
+    /// `entry` or `entry/check` or `entry/check@quantile` locator.
+    pub what: String,
+    /// Baseline value (ns or residual; 0 for verdict rows).
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<52} {}", self.what, self.detail)
+    }
+}
+
+/// The outcome of comparing two bench documents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Everything that regressed; non-empty means the diff fails.
+    pub regressions: Vec<Finding>,
+    /// Timings that improved past the same threshold (informational).
+    pub improvements: Vec<Finding>,
+    /// Candidate entries with no baseline counterpart (informational).
+    pub added: Vec<String>,
+    /// Number of (entry, quantile) and (entry, check) pairs compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when no regression was found.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn slower(base: u64, new: u64, opts: &DiffOptions) -> bool {
+    new.saturating_sub(base) > opts.floor_ns
+        && (new as f64) > (base as f64) * (1.0 + opts.threshold)
+}
+
+fn faster(base: u64, new: u64, opts: &DiffOptions) -> bool {
+    slower(new, base, opts)
+}
+
+/// Compare `new` against `base`, entry by entry.
+#[must_use]
+pub fn diff(base: &BenchDoc, new: &BenchDoc, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    let new_by_name = new.by_name();
+    let base_names: std::collections::BTreeSet<&str> =
+        base.entries.iter().map(|e| e.name.as_str()).collect();
+    for entry in &new.entries {
+        if !base_names.contains(entry.name.as_str()) {
+            report.added.push(entry.name.clone());
+        }
+    }
+
+    for b in &base.entries {
+        let Some(n) = new_by_name.get(b.name.as_str()) else {
+            report.regressions.push(Finding {
+                kind: Kind::Missing,
+                what: b.name.clone(),
+                base: 0.0,
+                new: 0.0,
+                detail: "present in baseline, missing from candidate".into(),
+            });
+            continue;
+        };
+
+        // Verdict: pass must stay pass. (skipped→skipped etc. is fine;
+        // fail→pass is an improvement, not a regression.)
+        if b.audit == "pass" && n.audit != "pass" {
+            report.regressions.push(Finding {
+                kind: Kind::Verdict,
+                what: b.name.clone(),
+                base: 0.0,
+                new: 0.0,
+                detail: format!("audit verdict pass -> {}", n.audit),
+            });
+        }
+
+        // Timing quantiles.
+        for (q, key) in QUANTILES.iter().enumerate() {
+            report.compared += 1;
+            let (bv, nv) = (b.quantiles[q], n.quantiles[q]);
+            let finding = |kind| Finding {
+                kind,
+                what: format!("{}@{}", b.name, key),
+                base: bv as f64,
+                new: nv as f64,
+                detail: format!("{bv} ns -> {nv} ns ({:+.1}%)", rel_change(bv, nv)),
+            };
+            if slower(bv, nv, opts) {
+                report.regressions.push(finding(Kind::Quantile));
+            } else if faster(bv, nv, opts) {
+                report.improvements.push(finding(Kind::Quantile));
+            }
+        }
+
+        // Audit checks, keyed by name.
+        let new_checks: BTreeMap<&str, &CheckRow> =
+            n.checks.iter().map(|c| (c.name.as_str(), c)).collect();
+        for bc in &b.checks {
+            report.compared += 1;
+            let Some(nc) = new_checks.get(bc.name.as_str()) else {
+                report.regressions.push(Finding {
+                    kind: Kind::Missing,
+                    what: format!("{}/{}", b.name, bc.name),
+                    base: 0.0,
+                    new: 0.0,
+                    detail: "audit check present in baseline, missing from candidate".into(),
+                });
+                continue;
+            };
+            let finding = |kind, detail| Finding {
+                kind,
+                what: format!("{}/{}", b.name, bc.name),
+                base: bc.elapsed_ns as f64,
+                new: nc.elapsed_ns as f64,
+                detail,
+            };
+            if slower(bc.elapsed_ns, nc.elapsed_ns, opts) {
+                report.regressions.push(finding(
+                    Kind::CheckTime,
+                    format!(
+                        "{} ns -> {} ns ({:+.1}%)",
+                        bc.elapsed_ns,
+                        nc.elapsed_ns,
+                        rel_change(bc.elapsed_ns, nc.elapsed_ns)
+                    ),
+                ));
+            } else if faster(bc.elapsed_ns, nc.elapsed_ns, opts) {
+                report.improvements.push(finding(
+                    Kind::CheckTime,
+                    format!(
+                        "{} ns -> {} ns ({:+.1}%)",
+                        bc.elapsed_ns,
+                        nc.elapsed_ns,
+                        rel_change(bc.elapsed_ns, nc.elapsed_ns)
+                    ),
+                ));
+            }
+            // Residuals: null (non-finite) in the candidate is always a
+            // regression if the baseline had a finite one.
+            match (bc.residual, nc.residual) {
+                (Some(br), None) => report.regressions.push(Finding {
+                    kind: Kind::Residual,
+                    what: format!("{}/{}", b.name, bc.name),
+                    base: br,
+                    new: f64::INFINITY,
+                    detail: format!("residual {br:.3e} -> non-finite"),
+                }),
+                (Some(br), Some(nr)) => {
+                    if nr > opts.residual_floor && nr > br.max(opts.residual_floor) * opts.residual_factor
+                    {
+                        report.regressions.push(Finding {
+                            kind: Kind::Residual,
+                            what: format!("{}/{}", b.name, bc.name),
+                            base: br,
+                            new: nr,
+                            detail: format!("residual {br:.3e} -> {nr:.3e}"),
+                        });
+                    }
+                }
+                (None, _) => {}
+            }
+        }
+    }
+    report
+}
+
+fn rel_change(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        if new == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new as f64 / base as f64 - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &str) -> String {
+        format!("{{\"suite\":\"t\",\"schema\":\"ncss-bench/2\",\"results\":[{entries}]}}")
+    }
+
+    fn entry(name: &str, median: u64, check_ns: u64, residual: &str, audit: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"audit\":\"{audit}\",\"audit_timing\":{{\"total_ns\":{check_ns},\
+             \"checks\":[{{\"name\":\"energy-recomputed\",\"elapsed_ns\":{check_ns},\"residual\":{residual}}}]}},\
+             \"warmup\":3,\"iters\":30,\"min_ns\":{median},\"mean_ns\":{median},\"median_ns\":{median},\
+             \"p95_ns\":{median},\"max_ns\":{median}}}"
+        )
+    }
+
+    #[test]
+    fn parser_round_trips_harness_output() {
+        let text = doc(&entry("algorithm_c/100", 19228, 1917324, "5.2e-16", "pass"));
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert_eq!(parsed.suite, "t");
+        assert_eq!(parsed.entries.len(), 1);
+        let e = &parsed.entries[0];
+        assert_eq!(e.name, "algorithm_c/100");
+        assert_eq!(e.audit, "pass");
+        assert_eq!(e.quantiles, [19228; 5]);
+        assert_eq!(e.checks[0].elapsed_ns, 1917324);
+        assert!((e.checks[0].residual.unwrap() - 5.2e-16).abs() < 1e-30);
+    }
+
+    #[test]
+    fn parser_handles_null_residuals_escapes_and_rejects_garbage() {
+        let text = doc(&entry("x/1", 10, 5, "null", "pass"));
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert_eq!(parsed.entries[0].checks[0].residual, None);
+
+        assert_eq!(Json::parse("\"a\\nb\\u0041\"").unwrap(), Json::String("a\nbA".into()));
+        assert!(Json::parse("{\"a\":1,}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(BenchDoc::parse("{\"suite\":\"t\",\"schema\":\"other/1\",\"results\":[]}").is_err());
+    }
+
+    #[test]
+    fn self_compare_reports_zero_regressions() {
+        let text = doc(&format!(
+            "{},{}",
+            entry("a/1", 1000, 500, "1e-15", "pass"),
+            entry("b/2", 2_000_000, 900_000, "3e-14", "skipped")
+        ));
+        let base = BenchDoc::parse(&text).unwrap();
+        let report = diff(&base, &base, &DiffOptions::default());
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.improvements.is_empty());
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn slowdowns_past_threshold_and_floor_are_flagged() {
+        let base = BenchDoc::parse(&doc(&entry("a/1", 1_000_000, 800_000, "1e-15", "pass"))).unwrap();
+        // 2x slower on every quantile and on the check: all flagged.
+        let new = BenchDoc::parse(&doc(&entry("a/1", 2_000_000, 1_600_000, "1e-15", "pass"))).unwrap();
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.regressions.iter().filter(|f| f.kind == Kind::Quantile).count(), 5);
+        assert_eq!(report.regressions.iter().filter(|f| f.kind == Kind::CheckTime).count(), 1);
+        // Same slowdown below the absolute floor: suppressed as jitter.
+        let base = BenchDoc::parse(&doc(&entry("a/1", 1_000, 800, "1e-15", "pass"))).unwrap();
+        let new = BenchDoc::parse(&doc(&entry("a/1", 2_000, 1_600, "1e-15", "pass"))).unwrap();
+        assert!(diff(&base, &new, &DiffOptions::default()).passed());
+        // ...unless the floor is lowered.
+        let tight = DiffOptions { floor_ns: 100, ..DiffOptions::default() };
+        assert!(!diff(&base, &new, &tight).passed());
+        // Improvements are informational, not failures.
+        let report = diff(&new, &base, &tight);
+        assert!(report.passed());
+        assert!(!report.improvements.is_empty());
+    }
+
+    #[test]
+    fn verdict_flip_and_residual_blowup_always_flagged() {
+        let base = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-15", "pass"))).unwrap();
+        let flipped = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-15", "fail"))).unwrap();
+        let report = diff(&base, &flipped, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, Kind::Verdict);
+
+        // Residual 1e-15 -> 1e-6: past the floor and the factor.
+        let blown = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-6", "pass"))).unwrap();
+        let report = diff(&base, &blown, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, Kind::Residual);
+        // Residual 1e-15 -> 1e-13: grew 100x but still under the noise
+        // floor — not flagged.
+        let tiny = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-13", "pass"))).unwrap();
+        assert!(diff(&base, &tiny, &DiffOptions::default()).passed());
+        // Finite -> null is always a regression.
+        let gone = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "null", "pass"))).unwrap();
+        let report = diff(&base, &gone, &DiffOptions::default());
+        assert_eq!(report.regressions[0].kind, Kind::Residual);
+    }
+
+    #[test]
+    fn missing_entries_and_checks_are_regressions_added_are_not() {
+        let base = BenchDoc::parse(&doc(&format!(
+            "{},{}",
+            entry("a/1", 1000, 500, "1e-15", "pass"),
+            entry("b/2", 1000, 500, "1e-15", "pass")
+        )))
+        .unwrap();
+        let new = BenchDoc::parse(&doc(&format!(
+            "{},{}",
+            entry("a/1", 1000, 500, "1e-15", "pass"),
+            entry("c/3", 1000, 500, "1e-15", "pass")
+        )))
+        .unwrap();
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, Kind::Missing);
+        assert_eq!(report.regressions[0].what, "b/2");
+        assert_eq!(report.added, vec!["c/3".to_string()]);
+    }
+}

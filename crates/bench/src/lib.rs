@@ -7,8 +7,13 @@
 //! in-repo performance benches ([`harness`]) — each writes a
 //! `BENCH_<suite>.json` with median/p95 timings — plus the same
 //! reproduction suite via the `repro_experiments` bench target.
+//!
+//! Two bench artifacts (e.g. the committed baseline and a fresh run) are
+//! compared with the `bench-diff` binary ([`diff`]), which flags per-check
+//! and per-quantile regressions and exits non-zero when any are found.
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
 pub mod harness;

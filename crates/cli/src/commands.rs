@@ -38,10 +38,13 @@ commands:
   sweep    --input FILE [--alphas LO:HI:N]
            competitive-ratio curve of C and NC across power-law exponents
   audit    --algorithm A --input FILE [--alpha ALPHA] [--rel-tol T] [--time-tol T]
-           [--machines K] [--threads K] [--corrupt WHAT]
-           re-derive the run's objective by independent quadrature and check
-           every schedule invariant, reporting per-check wall-time;
+           [--machines K] [--threads K] [--cross-check S] [--corrupt WHAT]
+           re-derive the run's objective independently (closed-form segment
+           integrals, every S-th integral re-measured by quadrature) and
+           check every schedule invariant, reporting per-check wall-time;
            --threads K forces K audit workers (default: auto-size);
+           --cross-check S sets the quadrature sampling stride (default 8;
+           1 = re-measure everything, 0 = closed forms only);
            exits non-zero if any check fails
            A as for 'run', plus known-sharing (outcome-only audit) and the
            parallel-machine algorithms c-par | nc-par | dispatch (audited
@@ -406,6 +409,9 @@ fn cmd_audit(args: &ParsedArgs) -> Result<String, String> {
         rel_tol: args.f64_or("rel-tol", defaults.rel_tol)?,
         time_tol: args.f64_or("time-tol", defaults.time_tol)?,
         threads: if threads == 0 { None } else { Some(threads) },
+        // Quadrature cross-check stride for the closed-form fast path:
+        // 1 re-measures every integral by quadrature, 0 disables the tier.
+        cross_check_stride: args.usize_or("cross-check", defaults.cross_check_stride)?,
     };
     if MULTI_ALGOS.contains(&name.as_str()) {
         return audit_multi_machine(args, &inst, law, &name, config);

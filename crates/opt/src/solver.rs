@@ -294,15 +294,24 @@ pub fn solve_fractional_opt(instance: &Instance, law: PowerLaw, opts: SolverOpti
         .fold(horizon, f64::max);
     let dual_edges = build_edges(t0, t_star + 1e-9, opts.steps * opts.dual_refine, &releases);
     let mut dual = jobs.iter().enumerate().map(|(j, job)| lambda[j] * job.volume).sum::<f64>();
-    for w in dual_edges.windows(2) {
-        let (a, b) = (w[0], w[1]);
+    // Per-edge conjugate terms fan out over the persistent worker pool (the
+    // refined grid has `steps * dual_refine` edges, each an O(n) scan); the
+    // map is order-preserving and the subtraction below folds serially in
+    // edge order, so the bound is bit-identical to a single-threaded solve.
+    // Nesting under `ncss-analysis`' per-instance fan-out is safe: the pool's
+    // caller always participates, so inner maps never wait on a free worker.
+    let windows: Vec<(f64, f64)> = dual_edges.windows(2).map(|w| (w[0], w[1])).collect();
+    let terms = ncss_pool::Pool::auto().map_chunked(&windows, 0, |&(a, b)| {
         let mut best = 0.0f64;
         for (j, job) in jobs.iter().enumerate() {
             if job.release <= a + 1e-12 {
                 best = best.max(lambda[j] - job.density * (a - job.release));
             }
         }
-        dual -= (b - a) * law.conjugate(best);
+        (b - a) * law.conjugate(best)
+    });
+    for term in terms {
+        dual -= term;
     }
 
     // Numeric guard rails: every certified quantity must be finite. The

@@ -36,4 +36,4 @@ pub use error::{SimError, SimResult};
 pub use job::{Instance, Job, JobId};
 pub use objective::{evaluate, Evaluated, Objective, PerJob};
 pub use power::PowerLaw;
-pub use schedule::{Schedule, ScheduleBuilder, Segment, SpeedLaw};
+pub use schedule::{Schedule, ScheduleBuilder, Segment, SegmentIndex, SpeedLaw};

@@ -378,6 +378,13 @@ impl Schedule {
         v
     }
 
+    /// Build a prefix-sum [`SegmentIndex`] over this schedule's segments
+    /// for `O(log n)` time/volume queries.
+    #[must_use]
+    pub fn index(&self) -> SegmentIndex {
+        SegmentIndex::new(self.law, &self.segments)
+    }
+
     /// Sample `(t, speed, power)` at `n + 1` evenly spaced points over
     /// `[0, horizon]` for plotting.
     #[must_use]
@@ -389,6 +396,117 @@ impl Schedule {
                 (t, s, self.law.power(s))
             })
             .collect()
+    }
+}
+
+/// Prefix-sum time/volume index over an ordered segment list, for
+/// `O(log n)` "which segment covers time `t`" / "where does cumulative
+/// volume reach `v`" queries instead of linear scans.
+///
+/// Built either from the segments' own closed forms
+/// ([`SegmentIndex::new`], [`Schedule::index`]) or from caller-supplied
+/// per-segment volumes ([`SegmentIndex::from_volumes`]) — the audit passes
+/// its independently re-derived values so the index never launders the
+/// simulator's arithmetic into the checker.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_sim::{PowerLaw, Schedule, Segment, SpeedLaw};
+///
+/// let law = PowerLaw::new(2.0).unwrap();
+/// let segs = vec![
+///     Segment::new(0.0, 1.0, Some(0), SpeedLaw::Constant { speed: 2.0 }),
+///     Segment::new(1.0, 3.0, Some(1), SpeedLaw::Constant { speed: 0.5 }),
+/// ];
+/// let sched = Schedule::new(law, segs).unwrap();
+/// let index = sched.index();
+/// // Cumulative volume crosses 2.5 inside the second segment, at t = 2.
+/// assert_eq!(index.first_reaching(2.5), 1);
+/// let t = index.time_at_volume(law, sched.segments(), 2.5).unwrap();
+/// assert!((t - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentIndex {
+    ends: Vec<f64>,
+    cum_volume: Vec<f64>,
+}
+
+impl SegmentIndex {
+    /// Index `segments` using their own closed-form volumes.
+    #[must_use]
+    pub fn new(pl: PowerLaw, segments: &[Segment]) -> Self {
+        Self::from_volumes(segments, segments.iter().map(|s| s.volume(pl)))
+    }
+
+    /// Index `segments` with externally supplied per-segment volumes
+    /// (must be in segment order and of equal length).
+    #[must_use]
+    pub fn from_volumes(segments: &[Segment], volumes: impl IntoIterator<Item = f64>) -> Self {
+        let ends: Vec<f64> = segments.iter().map(|s| s.end).collect();
+        let mut cum = 0.0;
+        let cum_volume: Vec<f64> = volumes
+            .into_iter()
+            .map(|v| {
+                cum += v;
+                cum
+            })
+            .collect();
+        debug_assert_eq!(ends.len(), cum_volume.len());
+        Self { ends, cum_volume }
+    }
+
+    /// Number of indexed segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total indexed volume (0 when empty).
+    #[must_use]
+    pub fn total_volume(&self) -> f64 {
+        self.cum_volume.last().copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative volume delivered strictly before segment `i`.
+    #[must_use]
+    pub fn volume_before(&self, i: usize) -> f64 {
+        if i == 0 { 0.0 } else { self.cum_volume[i - 1] }
+    }
+
+    /// First segment index whose *inclusive* cumulative volume reaches
+    /// `target` (binary search over the prefix sums); `len()` when the
+    /// target is never reached. NaN prefixes never satisfy the predicate,
+    /// matching a scan that skips unmeasurable values.
+    #[must_use]
+    pub fn first_reaching(&self, target: f64) -> usize {
+        self.cum_volume.partition_point(|&p| !(p >= target))
+    }
+
+    /// Number of segments ending at or before `t` — equivalently, the
+    /// index of the first segment whose interior could contain `t`.
+    #[must_use]
+    pub fn segments_ending_by(&self, t: f64) -> usize {
+        self.ends.partition_point(|&e| e <= t)
+    }
+
+    /// Absolute time at which the cumulative volume reaches `v`, inverting
+    /// within the crossing segment; `None` when `v` exceeds the total or
+    /// the crossing segment cannot be inverted (idle).
+    #[must_use]
+    pub fn time_at_volume(&self, pl: PowerLaw, segments: &[Segment], v: f64) -> Option<f64> {
+        if v <= 0.0 {
+            return segments.first().map(|s| s.start);
+        }
+        let i = self.first_reaching(v);
+        let seg = segments.get(i)?;
+        seg.time_at_volume(pl, v - self.volume_before(i))
     }
 }
 

@@ -12,11 +12,17 @@
 #   4. fault-injection robustness contract in --release (the guard rails
 #      must hold where debug_assert! is compiled out); its wall-time is
 #      reported so sharding/step-cap regressions are visible in CI logs
-#   5. audit smoke: every schedule-producing algorithm on a generated
-#      trace must pass the independent quadrature audit; the parallel
-#      algorithms go through the cross-machine auditor, and a
-#      deliberately corrupted report must come back non-zero
-#   6. warning-clean `cargo doc --no-deps`
+#   5. closed-form-vs-quadrature property tests in --release (the
+#      analytic fast path must match the quadrature reference to 1e-12
+#      where debug_assert! is compiled out)
+#   6. audit smoke: every schedule-producing algorithm on a generated
+#      trace must pass the independent audit; the parallel algorithms
+#      go through the cross-machine auditor, and a deliberately
+#      corrupted report must come back non-zero
+#   7. bench-diff smoke: each committed BENCH_*.json self-compares to
+#      zero regressions (exercises the JSON parser + diff engine on the
+#      real artifacts), and the tool's exit-code contract is probed
+#   8. warning-clean `cargo doc --no-deps`
 #
 # Run from anywhere; it cd's to the repo root.
 
@@ -37,6 +43,9 @@ echo "==> cargo test --release -q --offline --test fault_contract"
 fault_start=$(date +%s)
 cargo test --release -q --offline --test fault_contract
 echo "fault contract wall-time: $(($(date +%s) - fault_start))s"
+
+echo "==> cargo test --release -q --offline --test closed_form_quadrature --test audit_property"
+cargo test --release -q --offline --test closed_form_quadrature --test audit_property
 
 echo "==> audit smoke (ncss-cli audit on a generated trace)"
 cli=target/release/ncss-cli
@@ -64,6 +73,20 @@ if "$cli" audit --algorithm nc-par --machines 3 --input "$trace" --alpha 2 \
     exit 1
 fi
 echo "multi audit smoke passed"
+
+echo "==> bench-diff smoke (committed BENCH_*.json self-compare)"
+bench_diff=target/release/bench-diff
+for artifact in BENCH_*.json; do
+    [ -f "$artifact" ] || { echo "FAIL: no committed BENCH_*.json artifacts" >&2; exit 1; }
+    "$bench_diff" "$artifact" "$artifact" > /dev/null \
+        || { echo "FAIL: bench-diff flagged $artifact against itself" >&2; exit 1; }
+done
+# Exit-code contract: a missing file is a usage error (2), not a diff.
+if "$bench_diff" BENCH_algorithms.json /nonexistent.json > /dev/null 2>&1; then
+    echo "FAIL: bench-diff accepted a nonexistent candidate" >&2
+    exit 1
+fi
+echo "bench-diff smoke passed"
 
 echo "==> cargo doc --workspace --no-deps --offline (must be warning-clean)"
 doc_log="$(RUSTDOCFLAGS="${RUSTDOCFLAGS:-}" cargo doc --workspace --no-deps --offline 2>&1)" || {

@@ -16,9 +16,9 @@
 //! | [`opt`] | offline optimum: closed forms + a convex solver with certified dual lower bounds |
 //! | [`workloads`] | seeded generators, adversarial constructions, cloud-billing traces |
 //! | [`multi`] | identical parallel machines: C-PAR, NC-PAR, dispatch policies, the `Ω(k^{1−1/α})` lower-bound game |
-//! | [`audit`] | independent run auditing: quadrature re-derivation of objectives + event-level invariants |
+//! | [`audit`] | independent run auditing: closed-form re-derivation of objectives (sampled quadrature cross-check tier) + event-level invariants |
 //! | [`analysis`] | ratio measurement, parallel sweeps, ASCII tables/charts |
-//! | [`pool`] | shared scoped worker pool: order-preserving parallel maps used by sweeps, audits, and the fault/contract suites |
+//! | [`pool`] | persistent worker pool: order-preserving parallel maps used by sweeps, audits, the OPT solver, and the fault/contract suites |
 //!
 //! ## Quickstart
 //!

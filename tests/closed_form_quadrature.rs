@@ -1,0 +1,206 @@
+//! Property test: the audit's closed-form segment integrals
+//! (`ncss_audit::closed_form`) agree with tanh-sinh quadrature of the
+//! pointwise speed curve (`ncss_audit::quad`) to ≤ 1e-12 **relative**
+//! residual, over seeded segment laws covering
+//!
+//! * every `SpeedLaw` variant (`Idle`, `Constant`, `Decay`, `Growth`),
+//! * α ∈ {1.5, 2, 3},
+//! * magnitudes spanning 1e-150 … 1e+150 (log-uniform draws).
+//!
+//! This is the contract that makes the audit's analytic fast path safe:
+//! the sampled quadrature cross-check tier (DESIGN.md §8.4) only probes a
+//! stride of integrals per run, so this test is where the full parameter
+//! space gets hammered. Comparisons are skipped when either side is
+//! non-finite (e.g. `(1e150)^3` overflows in the quadrature integrand) or
+//! both are below the subnormal floor, where "relative" stops meaning
+//! anything.
+
+use ncss::audit::closed_form;
+use ncss::audit::quad::integrate;
+use ncss::sim::{PowerLaw, Segment, SpeedLaw};
+use ncss_rng::dist::log_uniform;
+use ncss_rng::Pcg64;
+
+const ALPHAS: [f64; 3] = [1.5, 2.0, 3.0];
+const TRIALS_PER_ALPHA: usize = 120;
+const REL_TOL: f64 = 1e-12;
+
+/// A magnitude anywhere in the 1e-150 … 1e150 band.
+fn magnitude(rng: &mut Pcg64) -> f64 {
+    log_uniform(rng, 1e-150, 1e150)
+}
+
+/// Seeded segment with a random law.
+///
+/// Durations of the power-law kernels are drawn as a fraction of the
+/// law's *natural time scale* `X^β/(ρβ)` (drain time for decay, the
+/// level-doubling scale for growth), the way real schedules produce them:
+/// a decay segment never outlives its extinction (the mid-interval kink a
+/// clamped law would create is exactly what quadrature is bad at), and a
+/// segment whose `ρβτ` is hundreds of decades below `X^β` processes a
+/// volume that is pure cancellation noise for *any* arithmetic —
+/// closed-form or quadrature — so neither side could be "right". `start`
+/// is sized relative to the duration so the segment's endpoints do not
+/// annihilate in `start + duration`.
+fn seeded_segment(rng: &mut Pcg64, pl: PowerLaw) -> Segment {
+    let b = pl.beta();
+    let law = match rng.below(4) {
+        0 => SpeedLaw::Idle,
+        1 => SpeedLaw::Constant { speed: magnitude(rng) },
+        2 => {
+            let w0 = magnitude(rng);
+            let rho = magnitude(rng);
+            SpeedLaw::Decay { w0, rho }
+        }
+        _ => {
+            // Growth from a positive level or straight from zero (the
+            // non-trivial ODE branch).
+            let u0 = if rng.bool(0.25) { 0.0 } else { magnitude(rng) };
+            SpeedLaw::Growth { u0, rho: magnitude(rng) }
+        }
+    };
+    let duration = match law {
+        SpeedLaw::Decay { w0, rho } => {
+            let extinction = w0.powf(b) / (rho * b);
+            extinction * rng.range_f64(0.05, 0.9)
+        }
+        SpeedLaw::Growth { u0, rho } if u0 > 0.0 => {
+            let natural = u0.powf(b) / (rho * b);
+            natural * rng.range_f64(0.05, 20.0)
+        }
+        _ => log_uniform(rng, 1e-6, 1e6),
+    };
+    // Cap start/duration at ~10: the quadrature *reference* computes
+    // `t − start` at every node in absolute time, losing about
+    // eps·(start/duration) relative accuracy — at ratio 1e3 that noise
+    // alone approaches the 1e-12 bound this test asserts.
+    let start = duration * log_uniform(rng, 1e-3, 10.0);
+    let scale = if rng.bool(0.5) { 1.0 } else { log_uniform(rng, 0.1, 10.0) };
+    Segment::new(start, start + duration, Some(0), law).with_scale(scale)
+}
+
+/// True when the *pointwise* speed/power curves the quadrature reference
+/// integrates stay inside the normal f64 range over the segment. The
+/// kernels square/cube the level internally, so a segment whose result is
+/// perfectly representable can still route through subnormals pointwise
+/// (e.g. growth-from-zero with ρ ~ 1e-150: `u = (ρβτ)²` ~ 1e-311 has a
+/// truncated mantissa, and quadrature inherits that ~1e-12 noise). Exact
+/// zeros (idle, the start of growth-from-zero) are fine.
+fn pipelines_stay_normal(pl: PowerLaw, seg: &Segment) -> bool {
+    [seg.start, 0.5 * (seg.start + seg.end), seg.end].into_iter().all(|t| {
+        [seg.speed_at(pl, t), seg.power_at(pl, t)]
+            .into_iter()
+            .all(|v| v == 0.0 || (1e-290..1e290).contains(&v.abs()))
+    })
+}
+
+/// Relative residual, or `None` when the comparison is meaningless:
+/// either side non-finite (overflow in an intermediate), or the result so
+/// small that one of the two *pipelines* must have left the normal f64
+/// range on the way there. The floor is 1e-200, not the subnormal
+/// boundary: the quadrature side evaluates the pointwise level `X(τ)`,
+/// which is the `1/β`-th power (up to a cube) of the result's scale — at
+/// result magnitudes near 1e-250 that level is already flushed to zero
+/// and quadrature returns an honest 0 for a representable nonzero
+/// integral. The closed forms are factored to survive there (that's the
+/// point), but there is nothing to compare them against.
+fn residual(closed: f64, quad: f64) -> Option<f64> {
+    if !closed.is_finite() || !quad.is_finite() {
+        return None;
+    }
+    let mag = closed.abs().max(quad.abs());
+    if mag == 0.0 {
+        return Some(0.0);
+    }
+    if mag < 1e-200 {
+        return None;
+    }
+    Some((closed - quad).abs() / mag)
+}
+
+fn check(what: &str, seg: &Segment, alpha: f64, closed: f64, quad: f64, compared: &mut usize) {
+    if let Some(rel) = residual(closed, quad) {
+        *compared += 1;
+        assert!(
+            rel <= REL_TOL,
+            "{what} α={alpha} law={:?} scale={} [{}, {}]: closed {closed:e} vs quad {quad:e} (rel {rel:e})",
+            seg.law,
+            seg.scale,
+            seg.start,
+            seg.end,
+        );
+    }
+}
+
+#[test]
+fn closed_form_integrals_match_quadrature_across_magnitudes() {
+    let mut compared = 0usize;
+    for (ai, alpha) in ALPHAS.iter().copied().enumerate() {
+        let pl = PowerLaw::new(alpha).unwrap();
+        let mut rng = Pcg64::seed_from_u64(0x5eed_c10_5ed + ai as u64);
+        for _ in 0..TRIALS_PER_ALPHA {
+            let seg = seeded_segment(&mut rng, pl);
+            if !pipelines_stay_normal(pl, &seg) {
+                continue;
+            }
+
+            let v_q = integrate(|t| seg.speed_at(pl, t), seg.start, seg.end);
+            check("volume", &seg, alpha, closed_form::volume(pl, &seg), v_q, &mut compared);
+
+            let e_q = integrate(|t| seg.power_at(pl, t), seg.start, seg.end);
+            check("energy", &seg, alpha, closed_form::energy(pl, &seg), e_q, &mut compared);
+
+            // Weighted volume at a cutoff inside, at, and past the segment.
+            for frac in [0.3, 1.0, 1.7] {
+                let c = seg.start + frac * seg.duration();
+                let hi = seg.end.min(c);
+                let w_q = if hi > seg.start {
+                    integrate(|t| (c - t) * seg.speed_at(pl, t), seg.start, hi)
+                } else {
+                    0.0
+                };
+                check(
+                    "weighted-volume",
+                    &seg,
+                    alpha,
+                    closed_form::weighted_volume(pl, &seg, c),
+                    w_q,
+                    &mut compared,
+                );
+            }
+        }
+    }
+    // The overflow guard must not have silently skipped everything.
+    assert!(compared > 1000, "only {compared} finite comparisons — generator degenerate?");
+}
+
+#[test]
+fn time_at_volume_inverts_quadrature_volume() {
+    let mut compared = 0usize;
+    for (ai, alpha) in ALPHAS.iter().copied().enumerate() {
+        let pl = PowerLaw::new(alpha).unwrap();
+        let mut rng = Pcg64::seed_from_u64(0x1712e5e + ai as u64);
+        for _ in 0..TRIALS_PER_ALPHA {
+            let seg = seeded_segment(&mut rng, pl);
+            if !pipelines_stay_normal(pl, &seg) {
+                continue;
+            }
+            let total = closed_form::volume(pl, &seg);
+            if !(total.is_finite() && total > 0.0) {
+                continue;
+            }
+            let v = total * rng.range_f64(0.1, 0.95);
+            let t = closed_form::time_at_volume(pl, &seg, v);
+            assert!(
+                (seg.start..=seg.end).contains(&t),
+                "crossing time outside segment: {t} law={:?}",
+                seg.law
+            );
+            // Quadrature of the speed up to the analytic crossing time
+            // must recover the requested volume.
+            let v_q = integrate(|u| seg.speed_at(pl, u), seg.start, t);
+            check("time-at-volume", &seg, alpha, v, v_q, &mut compared);
+        }
+    }
+    assert!(compared > 200, "only {compared} finite comparisons — generator degenerate?");
+}
