@@ -2,9 +2,11 @@
 //! harness (median/p95 to `BENCH_algorithms.json`).
 //!
 //! These quantify the cost model stated in DESIGN.md: Algorithm C is
-//! event-driven (near-linear in jobs with an O(n) accrual scan per event),
-//! Algorithm NC re-simulates C on prefixes (O(n²·log n)), and the
-//! non-uniform algorithm pays two nested C runs per integration step.
+//! event-driven (near-linear in jobs with an O(active) accrual scan per
+//! event), Algorithm NC rides a continuous shadow C stream for its base
+//! powers (O(n log n); it re-simulated prefixes at O(n²·log n) before
+//! DESIGN.md §9), and the non-uniform algorithm pays two nested C runs
+//! per integration step.
 //!
 //! Before timing, each algorithm runs once through `run_checked` so its
 //! audit verdict — and the audit's own per-check `audit_timing` block —

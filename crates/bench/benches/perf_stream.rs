@@ -1,0 +1,248 @@
+//! Streaming-core benches (`BENCH_stream.json`): audited throughput rows
+//! for the event-driven `CStream`/`NcStream` cores, plus a soak row that
+//! pushes millions of Poisson releases through each core on one thread and
+//! asserts the memory footprint stays flat.
+//!
+//! The soak is the load-bearing claim of DESIGN.md §9 — resident state is
+//! O(active jobs), independent of how many releases have streamed past. It
+//! is checked three ways after the run: the arena never held more slots
+//! than the peak active set, the per-arrival-drained spill ring dropped
+//! nothing, and (best effort, Linux) the process RSS grew by less than a
+//! fixed ceiling across the whole run.
+//!
+//! Sizing: `NCSS_STREAM_SOAK_N` overrides the default 10 000 000 releases
+//! per algorithm; `NCSS_BENCH_WARMUP`/`NCSS_BENCH_ITERS` override loop
+//! counts as for every other bench.
+
+use ncss_audit::{AuditConfig, AuditReport, ScheduleAudit};
+use ncss_bench::harness::{black_box, Suite};
+use ncss_core::streaming::{CStream, NcStream, StreamConfig};
+use ncss_rng::{dist, Pcg64};
+use ncss_sim::{Evaluated, Instance, Job, PerJob, PowerLaw, ScheduleBuilder, Segment};
+
+/// Poisson arrivals with exponential unit-mean volumes at density 1 — the
+/// same synthetic source as `ncss-cli stream --synthetic`.
+struct Poisson {
+    rng: Pcg64,
+    rate: f64,
+    clock: f64,
+}
+
+impl Poisson {
+    fn new(seed: u64, rate: f64) -> Self {
+        Self { rng: Pcg64::seed_from_u64(seed), rate, clock: 0.0 }
+    }
+
+    fn next_job(&mut self) -> Job {
+        self.clock += dist::poisson_gap(&mut self.rng, self.rate);
+        Job::unit_density(self.clock, dist::exponential(&mut self.rng, 1.0))
+    }
+
+    fn take(&mut self, n: usize) -> Vec<Job> {
+        (0..n).map(|_| self.next_job()).collect()
+    }
+}
+
+/// Largest active set the soak tolerates before the "flat memory" claim is
+/// considered broken. At rate 4 the observed peak is a few dozen; the
+/// ceiling leaves stochastic headroom while still being O(1) in `n`.
+const ACTIVE_CEILING: usize = 4096;
+
+/// Spill-ring capacity for drained (streaming-mode) runs.
+const SPILL_CAP: usize = 4096;
+
+/// Best-effort resident-set size in bytes from `/proc/self/statm`.
+/// Returns `None` off Linux so the RSS check degrades to a no-op.
+fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}
+
+/// Run a retained (batch-config) streamed C pass over `jobs` and audit the
+/// rebuilt schedule against the stream's own reported objectives. The
+/// verdict gates the timed rows exactly as `run_checked` gates the batch
+/// benches.
+fn gate_c(jobs: &[Job], law: PowerLaw) -> AuditReport {
+    let run = || -> Result<AuditReport, String> {
+        let mut stream = CStream::new(law, StreamConfig::batch());
+        let mut per_job =
+            PerJob { completion: vec![f64::NAN; jobs.len()], frac_flow: vec![0.0; jobs.len()], int_flow: vec![0.0; jobs.len()] };
+        let mut sink = |c: ncss_core::CCompletion| {
+            per_job.completion[c.id] = c.completion;
+            per_job.frac_flow[c.id] = c.frac_flow;
+            per_job.int_flow[c.id] = c.int_flow;
+        };
+        for job in jobs {
+            stream.offer(*job, &mut sink).map_err(|e| e.to_string())?;
+        }
+        let summary = stream.finish(&mut sink).map_err(|e| e.to_string())?;
+        let segments: Vec<Segment> = stream.spill_mut().drain().collect();
+        audit_rebuilt(jobs, law, segments, Evaluated { objective: summary.objective, per_job })
+    };
+    run().unwrap_or_else(placeholder)
+}
+
+/// Same gate for the non-clairvoyant uniform-density stream.
+fn gate_nc(jobs: &[Job], law: PowerLaw) -> AuditReport {
+    let run = || -> Result<AuditReport, String> {
+        let mut stream = NcStream::new(law, StreamConfig::batch());
+        let mut per_job =
+            PerJob { completion: vec![f64::NAN; jobs.len()], frac_flow: vec![0.0; jobs.len()], int_flow: vec![0.0; jobs.len()] };
+        for job in jobs {
+            stream
+                .offer(*job, &mut |c: ncss_core::NcCompletion| {
+                    per_job.completion[c.id] = c.completion;
+                    per_job.frac_flow[c.id] = c.frac_flow;
+                    per_job.int_flow[c.id] = c.int_flow;
+                })
+                .map_err(|e| e.to_string())?;
+        }
+        let summary = stream.finish().map_err(|e| e.to_string())?;
+        let segments: Vec<Segment> = stream.spill_mut().drain().collect();
+        audit_rebuilt(jobs, law, segments, Evaluated { objective: summary.objective, per_job })
+    };
+    run().unwrap_or_else(placeholder)
+}
+
+fn audit_rebuilt(
+    jobs: &[Job],
+    law: PowerLaw,
+    segments: Vec<Segment>,
+    reported: Evaluated,
+) -> Result<AuditReport, String> {
+    let inst = Instance::new(jobs.to_vec()).map_err(|e| e.to_string())?;
+    let mut builder = ScheduleBuilder::new(law);
+    for seg in segments {
+        builder.push(seg);
+    }
+    let schedule = builder.build().map_err(|e| e.to_string())?;
+    Ok(ScheduleAudit::new(AuditConfig::default()).audit(&inst, &schedule, &reported))
+}
+
+fn placeholder(why: String) -> AuditReport {
+    let mut report = AuditReport::default();
+    report.record("algorithm-ran", f64::INFINITY, 0.0, why);
+    report
+}
+
+/// Streaming-mode C pass: spill drained after every offer, nothing retained.
+/// Returns (objective sum, stats) so the caller can assert flatness.
+fn soak_c(law: PowerLaw, n: usize, seed: u64, rate: f64) -> (f64, ncss_core::StreamStats) {
+    let mut source = Poisson::new(seed, rate);
+    let mut stream = CStream::new(law, StreamConfig::streaming(SPILL_CAP));
+    let mut sink = |c: ncss_core::CCompletion| {
+        black_box(c.completion);
+    };
+    for _ in 0..n {
+        stream.offer(source.next_job(), &mut sink).expect("stream offer");
+        stream.spill_mut().drain().for_each(drop);
+    }
+    let summary = stream.finish(&mut sink).expect("stream finish");
+    stream.spill_mut().drain().for_each(drop);
+    (summary.objective.fractional(), stream.stats())
+}
+
+/// Streaming-mode NC pass, same shape.
+fn soak_nc(law: PowerLaw, n: usize, seed: u64, rate: f64) -> (f64, ncss_core::StreamStats) {
+    let mut source = Poisson::new(seed, rate);
+    let mut stream = NcStream::new(law, StreamConfig::streaming(SPILL_CAP));
+    for _ in 0..n {
+        stream
+            .offer(source.next_job(), &mut |c: ncss_core::NcCompletion| {
+                black_box(c.completion);
+            })
+            .expect("stream offer");
+        stream.spill_mut().drain().for_each(drop);
+    }
+    let summary = stream.finish().expect("stream finish");
+    stream.spill_mut().drain().for_each(drop);
+    (summary.objective.fractional(), stream.stats())
+}
+
+/// Panic unless the run's footprint was flat: bounded active set, arena
+/// sized by the peak active set alone, and a spill ring that never dropped
+/// a segment (every one was drained downstream).
+fn assert_flat(name: &str, stats: &ncss_core::StreamStats, n: usize) {
+    assert_eq!(stats.ingested, n, "{name}: ingested {} of {n}", stats.ingested);
+    assert_eq!(stats.completed, n, "{name}: completed {} of {n}", stats.completed);
+    assert!(
+        stats.peak_active <= ACTIVE_CEILING,
+        "{name}: peak active {} exceeds flat-memory ceiling {ACTIVE_CEILING}",
+        stats.peak_active
+    );
+    assert_eq!(
+        stats.arena_slots, stats.peak_active,
+        "{name}: arena allocated {} slots for a peak active set of {}",
+        stats.arena_slots, stats.peak_active
+    );
+    assert_eq!(stats.spill_dropped, 0, "{name}: spill ring dropped {} segments", stats.spill_dropped);
+    assert!(
+        stats.spill_peak_resident <= SPILL_CAP,
+        "{name}: spill resident {} exceeds capacity {SPILL_CAP}",
+        stats.spill_peak_resident
+    );
+}
+
+fn main() {
+    let law = PowerLaw::cube();
+    let mut suite = Suite::new("stream");
+
+    let soak_n: usize = std::env::var("NCSS_STREAM_SOAK_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000);
+    let rate = 4.0;
+
+    // Throughput rows: moderate-n streams, gated by an audited retained run
+    // over the same arrivals.
+    for n in [10_000usize, 100_000] {
+        let jobs = Poisson::new(11, rate).take(n);
+        let r = gate_c(&jobs[..n.min(2_000)], law);
+        suite.bench_report_with(&format!("stream_c/{n}"), Some(&r), 1, 10, || {
+            let (obj, stats) = soak_c(law, n, 11, rate);
+            black_box(obj);
+            assert_flat("stream_c", &stats, n);
+        });
+
+        let r = gate_nc(&jobs[..n.min(2_000)], law);
+        suite.bench_report_with(&format!("stream_nc_uniform/{n}"), Some(&r), 1, 10, || {
+            let (obj, stats) = soak_nc(law, n, 11, rate);
+            black_box(obj);
+            assert_flat("stream_nc_uniform", &stats, n);
+        });
+    }
+
+    // Soak rows: ≥10M releases per core on a single thread, one timed pass,
+    // flat-memory ceiling asserted inside the measured closure. The gate
+    // audits a retained prefix of the same arrival process (auditing all
+    // 10M would itself need O(n) memory, which is the point of the mode).
+    let rss_before = rss_bytes();
+    let prefix = Poisson::new(97, rate).take(2_000);
+
+    let r = gate_c(&prefix, law);
+    suite.bench_report_with("stream_c/soak", Some(&r), 0, 1, || {
+        let (obj, stats) = soak_c(law, soak_n, 97, rate);
+        assert!(obj.is_finite(), "soak objective overflowed");
+        assert_flat("stream_c/soak", &stats, soak_n);
+    });
+
+    let r = gate_nc(&prefix, law);
+    suite.bench_report_with("stream_nc_uniform/soak", Some(&r), 0, 1, || {
+        let (obj, stats) = soak_nc(law, soak_n, 97, rate);
+        assert!(obj.is_finite(), "soak objective overflowed");
+        assert_flat("stream_nc_uniform/soak", &stats, soak_n);
+    });
+
+    // RSS growth across both soaks, best effort: a leak proportional to n
+    // would show up as hundreds of MB here; flat cores stay in the noise.
+    if let (Some(before), Some(after)) = (rss_before, rss_bytes()) {
+        let grown = after.saturating_sub(before);
+        assert!(
+            grown < 64 * 1024 * 1024,
+            "soak RSS grew by {grown} bytes (> 64 MiB): resident memory is not flat"
+        );
+    }
+
+    suite.finish();
+}

@@ -53,6 +53,20 @@ commands:
            --corrupt energy|frac-flow|int-flow|completion|schedule tampers
            with the run before auditing (the audit MUST then fail) — the
            end-to-end self-test of the audit gate
+  stream   --input FILE|- [--algorithm c|nc] [--alpha ALPHA] [--spill CAP]
+           [--emit summary|completions] [--every N] [--audit 0|1]
+           [--check-batch 0|1] [--assert-active N]
+           [--synthetic N [--rate R] [--seed S]]
+           bounded-memory event-driven run over an ordered release stream
+           (CSV from FILE, stdin with '-', or a synthetic Poisson source);
+           emits completions as they happen (--emit completions, every Nth)
+           and a summary with running objectives and memory high-water
+           marks. --audit 1 rebuilds the schedule from the spill ring and
+           re-audits it; --check-batch 1 replays the batch runner and
+           requires bitwise-equal objectives; --assert-active N makes the
+           run fail if more than N jobs were ever resident; both
+           self-checks exit non-zero on violation. --corrupt energy skews
+           the reported energy so those gates must go red (verify probe)
   help     this message
 ";
 
@@ -530,6 +544,7 @@ pub fn run_cli(raw: &[String]) -> Result<String, String> {
         "gantt" => cmd_gantt(&args),
         "sweep" => cmd_sweep(&args),
         "audit" => cmd_audit(&args),
+        "stream" => crate::stream::cmd_stream(&args),
         other => Err(format!("unknown command '{other}'; try 'ncss help'")),
     }
 }

@@ -20,6 +20,7 @@
 
 mod args;
 mod commands;
+mod stream;
 
 pub use args::{parse_args, ParsedArgs};
 pub use commands::run_cli;

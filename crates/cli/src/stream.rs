@@ -1,0 +1,338 @@
+//! The `stream` subcommand: bounded-memory event-driven simulation.
+//!
+//! Reads an ordered release stream (CSV from a file or stdin, or a
+//! synthetic Poisson source for soak-scale runs), pushes it through the
+//! streaming scheduler core (`ncss_core::streaming`), and emits completions
+//! and running objectives as the event loop crosses them. Resident memory
+//! is O(active jobs): the spill ring of retired segments is drained after
+//! every arrival unless the run is audited (which needs the full schedule).
+//!
+//! Two self-check modes close the loop with the batch path:
+//!
+//! * `--check-batch 1` buffers the jobs, re-runs the batch runner, and
+//!   demands **bitwise** equality of energy / fractional / integral flow
+//!   (DESIGN.md §9's equivalence contract); any mismatch is a non-zero exit.
+//! * `--audit 1` rebuilds a full schedule from the spill ring and feeds it,
+//!   with the stream's own reported objectives, through the independent
+//!   `ScheduleAudit` — the same gate the batch algorithms face.
+
+use crate::args::ParsedArgs;
+use ncss_analysis::{fmt_f, Table};
+use ncss_audit::{AuditConfig, ScheduleAudit};
+use ncss_core::streaming::{CStream, NcStream, StreamConfig};
+use ncss_core::{run_c, run_nc_uniform};
+use ncss_rng::{dist, Pcg64};
+use ncss_sim::{
+    Evaluated, Instance, Job, Objective, PerJob, PowerLaw, ScheduleBuilder, SpillRing,
+};
+use std::io::BufRead;
+
+/// A source of released jobs, in non-decreasing release order.
+enum JobSource {
+    /// CSV rows (`release,volume,density` header) from a file or stdin.
+    Csv { lines: Box<dyn Iterator<Item = std::io::Result<String>>>, line: usize, header_seen: bool },
+    /// Synthetic Poisson arrivals with exponential volumes, density 1.
+    Synthetic { remaining: usize, rate: f64, clock: f64, rng: Pcg64 },
+}
+
+impl JobSource {
+    fn next_job(&mut self) -> Result<Option<Job>, String> {
+        match self {
+            JobSource::Csv { lines, line, header_seen } => loop {
+                let Some(row) = lines.next() else { return Ok(None) };
+                *line += 1;
+                let row = row.map_err(|e| format!("read error at line {line}: {e}"))?;
+                let row = row.trim();
+                if row.is_empty() || row.starts_with('#') {
+                    continue;
+                }
+                if !*header_seen {
+                    let cols: Vec<&str> = row.split(',').map(str::trim).collect();
+                    if cols != ["release", "volume", "density"] {
+                        return Err(format!(
+                            "line {line}: header must be release,volume,density (got '{row}')"
+                        ));
+                    }
+                    *header_seen = true;
+                    continue;
+                }
+                let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+                if fields.len() != 3 {
+                    return Err(format!("line {line}: expected 3 fields, got {}", fields.len()));
+                }
+                let f = |name: &str, s: &str| -> Result<f64, String> {
+                    s.parse().map_err(|_| format!("line {line}: non-numeric {name} '{s}'"))
+                };
+                return Ok(Some(Job::new(
+                    f("release", fields[0])?,
+                    f("volume", fields[1])?,
+                    f("density", fields[2])?,
+                )));
+            },
+            JobSource::Synthetic { remaining, rate, clock, rng } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                *remaining -= 1;
+                *clock += dist::poisson_gap(rng, *rate);
+                Ok(Some(Job::unit_density(*clock, dist::exponential(rng, 1.0))))
+            }
+        }
+    }
+}
+
+/// Per-run accounting shared by both algorithms.
+struct Tally {
+    offered: usize,
+    emitted: usize,
+}
+
+/// Drain the spill ring: collect into `keep` for retained (audited) runs,
+/// discard for plain streaming (the ring tracks its own peak/drop counters).
+fn drain(ring: &mut SpillRing, keep: Option<&mut Vec<ncss_sim::Segment>>) {
+    match keep {
+        Some(buf) => buf.extend(ring.drain()),
+        None => drop(ring.drain()),
+    }
+}
+
+/// Entry point for `ncss stream`.
+pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
+    let law = PowerLaw::new(args.f64_or("alpha", 3.0)?).map_err(|e| e.to_string())?;
+    let algo = args.get_or("algorithm", "c");
+    let emit = args.get_or("emit", "summary");
+    if emit != "summary" && emit != "completions" {
+        return Err(format!("--emit expects summary|completions, got '{emit}'"));
+    }
+    let every = args.usize_or("every", 1)?.max(1);
+    let spill_cap = args.usize_or("spill", 4096)?;
+    let audit = args.usize_or("audit", 0)? == 1;
+    let check_batch = args.usize_or("check-batch", 0)? == 1;
+    let assert_active = args.usize_or("assert-active", usize::MAX)?;
+    let synthetic = args.usize_or("synthetic", 0)?;
+    // Verification probe, mirroring `audit --corrupt`: deliberately skew
+    // the reported energy so the cross-check / audit gates must go red.
+    let corrupt = args.get_or("corrupt", "none");
+    if corrupt != "none" && corrupt != "energy" {
+        return Err(format!("--corrupt expects none|energy, got '{corrupt}'"));
+    }
+
+    let mut source = if synthetic > 0 {
+        JobSource::Synthetic {
+            remaining: synthetic,
+            rate: args.f64_or("rate", 2.0)?,
+            clock: 0.0,
+            rng: Pcg64::seed_from_u64(args.usize_or("seed", 1)? as u64),
+        }
+    } else {
+        let path = args.require("input").map_err(|_| {
+            "stream needs --input FILE|- or --synthetic N".to_string()
+        })?;
+        let lines: Box<dyn Iterator<Item = std::io::Result<String>>> = if path == "-" {
+            Box::new(std::io::stdin().lock().lines())
+        } else {
+            let file = std::fs::File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Box::new(std::io::BufReader::new(file).lines())
+        };
+        JobSource::Csv { lines, line: 0, header_seen: false }
+    };
+
+    // Audit and batch cross-check both need the whole run retained; plain
+    // streaming drains and discards, keeping memory flat.
+    let retain = audit || check_batch;
+    let config = if retain { StreamConfig::batch() } else { StreamConfig::streaming(spill_cap) };
+    let mut jobs: Vec<Job> = Vec::new(); // only filled when `retain`
+    let mut segments: Vec<ncss_sim::Segment> = Vec::new();
+    let mut records: Vec<(usize, f64, f64, f64, f64)> = Vec::new(); // (id, completion, frac, int, base)
+    let mut tally = Tally { offered: 0, emitted: 0 };
+
+    let err = |e: ncss_sim::SimError| e.to_string();
+    let (mut summary, stats) = match algo.as_str() {
+        "c" => {
+            let mut stream = CStream::new(law, config);
+            loop {
+                let Some(job) = source.next_job()? else { break };
+                if retain {
+                    jobs.push(job);
+                }
+                let mut sink = |c: ncss_core::CCompletion| {
+                    if retain {
+                        records.push((c.id, c.completion, c.frac_flow, c.int_flow, 0.0));
+                    }
+                    tally.emitted += 1;
+                    if emit == "completions" && tally.emitted % every == 0 {
+                        println!(
+                            "complete id={} t={} frac={} int={}",
+                            c.id, c.completion, c.frac_flow, c.int_flow
+                        );
+                    }
+                };
+                stream.offer(job, &mut sink).map_err(err)?;
+                tally.offered += 1;
+                if !retain {
+                    drain(stream.spill_mut(), None);
+                }
+            }
+            let mut sink = |c: ncss_core::CCompletion| {
+                if retain {
+                    records.push((c.id, c.completion, c.frac_flow, c.int_flow, 0.0));
+                }
+                tally.emitted += 1;
+                if emit == "completions" && tally.emitted % every == 0 {
+                    println!(
+                        "complete id={} t={} frac={} int={}",
+                        c.id, c.completion, c.frac_flow, c.int_flow
+                    );
+                }
+            };
+            let summary = stream.finish(&mut sink).map_err(err)?;
+            drain(stream.spill_mut(), retain.then_some(&mut segments));
+            (summary, stream.stats())
+        }
+        "nc" => {
+            let mut stream = NcStream::new(law, config);
+            loop {
+                let Some(job) = source.next_job()? else { break };
+                if retain {
+                    jobs.push(job);
+                }
+                let mut sink = |c: ncss_core::NcCompletion| {
+                    if retain {
+                        records.push((c.id, c.completion, c.frac_flow, c.int_flow, c.base_power));
+                    }
+                    tally.emitted += 1;
+                    if emit == "completions" && tally.emitted % every == 0 {
+                        println!(
+                            "complete id={} t={} frac={} int={} base={}",
+                            c.id, c.completion, c.frac_flow, c.int_flow, c.base_power
+                        );
+                    }
+                };
+                stream.offer(job, &mut sink).map_err(err)?;
+                tally.offered += 1;
+                if !retain {
+                    drain(stream.spill_mut(), None);
+                }
+            }
+            let summary = stream.finish().map_err(err)?;
+            drain(stream.spill_mut(), retain.then_some(&mut segments));
+            (summary, stream.stats())
+        }
+        other => return Err(format!("stream supports --algorithm c|nc, got '{other}'")),
+    };
+
+    if stats.peak_active > assert_active {
+        return Err(format!(
+            "memory ceiling violated: peak active jobs {} > --assert-active {}",
+            stats.peak_active, assert_active
+        ));
+    }
+    if stats.spill_dropped > 0 && retain {
+        return Err(format!(
+            "{} segments dropped from a retained run (should be impossible)",
+            stats.spill_dropped
+        ));
+    }
+
+    if corrupt == "energy" {
+        summary.objective.energy *= 1.05;
+    }
+
+    let mut extra_rows: Vec<(String, String)> = Vec::new();
+    if retain {
+        let per_job = per_job_of(&records, tally.offered);
+        if check_batch {
+            let batch = match algo.as_str() {
+                "c" => run_c(&Instance::new(jobs.clone()).map_err(err)?, law)
+                    .map_err(err)?
+                    .objective,
+                _ => run_nc_uniform(&Instance::new(jobs.clone()).map_err(err)?, law)
+                    .map_err(err)?
+                    .objective,
+            };
+            check_bitwise(&summary.objective, &batch)?;
+            extra_rows.push(("batch cross-check".into(), "bitwise equal".into()));
+        }
+        if audit {
+            let inst = Instance::new(jobs.clone()).map_err(err)?;
+            let mut builder = ScheduleBuilder::new(law);
+            for seg in &segments {
+                builder.push(*seg);
+            }
+            let schedule = builder.build().map_err(err)?;
+            let reported = Evaluated { objective: summary.objective, per_job };
+            let report = ScheduleAudit::new(AuditConfig::default()).audit(&inst, &schedule, &reported);
+            extra_rows.push((
+                "audit".into(),
+                format!("{} (max residual {:.1e})", if report.passed() { "PASS" } else { "FAIL" }, report.max_residual()),
+            ));
+            if !report.passed() {
+                let mut out = String::new();
+                for (name, verdict) in &extra_rows {
+                    out.push_str(&format!("{name}: {verdict}\n"));
+                }
+                return Err(format!("{out}stream audit FAILED:\n{}", report.render()));
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        format!("stream {} (alpha = {})", algo, law.alpha()),
+        &["metric", "value"],
+    );
+    let o = &summary.objective;
+    for (k, v) in [
+        ("jobs offered", format!("{}", tally.offered)),
+        ("jobs completed", format!("{}", summary.completed)),
+        ("makespan", fmt_f(summary.makespan)),
+        ("energy", fmt_f(o.energy)),
+        ("frac flow", fmt_f(o.frac_flow)),
+        ("int flow", fmt_f(o.int_flow)),
+        ("frac objective", fmt_f(o.fractional())),
+        ("int objective", fmt_f(o.integral())),
+        ("peak active jobs", format!("{}", stats.peak_active)),
+        ("arena slots", format!("{}", stats.arena_slots)),
+        ("spill peak resident", format!("{}", stats.spill_peak_resident)),
+        ("spill dropped", format!("{}", stats.spill_dropped)),
+        ("segments retired", format!("{}", stats.spill_total)),
+    ] {
+        t.row(vec![k.to_string(), v]);
+    }
+    for (k, v) in extra_rows {
+        t.row(vec![k, v]);
+    }
+    Ok(t.render())
+}
+
+/// Scatter completion records into dense per-job vectors.
+fn per_job_of(records: &[(usize, f64, f64, f64, f64)], n: usize) -> PerJob {
+    let mut completion = vec![f64::NAN; n];
+    let mut frac_flow = vec![0.0; n];
+    let mut int_flow = vec![0.0; n];
+    for &(id, c, f, i, _) in records {
+        completion[id] = c;
+        frac_flow[id] = f;
+        int_flow[id] = i;
+    }
+    PerJob { completion, frac_flow, int_flow }
+}
+
+/// The batch-vs-stream equivalence contract: same instance, bitwise-equal
+/// objectives. Any ULP of drift is a bug, not noise.
+fn check_bitwise(stream: &Objective, batch: &Objective) -> Result<(), String> {
+    let pairs = [
+        ("energy", stream.energy, batch.energy),
+        ("frac_flow", stream.frac_flow, batch.frac_flow),
+        ("int_flow", stream.int_flow, batch.int_flow),
+    ];
+    for (name, s, b) in pairs {
+        if s.to_bits() != b.to_bits() {
+            return Err(format!(
+                "batch-vs-stream mismatch in {name}: stream {s:?} ({:#x}) vs batch {b:?} ({:#x})",
+                s.to_bits(),
+                b.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}

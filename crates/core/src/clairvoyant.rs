@@ -12,12 +12,15 @@
 //! completions the remaining weight follows the closed-form decay kernel
 //! (`W^{1−1/α}` linear in time), so event times, energies, and flow-times
 //! carry no integration error.
+//!
+//! The event loop itself lives in [`crate::streaming::CStream`]; [`run_c`]
+//! is the batch wrapper that feeds it the sorted instance and reassembles
+//! per-job vectors and the full schedule. Batch and stream therefore share
+//! every floating-point operation — the bitwise equivalence contract of
+//! DESIGN.md §9.
 
-use ncss_sim::kernel::DecayKernel;
-use ncss_sim::{
-    Instance, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment, SimError, SimResult,
-    SpeedLaw,
-};
+use crate::streaming::{CStream, StreamConfig};
+use ncss_sim::{Instance, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, SimResult};
 
 /// Priority key for the active-job heap: highest density first, then
 /// earliest release, then smallest id.
@@ -106,98 +109,31 @@ impl CRun {
 /// assert!((run.objective.energy - run.objective.frac_flow).abs() < 1e-9);
 /// ```
 pub fn run_c(instance: &Instance, law: PowerLaw) -> SimResult<CRun> {
-    let jobs = instance.jobs();
-    let n = jobs.len();
-    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.volume).collect();
+    let n = instance.len();
     let mut completion = vec![f64::NAN; n];
     let mut frac_flow = vec![0.0; n];
-    let mut energy = 0.0;
+    let mut int_flow = vec![0.0; n];
 
-    let mut heap = std::collections::BinaryHeap::new();
-    let mut builder = ScheduleBuilder::new(law);
-    let mut next = 0usize; // next unreleased job index (jobs are sorted)
-    let mut total_w = 0.0;
-    let mut t = jobs.first().map_or(0.0, |j| j.release);
-
-    // Admit every job released by time `t`.
-    let admit = |t: f64,
-                 next: &mut usize,
-                 heap: &mut std::collections::BinaryHeap<ActiveKey>,
-                 total_w: &mut f64| {
-        while *next < n && jobs[*next].release <= t {
-            let j = &jobs[*next];
-            heap.push(ActiveKey { density: j.density, release: j.release, id: *next });
-            *total_w += j.weight();
-            *next += 1;
-        }
+    let mut stream = CStream::new(law, StreamConfig::batch());
+    let mut sink = |c: crate::streaming::CCompletion| {
+        completion[c.id] = c.completion;
+        frac_flow[c.id] = c.frac_flow;
+        int_flow[c.id] = c.int_flow;
     };
-    admit(t, &mut next, &mut heap, &mut total_w);
-
-    while !heap.is_empty() || next < n {
-        if heap.is_empty() {
-            // Idle until the next release (gap segments stay implicit).
-            t = jobs[next].release;
-            admit(t, &mut next, &mut heap, &mut total_w);
-            continue;
-        }
-        let top = *heap.peek().expect("non-empty heap");
-        let j = top.id;
-        let rho = jobs[j].density;
-        let kernel = DecayKernel { law, w0: total_w, rho };
-        let t_complete = t + kernel.time_to_volume(remaining[j]);
-        let t_release = if next < n { jobs[next].release } else { f64::INFINITY };
-        if !t_complete.is_finite() && next >= n {
-            // Kernel overflow at extreme weight scales: with no further
-            // release to bound the segment, the event loop cannot make
-            // progress — report instead of spinning or emitting NaN.
-            return Err(SimError::Numeric { what: "run_c: completion time", value: t_complete });
-        }
-        let completes = t_complete <= t_release;
-        let t_end = if completes { t_complete } else { t_release };
-        let tau = t_end - t;
-
-        if tau > 0.0 {
-            builder.push(Segment::new(t, t_end, Some(j), SpeedLaw::Decay { w0: total_w, rho }));
-            energy += kernel.energy(tau);
-            // Waiting jobs hold constant remaining volume over the segment.
-            for key in heap.iter() {
-                if key.id != j {
-                    frac_flow[key.id] += jobs[key.id].density * remaining[key.id] * tau;
-                }
-            }
-            // The in-service job's remaining volume follows the kernel.
-            frac_flow[j] += rho * (remaining[j] * tau - kernel.volume_integral(tau));
-            remaining[j] = (remaining[j] - kernel.volume(tau)).max(0.0);
-        }
-        t = t_end;
-
-        if completes {
-            heap.pop();
-            remaining[j] = 0.0;
-            completion[j] = t;
-        }
-        // Recompute the total weight from scratch: closed forms are exact,
-        // but re-deriving from the per-job remainders kills accumulation
-        // drift over thousands of events.
-        total_w = heap.iter().map(|k| jobs[k.id].density * remaining[k.id]).sum();
-        admit(t, &mut next, &mut heap, &mut total_w);
+    // The instance is sorted by (release, id), which is exactly the ordered
+    // release stream the core requires; stream ids coincide with JobIds.
+    for &job in instance.jobs() {
+        stream.offer(job, &mut sink)?;
     }
+    let summary = stream.finish(&mut sink)?;
 
-    let int_flow: Vec<f64> = jobs
-        .iter()
-        .enumerate()
-        .map(|(j, job)| if n == 0 { 0.0 } else { job.weight() * (completion[j] - job.release) })
-        .collect();
-
-    let objective = Objective {
-        energy,
-        frac_flow: frac_flow.iter().sum(),
-        int_flow: int_flow.iter().sum(),
+    let mut builder = ScheduleBuilder::new(law);
+    for seg in stream.spill_mut().drain() {
+        builder.push(seg);
     }
-    .validated("run_c: objective")?;
     Ok(CRun {
         schedule: builder.build()?,
-        objective,
+        objective: summary.objective,
         per_job: PerJob { completion, frac_flow, int_flow },
     })
 }

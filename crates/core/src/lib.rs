@@ -13,6 +13,8 @@
 //! * [`baselines`] — non-clairvoyant baselines from related work,
 //! * [`current_instance`] / [`preemption`] — the analysis objects `I(T)`
 //!   and the preemption-interval structure,
+//! * [`streaming`] — the event-driven stream core with O(active jobs)
+//!   resident memory that the batch runners above delegate to,
 //! * [`theory`] — every theoretical constant as an executable formula.
 
 #![deny(missing_docs)]
@@ -34,6 +36,7 @@ pub mod potential;
 pub mod preemption;
 pub mod properties;
 pub mod reduction;
+pub mod streaming;
 pub mod theory;
 
 pub use bounded::{run_c_bounded, run_nc_uniform_bounded};
@@ -47,3 +50,6 @@ pub use nc_nonuniform::{run_nc_nonuniform, NonUniformParams};
 pub use known_weight::run_known_weight_sharing;
 pub use nc_uniform::{run_nc_uniform, NcRun};
 pub use reduction::{reduce_to_integral, IntegralRun};
+pub use streaming::{
+    CCompletion, CStream, NcCompletion, NcStream, StreamConfig, StreamStats, StreamSummary,
+};

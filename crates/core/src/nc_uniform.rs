@@ -17,8 +17,8 @@
 //! segment, which is exactly the adversary saying "the job just ended".
 
 use crate::clairvoyant::run_c;
-use ncss_sim::kernel::GrowthKernel;
-use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, Segment, SimError, SimResult, SpeedLaw};
+use crate::streaming::{NcStream, StreamConfig};
+use ncss_sim::{Instance, Job, Objective, PerJob, PowerLaw, Schedule, ScheduleBuilder, SimError, SimResult};
 
 /// A completed run of Algorithm NC.
 #[derive(Debug, Clone)]
@@ -117,49 +117,34 @@ pub fn run_nc_uniform(instance: &Instance, law: PowerLaw) -> SimResult<NcRun> {
     if !instance.is_uniform_density() {
         return Err(SimError::NonUniformDensity);
     }
-    let jobs = instance.jobs();
-    let n = jobs.len();
-    let mut builder = ScheduleBuilder::new(law);
+    let n = instance.len();
     let mut completion = vec![f64::NAN; n];
     let mut frac_flow = vec![0.0; n];
     let mut int_flow = vec![0.0; n];
     let mut base_powers = vec![0.0; n];
-    let mut energy = 0.0;
-    let mut t = 0.0f64;
 
-    for (j, job) in jobs.iter().enumerate() {
-        // FIFO: job j starts once jobs 0..j are done and j is released.
-        t = t.max(job.release);
-        let k_j = base_power(instance, law, j)?;
-        base_powers[j] = k_j;
-
-        let rho = job.density;
-        let kernel = GrowthKernel { law, u0: k_j, rho };
-        let tau = kernel.time_to_volume(job.volume);
-        if !tau.is_finite() {
-            return Err(SimError::Numeric { what: "run_nc_uniform: service time", value: tau });
-        }
-        builder.push(Segment::new(t, t + tau, Some(j), SpeedLaw::Growth { u0: k_j, rho }));
-
-        energy += kernel.energy(tau);
-        // Fractional flow: full volume waits from release to service start,
-        // then drains along the growth curve.
-        frac_flow[j] = rho * job.volume * (t - job.release)
-            + rho * (job.volume * tau - kernel.volume_integral(tau));
-        t += tau;
-        completion[j] = t;
-        int_flow[j] = job.weight() * (t - job.release);
+    // Delegate to the streaming core (DESIGN.md §9): the embedded shadow C
+    // run replaces the former per-job prefix re-simulation of base_power,
+    // turning the O(n²) loop into a single O(n log n) pass.
+    let mut stream = NcStream::new(law, StreamConfig::batch());
+    let mut sink = |c: crate::streaming::NcCompletion| {
+        completion[c.id] = c.completion;
+        frac_flow[c.id] = c.frac_flow;
+        int_flow[c.id] = c.int_flow;
+        base_powers[c.id] = c.base_power;
+    };
+    for &job in instance.jobs() {
+        stream.offer(job, &mut sink)?;
     }
+    let summary = stream.finish()?;
 
-    let objective = Objective {
-        energy,
-        frac_flow: frac_flow.iter().sum(),
-        int_flow: int_flow.iter().sum(),
+    let mut builder = ScheduleBuilder::new(law);
+    for seg in stream.spill_mut().drain() {
+        builder.push(seg);
     }
-    .validated("run_nc_uniform: objective")?;
     Ok(NcRun {
         schedule: builder.build()?,
-        objective,
+        objective: summary.objective,
         per_job: PerJob { completion, frac_flow, int_flow },
         base_powers,
     })

@@ -1,0 +1,711 @@
+//! Streaming, event-driven scheduler core — O(active jobs) resident memory.
+//!
+//! The paper's algorithms are naturally online: Algorithm C reacts only to
+//! release and completion events, and Algorithm NC additionally never
+//! preempts. The batch runners ([`crate::run_c`], [`crate::run_nc_uniform`])
+//! are therefore thin wrappers over the state machines in this module —
+//! same instance in, **bitwise-identical** objectives out, because batch
+//! and stream literally execute the same arithmetic in the same order
+//! (DESIGN.md §9 calls this the batch-vs-stream equivalence contract, and
+//! `tests/differential_oracle.rs` enforces it).
+//!
+//! Resident state per stream:
+//!
+//! * a [`JobArena`] slot per **active** job (SoA slices, recycled on
+//!   completion), over which the `W^{1−1/α}` decay kernels batch their
+//!   per-event accounting;
+//! * a binary heap of active-job keys (HDF order for C);
+//! * O(1) running objective accumulators (energy, fractional and integral
+//!   flow of completed jobs);
+//! * a [`SpillRing`] of retired segments, drained by the consumer (batch
+//!   collector, auditor) or capped and dropped-oldest for objective-only
+//!   soak runs.
+//!
+//! Jobs enter through [`CStream::offer`] / [`NcStream::offer`] in
+//! non-decreasing release order — the online arrival order — and
+//! completions are pushed to a caller-supplied sink as the event loop
+//! crosses them.
+
+use crate::clairvoyant::ActiveKey;
+use ncss_sim::arena::JobArena;
+use ncss_sim::kernel::{DecayKernel, GrowthKernel};
+use ncss_sim::spill::SpillRing;
+use ncss_sim::{Job, JobId, Objective, PowerLaw, Segment, SimError, SimResult, SpeedLaw};
+use std::collections::BinaryHeap;
+
+/// Configuration of a stream's segment-retention policy.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Retire closed segments into the spill ring (`false` for shadow runs
+    /// that only need the weight trajectory, e.g. NC's embedded C run).
+    pub keep_segments: bool,
+    /// Resident cap of the spill ring; `None` means unbounded (the batch
+    /// wrappers, which drain once at the end).
+    pub spill_capacity: Option<usize>,
+}
+
+impl StreamConfig {
+    /// Unbounded ring, segments kept — what [`crate::run_c`] and
+    /// [`crate::run_nc_uniform`] use to reassemble a full [`ncss_sim::Schedule`].
+    #[must_use]
+    pub fn batch() -> Self {
+        Self { keep_segments: true, spill_capacity: None }
+    }
+
+    /// Bounded ring of `capacity` segments, segments kept — the streaming
+    /// mode; the consumer must drain between events or accept drops.
+    #[must_use]
+    pub fn streaming(capacity: usize) -> Self {
+        Self { keep_segments: true, spill_capacity: Some(capacity) }
+    }
+
+    fn ring(&self) -> SpillRing {
+        match self.spill_capacity {
+            Some(cap) => SpillRing::with_capacity(cap),
+            None => SpillRing::unbounded(),
+        }
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self::batch()
+    }
+}
+
+/// A completed job as emitted by [`CStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CCompletion {
+    /// Arrival index of the job (0-based ingest order = [`JobId`] in the
+    /// equivalent batch [`ncss_sim::Instance`]).
+    pub id: JobId,
+    /// The job as offered.
+    pub job: Job,
+    /// Completion time.
+    pub completion: f64,
+    /// Fractional flow-time accrued by this job.
+    pub frac_flow: f64,
+    /// Integral (weighted) flow-time `W · (completion − release)`.
+    pub int_flow: f64,
+}
+
+/// A completed job as emitted by [`NcStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NcCompletion {
+    /// Arrival index of the job.
+    pub id: JobId,
+    /// The job as offered.
+    pub job: Job,
+    /// Base power level `K_j = W^{(C)}(r_j^-)` used for this job.
+    pub base_power: f64,
+    /// Service start time (FIFO: after all earlier jobs complete).
+    pub start: f64,
+    /// Completion time.
+    pub completion: f64,
+    /// Fractional flow-time accrued by this job.
+    pub frac_flow: f64,
+    /// Integral (weighted) flow-time.
+    pub int_flow: f64,
+}
+
+/// Final tally of a finished stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSummary {
+    /// Aggregate objective, accounted incrementally during the run.
+    pub objective: Objective,
+    /// Jobs completed (equals jobs offered once `finish` returns).
+    pub completed: usize,
+    /// Completion time of the last job (0 for an empty stream).
+    pub makespan: f64,
+}
+
+/// Resident-memory counters of a stream — what the soak bench asserts its
+/// flat-memory ceiling against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Jobs offered so far.
+    pub ingested: usize,
+    /// Jobs completed so far.
+    pub completed: usize,
+    /// Jobs currently active (released, not complete).
+    pub active: usize,
+    /// High-water mark of simultaneously active jobs.
+    pub peak_active: usize,
+    /// Arena slots ever created (= peak active, by slot recycling).
+    pub arena_slots: usize,
+    /// Segments currently resident in the spill ring.
+    pub spill_resident: usize,
+    /// High-water mark of resident spill segments.
+    pub spill_peak_resident: usize,
+    /// Segments dropped because the consumer fell behind the ring cap.
+    pub spill_dropped: u64,
+    /// Segments ever retired.
+    pub spill_total: u64,
+}
+
+/// Heap key: [`ActiveKey`] ordering (highest density, earliest release,
+/// smallest id) plus the arena slot the job lives in. The slot does not
+/// participate in the ordering.
+#[derive(Debug, Clone, Copy)]
+struct StreamKey {
+    key: ActiveKey,
+    slot: usize,
+}
+
+impl PartialEq for StreamKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for StreamKey {}
+
+impl PartialOrd for StreamKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StreamKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Streaming Algorithm C: highest-density-first with `P(s(t)) = W(t)`,
+/// driven by an ordered release stream.
+///
+/// This *is* the Algorithm C event loop — [`crate::run_c`] wraps it — with
+/// the per-job `Vec`s replaced by an arena over active jobs only.
+///
+/// # Examples
+///
+/// ```
+/// use ncss_core::streaming::{CStream, StreamConfig};
+/// use ncss_sim::{Job, PowerLaw};
+///
+/// let mut stream = CStream::new(PowerLaw::new(2.0).unwrap(), StreamConfig::batch());
+/// let mut done = Vec::new();
+/// stream.offer(Job::unit_density(0.0, 4.0), &mut |c| done.push(c)).unwrap();
+/// let summary = stream.finish(&mut |c| done.push(c)).unwrap();
+/// // Lemma 2: a weight-4 job at alpha = 2 finishes at t = 4.
+/// assert!((done[0].completion - 4.0).abs() < 1e-9);
+/// assert_eq!(summary.completed, 1);
+/// // Energy = fractional flow for Algorithm C.
+/// assert!((summary.objective.energy - summary.objective.frac_flow).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CStream {
+    law: PowerLaw,
+    arena: JobArena,
+    heap: BinaryHeap<StreamKey>,
+    spill: SpillRing,
+    keep_segments: bool,
+    t: f64,
+    watermark: f64,
+    total_w: f64,
+    last_seg: Option<Segment>,
+    ingested: usize,
+    completed: usize,
+    energy: f64,
+    frac_done: f64,
+    int_done: f64,
+}
+
+impl CStream {
+    /// A fresh stream under power law `law`.
+    #[must_use]
+    pub fn new(law: PowerLaw, config: StreamConfig) -> Self {
+        Self {
+            law,
+            arena: JobArena::new(),
+            heap: BinaryHeap::new(),
+            spill: config.ring(),
+            keep_segments: config.keep_segments,
+            t: 0.0,
+            watermark: f64::NEG_INFINITY,
+            total_w: 0.0,
+            last_seg: None,
+            ingested: 0,
+            completed: 0,
+            energy: 0.0,
+            frac_done: 0.0,
+            int_done: 0.0,
+        }
+    }
+
+    /// Offer the next released job. Releases must be non-decreasing; the
+    /// event loop first advances to `job.release` (emitting any completions
+    /// crossed on the way), then admits the job. Returns the job's
+    /// [`JobId`] (its arrival index).
+    pub fn offer<F: FnMut(CCompletion)>(&mut self, job: Job, sink: &mut F) -> SimResult<JobId> {
+        let id = self.ingested;
+        job.validated(id)?;
+        if job.release < self.watermark {
+            return Err(SimError::InvalidInstance {
+                reason: "streamed releases must be non-decreasing",
+            });
+        }
+        self.watermark = job.release;
+        self.advance_to(job.release, sink)?;
+        let slot = self.arena.alloc(job, id);
+        self.heap.push(StreamKey {
+            key: ActiveKey { density: job.density, release: job.release, id },
+            slot,
+        });
+        self.total_w += job.weight();
+        self.ingested += 1;
+        Ok(id)
+    }
+
+    /// Advance the event loop to time `bound`, emitting completions crossed
+    /// on the way. The caller promises no job is released before `bound`
+    /// (this is what "ordered release stream" buys: the future is silent
+    /// until the next offer).
+    pub fn advance_to<F: FnMut(CCompletion)>(&mut self, bound: f64, sink: &mut F) -> SimResult<()> {
+        self.drain_events(bound, false, sink)
+    }
+
+    /// Declare the release stream exhausted and run every remaining job to
+    /// completion. Idempotent; the summary restates the accumulated
+    /// objective (validated for finiteness).
+    pub fn finish<F: FnMut(CCompletion)>(&mut self, sink: &mut F) -> SimResult<StreamSummary> {
+        self.drain_events(f64::INFINITY, true, sink)?;
+        let objective = self.objective_so_far().validated("run_c: objective")?;
+        Ok(StreamSummary { objective, completed: self.completed, makespan: self.t })
+    }
+
+    /// The event loop. With `finishing` no further release bounds segments,
+    /// so a non-finite completion time cannot make progress and is a
+    /// numeric error (same contract as the batch loop had).
+    fn drain_events<F: FnMut(CCompletion)>(
+        &mut self,
+        bound: f64,
+        finishing: bool,
+        sink: &mut F,
+    ) -> SimResult<()> {
+        loop {
+            let Some(&top) = self.heap.peek() else {
+                // Idle until the next release (gap segments stay implicit).
+                if self.t < bound && bound.is_finite() {
+                    self.t = bound;
+                }
+                return Ok(());
+            };
+            let slot = top.slot;
+            let rho = top.key.density;
+            let kernel = DecayKernel { law: self.law, w0: self.total_w, rho };
+            let rem = self.arena.remaining(slot);
+            let t_complete = self.t + kernel.time_to_volume(rem);
+            if finishing && !t_complete.is_finite() {
+                // Kernel overflow at extreme weight scales: with no further
+                // release to bound the segment, the event loop cannot make
+                // progress — report instead of spinning or emitting NaN.
+                return Err(SimError::Numeric { what: "run_c: completion time", value: t_complete });
+            }
+            let completes = t_complete <= bound;
+            let t_end = if completes { t_complete } else { bound };
+            let tau = t_end - self.t;
+
+            if tau > 0.0 {
+                let seg = Segment::new(
+                    self.t,
+                    t_end,
+                    Some(top.key.id),
+                    SpeedLaw::Decay { w0: self.total_w, rho },
+                );
+                if self.keep_segments {
+                    self.spill.push(seg);
+                }
+                self.last_seg = Some(seg);
+                self.energy += kernel.energy(tau);
+                // Waiting jobs hold constant remaining volume over the
+                // segment; the in-service job's follows the kernel.
+                self.arena.accrue_waiting(tau, slot);
+                self.arena.add_frac_flow(slot, rho * (rem * tau - kernel.volume_integral(tau)));
+                self.arena.set_remaining(slot, (rem - kernel.volume(tau)).max(0.0));
+            }
+            self.t = t_end;
+
+            if completes {
+                self.heap.pop();
+                self.arena.set_remaining(slot, 0.0);
+                let job = self.arena.job(slot);
+                let frac = self.arena.frac_flow(slot);
+                let int = job.weight() * (self.t - job.release);
+                self.frac_done += frac;
+                self.int_done += int;
+                self.completed += 1;
+                sink(CCompletion {
+                    id: top.key.id,
+                    job,
+                    completion: self.t,
+                    frac_flow: frac,
+                    int_flow: int,
+                });
+                self.arena.retire(slot);
+            }
+            // Recompute the total weight from scratch over the arena slices:
+            // closed forms are exact, but re-deriving from the per-job
+            // remainders kills accumulation drift over millions of events.
+            self.total_w = self.arena.total_weight();
+            if !completes {
+                return Ok(());
+            }
+        }
+    }
+
+    /// The left limit `W(t^-)` of the total remaining weight — the quantity
+    /// `W^{(C)}(r^-)` Algorithm NC reads at each release. Valid for `t` at
+    /// or behind the stream clock; reads the last closed segment with
+    /// `(start, end]` semantics, exactly like the batch
+    /// [`crate::CRun::remaining_weight_before`].
+    #[must_use]
+    pub fn weight_before(&self, t: f64) -> f64 {
+        match &self.last_seg {
+            Some(s) if s.start < t && t <= s.end => s.power_at(self.law, t),
+            _ => 0.0,
+        }
+    }
+
+    /// Objective accumulated so far: energy spent (including on
+    /// partially-served jobs), flow-times of *completed* jobs.
+    #[must_use]
+    pub fn objective_so_far(&self) -> Objective {
+        Objective { energy: self.energy, frac_flow: self.frac_done, int_flow: self.int_done }
+    }
+
+    /// Current event-loop clock.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.t
+    }
+
+    /// Resident-memory counters.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            ingested: self.ingested,
+            completed: self.completed,
+            active: self.arena.live(),
+            peak_active: self.arena.peak_live(),
+            arena_slots: self.arena.capacity(),
+            spill_resident: self.spill.resident(),
+            spill_peak_resident: self.spill.peak_resident(),
+            spill_dropped: self.spill.dropped(),
+            spill_total: self.spill.total_retired(),
+        }
+    }
+
+    /// The spill ring of retired segments, for draining.
+    pub fn spill_mut(&mut self) -> &mut SpillRing {
+        &mut self.spill
+    }
+}
+
+/// Streaming Algorithm NC for uniform densities: FIFO, one growth segment
+/// per job, `P(s(t)) = K_j + W̆_j(t)`.
+///
+/// Completions are emitted *eagerly at offer time*: under FIFO without
+/// preemption, a later arrival can never change an already-queued job's
+/// service curve, so the moment job `j` is offered its start (when the
+/// machine frees up), growth curve (from `K_j`), and completion are all
+/// determined. The embedded shadow [`CStream`] supplies `K_j = W^{(C)}(r_j^-)`
+/// without ever re-running a prefix — which also makes the batch wrapper
+/// [`crate::run_nc_uniform`] O(n log n) instead of the former O(n²).
+///
+/// # Examples
+///
+/// ```
+/// use ncss_core::streaming::{NcStream, StreamConfig};
+/// use ncss_sim::{Job, PowerLaw};
+///
+/// let mut stream = NcStream::new(PowerLaw::cube(), StreamConfig::batch());
+/// let mut done = Vec::new();
+/// stream.offer(Job::unit_density(0.0, 1.0), &mut |c| done.push(c)).unwrap();
+/// stream.offer(Job::unit_density(0.5, 2.0), &mut |c| done.push(c)).unwrap();
+/// let summary = stream.finish().unwrap();
+/// assert_eq!(done.len(), 2);
+/// assert_eq!(done[0].base_power, 0.0); // nothing released before job 0
+/// assert!(done[1].base_power > 0.0);   // W^(C)(0.5^-) of the prefix
+/// assert_eq!(summary.completed, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NcStream {
+    law: PowerLaw,
+    shadow: CStream,
+    spill: SpillRing,
+    t_free: f64,
+    density0: Option<f64>,
+    tie_release: f64,
+    tie_weight: f64,
+    watermark: f64,
+    ingested: usize,
+    energy: f64,
+    frac_sum: f64,
+    int_sum: f64,
+    makespan: f64,
+}
+
+impl NcStream {
+    /// A fresh stream under power law `law`.
+    #[must_use]
+    pub fn new(law: PowerLaw, config: StreamConfig) -> Self {
+        let shadow_cfg = StreamConfig { keep_segments: false, spill_capacity: Some(1) };
+        Self {
+            law,
+            shadow: CStream::new(law, shadow_cfg),
+            spill: config.ring(),
+            t_free: 0.0,
+            density0: None,
+            tie_release: f64::NEG_INFINITY,
+            tie_weight: 0.0,
+            watermark: f64::NEG_INFINITY,
+            ingested: 0,
+            energy: 0.0,
+            frac_sum: 0.0,
+            int_sum: 0.0,
+            makespan: 0.0,
+        }
+    }
+
+    /// Offer the next released job; its completion is emitted immediately
+    /// (see the type docs for why that is sound under FIFO). Releases must
+    /// be non-decreasing and densities uniform.
+    pub fn offer<F: FnMut(NcCompletion)>(&mut self, job: Job, sink: &mut F) -> SimResult<JobId> {
+        let id = self.ingested;
+        job.validated(id)?;
+        if job.release < self.watermark {
+            return Err(SimError::InvalidInstance {
+                reason: "streamed releases must be non-decreasing",
+            });
+        }
+        self.watermark = job.release;
+        match self.density0 {
+            None => self.density0 = Some(job.density),
+            // Same tolerance as Instance::is_uniform_density.
+            Some(d0) => {
+                if (job.density - d0).abs() > 1e-12 * d0.abs() {
+                    return Err(SimError::NonUniformDensity);
+                }
+            }
+        }
+
+        // K_j = W^(C)(r_j^-) from the shadow clairvoyant run, plus the full
+        // weight of jobs tied at r_j that arrived earlier (the
+        // distinct-release limit of the paper's w.l.o.g. assumption).
+        let mut drop_sink = |_c: CCompletion| {};
+        self.shadow.advance_to(job.release, &mut drop_sink)?;
+        if job.release != self.tie_release {
+            self.tie_release = job.release;
+            self.tie_weight = 0.0;
+        }
+        let k_j = self.shadow.weight_before(job.release) + self.tie_weight;
+        self.shadow.offer(job, &mut drop_sink)?;
+        self.tie_weight += job.weight();
+
+        // FIFO: job j starts once jobs 0..j are done and j is released.
+        let start = self.t_free.max(job.release);
+        let rho = job.density;
+        let kernel = GrowthKernel { law: self.law, u0: k_j, rho };
+        let tau = kernel.time_to_volume(job.volume);
+        if !tau.is_finite() {
+            return Err(SimError::Numeric { what: "run_nc_uniform: service time", value: tau });
+        }
+        if tau > 0.0 {
+            self.spill.push(Segment::new(
+                start,
+                start + tau,
+                Some(id),
+                SpeedLaw::Growth { u0: k_j, rho },
+            ));
+        }
+        self.energy += kernel.energy(tau);
+        // Fractional flow: full volume waits from release to service start,
+        // then drains along the growth curve.
+        let frac = rho * job.volume * (start - job.release)
+            + rho * (job.volume * tau - kernel.volume_integral(tau));
+        let completion = start + tau;
+        let int = job.weight() * (completion - job.release);
+        self.frac_sum += frac;
+        self.int_sum += int;
+        self.t_free = completion;
+        self.makespan = self.makespan.max(completion);
+        self.ingested += 1;
+        sink(NcCompletion {
+            id,
+            job,
+            base_power: k_j,
+            start,
+            completion,
+            frac_flow: frac,
+            int_flow: int,
+        });
+        Ok(id)
+    }
+
+    /// Declare the stream exhausted: every offered job already completed
+    /// (FIFO emits eagerly), so this validates and returns the tally.
+    pub fn finish(&mut self) -> SimResult<StreamSummary> {
+        let objective = self.objective_so_far().validated("run_nc_uniform: objective")?;
+        Ok(StreamSummary { objective, completed: self.ingested, makespan: self.makespan })
+    }
+
+    /// Objective accumulated so far (all offered jobs, completed by
+    /// construction).
+    #[must_use]
+    pub fn objective_so_far(&self) -> Objective {
+        Objective { energy: self.energy, frac_flow: self.frac_sum, int_flow: self.int_sum }
+    }
+
+    /// Time at which the machine frees up (completion of the last queued job).
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.t_free
+    }
+
+    /// Resident-memory counters. `spill_*` describe this stream's own ring;
+    /// the arena/heap numbers come from the embedded shadow C run, which is
+    /// the only per-job state NC keeps.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        let shadow = self.shadow.stats();
+        StreamStats {
+            ingested: self.ingested,
+            completed: self.ingested,
+            active: shadow.active,
+            peak_active: shadow.peak_active,
+            arena_slots: shadow.arena_slots,
+            spill_resident: self.spill.resident(),
+            spill_peak_resident: self.spill.peak_resident(),
+            spill_dropped: self.spill.dropped(),
+            spill_total: self.spill.total_retired(),
+        }
+    }
+
+    /// The spill ring of retired segments, for draining.
+    pub fn spill_mut(&mut self) -> &mut SpillRing {
+        &mut self.spill
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_sim::numeric::approx_eq;
+    use ncss_sim::{Instance, ScheduleBuilder};
+
+    fn pl(alpha: f64) -> PowerLaw {
+        PowerLaw::new(alpha).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_order_releases() {
+        let mut s = CStream::new(pl(2.0), StreamConfig::batch());
+        s.offer(Job::unit_density(1.0, 1.0), &mut |_| {}).unwrap();
+        let err = s.offer(Job::unit_density(0.5, 1.0), &mut |_| {});
+        assert!(matches!(err, Err(SimError::InvalidInstance { .. })));
+        let mut nc = NcStream::new(pl(2.0), StreamConfig::batch());
+        nc.offer(Job::unit_density(1.0, 1.0), &mut |_| {}).unwrap();
+        assert!(matches!(
+            nc.offer(Job::unit_density(0.5, 1.0), &mut |_| {}),
+            Err(SimError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_jobs() {
+        let mut s = CStream::new(pl(2.0), StreamConfig::batch());
+        assert!(matches!(
+            s.offer(Job::new(0.0, -1.0, 1.0), &mut |_| {}),
+            Err(SimError::InvalidJob { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn nc_stream_rejects_non_uniform() {
+        let mut nc = NcStream::new(pl(2.0), StreamConfig::batch());
+        nc.offer(Job::new(0.0, 1.0, 1.0), &mut |_| {}).unwrap();
+        assert!(matches!(
+            nc.offer(Job::new(0.5, 1.0, 2.0), &mut |_| {}),
+            Err(SimError::NonUniformDensity)
+        ));
+    }
+
+    #[test]
+    fn completions_arrive_in_event_order() {
+        // Two jobs, the second denser: it preempts and completes first.
+        let mut s = CStream::new(pl(2.0), StreamConfig::batch());
+        let mut order = Vec::new();
+        s.offer(Job::new(0.0, 10.0, 1.0), &mut |c| order.push(c.id)).unwrap();
+        s.offer(Job::new(0.1, 0.1, 100.0), &mut |c| order.push(c.id)).unwrap();
+        s.finish(&mut |c| order.push(c.id)).unwrap();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn drained_spill_rebuilds_a_valid_schedule() {
+        let law = pl(2.5);
+        let jobs = vec![
+            Job::unit_density(0.0, 1.0),
+            Job::unit_density(0.2, 2.0),
+            Job::unit_density(1.5, 0.5),
+        ];
+        let mut s = CStream::new(law, StreamConfig::batch());
+        for &j in &jobs {
+            s.offer(j, &mut |_| {}).unwrap();
+        }
+        let summary = s.finish(&mut |_| {}).unwrap();
+        let mut builder = ScheduleBuilder::new(law);
+        for seg in s.spill_mut().drain() {
+            builder.push(seg);
+        }
+        let schedule = builder.build().unwrap();
+        let inst = Instance::new(jobs).unwrap();
+        let ev = ncss_sim::evaluate(&schedule, &inst).unwrap();
+        assert!(approx_eq(ev.objective.energy, summary.objective.energy, 1e-7));
+        assert!(approx_eq(ev.objective.frac_flow, summary.objective.frac_flow, 1e-7));
+    }
+
+    #[test]
+    fn memory_stays_flat_under_churn() {
+        // 10k sequential jobs, never more than a handful active: the arena
+        // must stay at its peak-active footprint, not grow with n.
+        let law = pl(2.0);
+        let mut s = CStream::new(law, StreamConfig::streaming(64));
+        let mut completions = 0usize;
+        for i in 0..10_000 {
+            let release = i as f64 * 0.5;
+            s.offer(Job::unit_density(release, 0.2), &mut |_| completions += 1).unwrap();
+            let _ = s.spill_mut().drain().count();
+        }
+        s.finish(&mut |_| completions += 1).unwrap();
+        let stats = s.stats();
+        assert_eq!(completions, 10_000);
+        assert_eq!(stats.spill_dropped, 0, "drained between offers: nothing may drop");
+        assert!(stats.peak_active <= 4, "peak active {} for a trickle", stats.peak_active);
+        assert_eq!(stats.arena_slots, stats.peak_active);
+    }
+
+    #[test]
+    fn shadow_base_power_matches_prefix_rerun() {
+        // The NC shadow's K_j against the O(n²) prefix-rerun definition.
+        let jobs = vec![
+            Job::unit_density(0.0, 4.0),
+            Job::unit_density(1.0, 1.0),
+            Job::unit_density(1.0, 2.0),
+            Job::unit_density(3.0, 0.7),
+        ];
+        let inst = Instance::new(jobs.clone()).unwrap();
+        let law = pl(2.0);
+        let mut nc = NcStream::new(law, StreamConfig::batch());
+        let mut ks = Vec::new();
+        for &j in &jobs {
+            nc.offer(j, &mut |c| ks.push(c.base_power)).unwrap();
+        }
+        for (j, &k) in ks.iter().enumerate() {
+            let reference = crate::nc_uniform::base_power(&inst, law, j).unwrap();
+            assert!(approx_eq(k, reference, 1e-9), "K_{j}: stream {k} vs prefix {reference}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Flat arena-backed structure-of-arrays store for active jobs.
+//!
+//! The streaming scheduler core (ncss-core's `streaming` module) keeps only
+//! the *active* jobs resident. This arena backs that set with parallel flat
+//! `Vec`s — one per field — so the per-event accounting (`Σ ρ_i · R_i`
+//! total-weight recompute, waiting-flow accrual) runs as tight loops over
+//! contiguous slices instead of chasing a heap or a map.
+//!
+//! Slots are recycled through a free list, so the arena's footprint is
+//! `O(peak active jobs)` no matter how many jobs stream through. Retired
+//! slots are zeroed (`ρ = 0`, `R = 0`), which makes them exact no-ops in
+//! the slice kernels: adding `0.0 · 0.0` to a non-negative accumulator
+//! does not change a single bit, so the kernels can sweep the whole slice
+//! without a liveness branch.
+//!
+//! # Examples
+//!
+//! ```
+//! use ncss_sim::arena::JobArena;
+//! use ncss_sim::Job;
+//!
+//! let mut arena = JobArena::new();
+//! let a = arena.alloc(Job::new(0.0, 2.0, 1.0), 0);
+//! let b = arena.alloc(Job::new(0.5, 1.0, 3.0), 1);
+//! assert_eq!(arena.total_weight(), 2.0 + 3.0);
+//!
+//! arena.retire(a);
+//! assert_eq!(arena.live(), 1);
+//! assert_eq!(arena.total_weight(), 3.0); // retired slot contributes +0.0
+//!
+//! // The freed slot is reused: capacity tracks *peak* active jobs.
+//! let c = arena.alloc(Job::new(1.0, 4.0, 1.0), 2);
+//! assert_eq!(c, a);
+//! assert_eq!(arena.capacity(), 2);
+//! let _ = b;
+//! ```
+
+use crate::job::{Job, JobId};
+
+/// Weighted remaining volume `Σ ρ_i · R_i` over parallel slices.
+///
+/// This is the `W(t)` recompute the event loop performs after every event
+/// (re-deriving from per-job remainders kills accumulation drift). Retired
+/// slots hold `ρ = R = 0` and contribute an exact `+0.0`.
+///
+/// ```
+/// use ncss_sim::arena::weighted_remaining;
+/// assert_eq!(weighted_remaining(&[1.0, 3.0], &[2.0, 0.5]), 3.5);
+/// ```
+#[must_use]
+pub fn weighted_remaining(density: &[f64], remaining: &[f64]) -> f64 {
+    debug_assert_eq!(density.len(), remaining.len());
+    let mut w = 0.0;
+    for i in 0..density.len() {
+        w += density[i] * remaining[i];
+    }
+    w
+}
+
+/// Accrue waiting fractional flow `ρ_i · R_i · τ` into `frac_flow` for every
+/// slot except `in_service` (whose drain follows the evolution kernel, not a
+/// constant remainder).
+///
+/// ```
+/// use ncss_sim::arena::accrue_waiting_flow;
+/// let mut frac = [0.0, 0.0];
+/// accrue_waiting_flow(&[1.0, 2.0], &[3.0, 1.0], &mut frac, 0.5, 0);
+/// assert_eq!(frac, [0.0, 1.0]); // slot 0 is in service and skipped
+/// ```
+pub fn accrue_waiting_flow(
+    density: &[f64],
+    remaining: &[f64],
+    frac_flow: &mut [f64],
+    tau: f64,
+    in_service: usize,
+) {
+    debug_assert_eq!(density.len(), remaining.len());
+    debug_assert_eq!(density.len(), frac_flow.len());
+    for i in 0..density.len() {
+        if i != in_service {
+            frac_flow[i] += density[i] * remaining[i] * tau;
+        }
+    }
+}
+
+/// Structure-of-arrays store for the active-job working set.
+///
+/// See the [module docs](self) for the layout and recycling contract.
+#[derive(Debug, Clone, Default)]
+pub struct JobArena {
+    release: Vec<f64>,
+    volume: Vec<f64>,
+    density: Vec<f64>,
+    remaining: Vec<f64>,
+    frac_flow: Vec<f64>,
+    id: Vec<JobId>,
+    free: Vec<usize>,
+    live: usize,
+    peak_live: usize,
+}
+
+impl JobArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Place a job in a slot (recycling a retired one when available) and
+    /// return the slot index. `id` is the caller's external [`JobId`].
+    pub fn alloc(&mut self, job: Job, id: JobId) -> usize {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.release[slot] = job.release;
+                self.volume[slot] = job.volume;
+                self.density[slot] = job.density;
+                self.remaining[slot] = job.volume;
+                self.frac_flow[slot] = 0.0;
+                self.id[slot] = id;
+                slot
+            }
+            None => {
+                self.release.push(job.release);
+                self.volume.push(job.volume);
+                self.density.push(job.density);
+                self.remaining.push(job.volume);
+                self.frac_flow.push(0.0);
+                self.id.push(id);
+                self.release.len() - 1
+            }
+        };
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        slot
+    }
+
+    /// Retire a completed job: zero the slot (so slice kernels stay exact
+    /// without a liveness mask) and push it onto the free list.
+    pub fn retire(&mut self, slot: usize) {
+        self.release[slot] = 0.0;
+        self.volume[slot] = 0.0;
+        self.density[slot] = 0.0;
+        self.remaining[slot] = 0.0;
+        self.frac_flow[slot] = 0.0;
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// The job currently in `slot` (release/volume/density as allocated).
+    #[must_use]
+    pub fn job(&self, slot: usize) -> Job {
+        Job::new(self.release[slot], self.volume[slot], self.density[slot])
+    }
+
+    /// External [`JobId`] of the job in `slot`.
+    #[must_use]
+    pub fn id(&self, slot: usize) -> JobId {
+        self.id[slot]
+    }
+
+    /// Density of the job in `slot`.
+    #[must_use]
+    pub fn density(&self, slot: usize) -> f64 {
+        self.density[slot]
+    }
+
+    /// Remaining volume of the job in `slot`.
+    #[must_use]
+    pub fn remaining(&self, slot: usize) -> f64 {
+        self.remaining[slot]
+    }
+
+    /// Overwrite the remaining volume of the job in `slot`.
+    pub fn set_remaining(&mut self, slot: usize, remaining: f64) {
+        self.remaining[slot] = remaining;
+    }
+
+    /// Fractional flow accrued so far by the job in `slot`.
+    #[must_use]
+    pub fn frac_flow(&self, slot: usize) -> f64 {
+        self.frac_flow[slot]
+    }
+
+    /// Add to the fractional flow of the job in `slot`.
+    pub fn add_frac_flow(&mut self, slot: usize, delta: f64) {
+        self.frac_flow[slot] += delta;
+    }
+
+    /// Total weight `Σ ρ_i · R_i` over all slots ([`weighted_remaining`]).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        weighted_remaining(&self.density, &self.remaining)
+    }
+
+    /// Accrue waiting flow over all slots except `in_service`
+    /// ([`accrue_waiting_flow`]).
+    pub fn accrue_waiting(&mut self, tau: f64, in_service: usize) {
+        accrue_waiting_flow(&self.density, &self.remaining, &mut self.frac_flow, tau, in_service);
+    }
+
+    /// Number of live (allocated, not yet retired) jobs.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of simultaneously live jobs.
+    #[must_use]
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Number of slots ever created — the arena's resident footprint, which
+    /// equals [`Self::peak_live`] thanks to slot recycling.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.release.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_slots_and_tracks_peak() {
+        let mut a = JobArena::new();
+        let s0 = a.alloc(Job::unit_density(0.0, 1.0), 0);
+        let s1 = a.alloc(Job::unit_density(0.1, 2.0), 1);
+        assert_eq!((s0, s1), (0, 1));
+        a.retire(s0);
+        let s2 = a.alloc(Job::unit_density(0.2, 3.0), 2);
+        assert_eq!(s2, 0, "freed slot reused");
+        assert_eq!(a.capacity(), 2);
+        assert_eq!(a.peak_live(), 2);
+        assert_eq!(a.id(s2), 2);
+    }
+
+    #[test]
+    fn retired_slots_are_exact_noops() {
+        let mut a = JobArena::new();
+        let s0 = a.alloc(Job::new(0.0, 2.0, 3.0), 0);
+        let s1 = a.alloc(Job::new(0.0, 1.0, 5.0), 1);
+        let before = a.total_weight();
+        assert_eq!(before, 3.0 * 2.0 + 5.0);
+        a.retire(s1);
+        assert_eq!(a.total_weight(), 6.0);
+        a.accrue_waiting(1.0, usize::MAX); // no slot in service
+        assert_eq!(a.frac_flow(s0), 6.0);
+        assert_eq!(a.frac_flow(s1), 0.0, "retired slot accrues nothing");
+    }
+
+    #[test]
+    fn capacity_bounded_by_peak_under_churn() {
+        let mut a = JobArena::new();
+        for i in 0..1000 {
+            let s = a.alloc(Job::unit_density(i as f64, 1.0), i);
+            a.retire(s);
+        }
+        assert_eq!(a.capacity(), 1, "churn of 1000 jobs with 1 active fits 1 slot");
+        assert_eq!(a.peak_live(), 1);
+        assert_eq!(a.live(), 0);
+    }
+}

@@ -41,6 +41,23 @@ impl Job {
         self.density * self.volume
     }
 
+    /// Validate the job's fields, reporting it as `index` on failure.
+    ///
+    /// [`Instance::new`] runs this on every job; streaming consumers that
+    /// never build an `Instance` (the `ncss-core` streaming module, the CLI
+    /// `stream` command) call it per arrival instead.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ncss_sim::Job;
+    /// assert!(Job::new(0.0, 1.0, 2.0).validated(0).is_ok());
+    /// assert!(Job::new(0.0, -1.0, 2.0).validated(7).is_err());
+    /// ```
+    pub fn validated(&self, index: usize) -> SimResult<()> {
+        self.validate(index)
+    }
+
     fn validate(&self, index: usize) -> SimResult<()> {
         let bad = |reason| Err(SimError::InvalidJob { index, reason });
         if !self.release.is_finite() || self.release < 0.0 {

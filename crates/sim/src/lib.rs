@@ -10,17 +10,20 @@
 //! * [`schedule::Schedule`] — piecewise-analytic machine schedules,
 //! * [`objective`] — independent evaluation of energy and flow-times,
 //! * [`profile`] — measure-preserving speed-profile comparison (Lemma 6),
-//! * [`numeric`] — root finding and tolerance helpers.
+//! * [`numeric`] — root finding and tolerance helpers,
+//! * [`arena`] / [`spill`] — flat SoA stores backing the streaming core
+//!   (DESIGN.md §9): O(active jobs) resident state under unbounded streams.
 //!
 //! The algorithms themselves (clairvoyant Algorithm C, non-clairvoyant
 //! Algorithm NC, the fractional-to-integral reduction, parallel-machine
 //! variants) live in `ncss-core` and `ncss-multi` on top of this crate.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // `!(x > 1.0)`-style validation is deliberate: unlike `x <= 1.0`, it also
 // rejects NaN, which is exactly what input validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod arena;
 pub mod error;
 pub mod generic;
 pub mod job;
@@ -30,9 +33,12 @@ pub mod objective;
 pub mod power;
 pub mod profile;
 pub mod schedule;
+pub mod spill;
 pub mod validate;
 
+pub use arena::JobArena;
 pub use error::{SimError, SimResult};
+pub use spill::SpillRing;
 pub use job::{Instance, Job, JobId};
 pub use objective::{evaluate, Evaluated, Objective, PerJob};
 pub use power::PowerLaw;

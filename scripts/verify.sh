@@ -19,10 +19,14 @@
 #      trace must pass the independent audit; the parallel algorithms
 #      go through the cross-machine auditor, and a deliberately
 #      corrupted report must come back non-zero
-#   7. bench-diff smoke: each committed BENCH_*.json self-compares to
+#   7. stream smoke: the bounded-memory streaming core must match the
+#      batch runner bitwise and pass the audit, ingest stdin, and a
+#      corrupted streamed objective must exit non-zero; with NCSS_SOAK=1
+#      the ≥10M-release flat-memory soak bench runs too (off by default)
+#   8. bench-diff smoke: each committed BENCH_*.json self-compares to
 #      zero regressions (exercises the JSON parser + diff engine on the
 #      real artifacts), and the tool's exit-code contract is probed
-#   8. warning-clean `cargo doc --no-deps`
+#   9. warning-clean `cargo doc --no-deps`
 #
 # Run from anywhere; it cd's to the repo root.
 
@@ -73,6 +77,38 @@ if "$cli" audit --algorithm nc-par --machines 3 --input "$trace" --alpha 2 \
     exit 1
 fi
 echo "multi audit smoke passed"
+
+echo "==> stream smoke (bounded-memory streaming vs batch, bitwise)"
+# The streamed run must agree with the batch runner bitwise and pass the
+# independent audit; stdin ingestion must work; a deliberately skewed
+# objective must turn both gates red (non-zero exit).
+for algo in c nc; do
+    "$cli" stream --algorithm "$algo" --input "$trace" --alpha 2 \
+        --check-batch 1 --audit 1 > /dev/null \
+        || { echo "FAIL: stream $algo diverged from batch or failed audit" >&2; exit 1; }
+done
+"$cli" stream --algorithm c --input - --alpha 2 --assert-active 64 < "$trace" > /dev/null \
+    || { echo "FAIL: stream could not ingest stdin" >&2; exit 1; }
+if "$cli" stream --algorithm c --input "$trace" --alpha 2 \
+        --check-batch 1 --corrupt energy > /dev/null 2>&1; then
+    echo "FAIL: corrupted streamed objective passed the batch cross-check" >&2
+    exit 1
+fi
+if "$cli" stream --algorithm nc --input "$trace" --alpha 2 \
+        --audit 1 --corrupt energy > /dev/null 2>&1; then
+    echo "FAIL: corrupted streamed objective passed the audit" >&2
+    exit 1
+fi
+echo "stream smoke passed"
+
+# Soak gate, opt-in (NCSS_SOAK=1): pushes NCSS_STREAM_SOAK_N (default 10M)
+# releases through each streaming core with flat-memory assertions; writes
+# BENCH_stream.json. Too slow for the default CI lane.
+if [ "${NCSS_SOAK:-0}" = "1" ]; then
+    echo "==> soak bench (cargo bench -p ncss-bench --bench perf_stream)"
+    cargo bench --offline -p ncss-bench --bench perf_stream
+    echo "soak bench passed"
+fi
 
 echo "==> bench-diff smoke (committed BENCH_*.json self-compare)"
 bench_diff=target/release/bench-diff

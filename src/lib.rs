@@ -61,8 +61,8 @@ pub mod prelude {
     };
     pub use ncss_core::{
         reduce_to_integral, run_c, run_checked, run_checked_multi, run_nc_nonuniform,
-        run_nc_uniform, theory, CheckedMultiRun, CheckedRun, CRun, IntegralRun, MultiRun, NcRun,
-        NonUniformParams,
+        run_nc_uniform, theory, CStream, CheckedMultiRun, CheckedRun, CRun, IntegralRun, MultiRun,
+        NcRun, NcStream, NonUniformParams, StreamConfig,
     };
     pub use ncss_multi::{run_c_par, run_nc_par, ParOutcome, MAX_MACHINES};
     pub use ncss_opt::{

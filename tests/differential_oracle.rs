@@ -95,3 +95,201 @@ fn oracle_confirms_lemma3_independently() {
     let exact_nc = run_nc_uniform(&inst, law).unwrap();
     assert!(rel_diff(exact_c.objective.energy, exact_nc.objective.energy) < 1e-9);
 }
+
+// ---------------------------------------------------------------------------
+// Batch vs stream: the streaming core must be *bitwise* interchangeable
+// with the batch runners over every workload family (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+use ncss::core::streaming::{CStream, NcStream, StreamConfig};
+use ncss::sim::{Evaluated, PerJob, ScheduleBuilder};
+use ncss::workloads::suite::{nonuniform_suite, tiny_suite, uniform_suite};
+
+/// Drive `CStream` in streaming mode (tiny spill ring, drained after every
+/// offer) and return (objective, completions by job id).
+fn stream_c(inst: &Instance, law: PowerLaw) -> (Objective, Vec<f64>, PerJob) {
+    let n = inst.len();
+    let mut per_job =
+        PerJob { completion: vec![f64::NAN; n], frac_flow: vec![0.0; n], int_flow: vec![0.0; n] };
+    let mut stream = CStream::new(law, StreamConfig::streaming(8));
+    let mut order = Vec::new();
+    let mut sink = |c: ncss::core::CCompletion| {
+        order.push(c.completion);
+        per_job.completion[c.id] = c.completion;
+        per_job.frac_flow[c.id] = c.frac_flow;
+        per_job.int_flow[c.id] = c.int_flow;
+    };
+    for job in inst.jobs() {
+        stream.offer(*job, &mut sink).expect("offer");
+        stream.spill_mut().drain().for_each(drop);
+    }
+    let summary = stream.finish(&mut sink).expect("finish");
+    assert_eq!(order.len(), n, "stream must complete every job");
+    (summary.objective, order, per_job)
+}
+
+/// Same for `NcStream` (uniform-density instances only).
+fn stream_nc(inst: &Instance, law: PowerLaw) -> (Objective, Vec<f64>, PerJob) {
+    let n = inst.len();
+    let mut per_job =
+        PerJob { completion: vec![f64::NAN; n], frac_flow: vec![0.0; n], int_flow: vec![0.0; n] };
+    let mut stream = NcStream::new(law, StreamConfig::streaming(8));
+    let mut order = Vec::new();
+    for job in inst.jobs() {
+        stream
+            .offer(*job, &mut |c: ncss::core::NcCompletion| {
+                order.push(c.completion);
+                per_job.completion[c.id] = c.completion;
+                per_job.frac_flow[c.id] = c.frac_flow;
+                per_job.int_flow[c.id] = c.int_flow;
+            })
+            .expect("offer");
+        stream.spill_mut().drain().for_each(drop);
+    }
+    let summary = stream.finish().expect("finish");
+    assert_eq!(order.len(), n, "stream must complete every job");
+    (summary.objective, order, per_job)
+}
+
+fn assert_bitwise(tag: &str, a: &Objective, b: &Objective) {
+    assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{tag}: energy {} vs {}", a.energy, b.energy);
+    assert_eq!(
+        a.frac_flow.to_bits(),
+        b.frac_flow.to_bits(),
+        "{tag}: frac_flow {} vs {}",
+        a.frac_flow,
+        b.frac_flow
+    );
+    assert_eq!(
+        a.int_flow.to_bits(),
+        b.int_flow.to_bits(),
+        "{tag}: int_flow {} vs {}",
+        a.int_flow,
+        b.int_flow
+    );
+}
+
+/// Every workload family, both alphas: streamed Algorithm C must reproduce
+/// the batch run bitwise — objectives, per-job curves, completion times.
+#[test]
+fn stream_c_is_bitwise_equal_to_batch_everywhere() {
+    let mut suites = uniform_suite(5);
+    suites.extend(nonuniform_suite(5));
+    suites.extend(tiny_suite(9, true));
+    suites.extend(tiny_suite(9, false));
+    for alpha in [2.0, 3.0] {
+        let law = PowerLaw::new(alpha).unwrap();
+        for (i, inst) in suites.iter().enumerate() {
+            let tag = format!("alpha {alpha}, instance {i} (n={})", inst.len());
+            let batch = run_c(inst, law).expect("batch C");
+            let (obj, _, per_job) = stream_c(inst, law);
+            assert_bitwise(&tag, &obj, &batch.objective);
+            for j in 0..inst.len() {
+                assert_eq!(
+                    per_job.completion[j].to_bits(),
+                    batch.per_job.completion[j].to_bits(),
+                    "{tag}: completion of job {j}"
+                );
+                assert_eq!(per_job.frac_flow[j].to_bits(), batch.per_job.frac_flow[j].to_bits());
+                assert_eq!(per_job.int_flow[j].to_bits(), batch.per_job.int_flow[j].to_bits());
+            }
+        }
+    }
+}
+
+/// Uniform-density families: streamed Algorithm NC must reproduce the batch
+/// run bitwise.
+#[test]
+fn stream_nc_is_bitwise_equal_to_batch_on_uniform_suites() {
+    let mut suites = uniform_suite(5);
+    suites.extend(tiny_suite(9, true));
+    for alpha in [2.0, 3.0] {
+        let law = PowerLaw::new(alpha).unwrap();
+        for (i, inst) in suites.iter().enumerate() {
+            let tag = format!("alpha {alpha}, instance {i} (n={})", inst.len());
+            let batch = run_nc_uniform(inst, law).expect("batch NC");
+            let (obj, _, per_job) = stream_nc(inst, law);
+            assert_bitwise(&tag, &obj, &batch.objective);
+            for j in 0..inst.len() {
+                assert_eq!(
+                    per_job.completion[j].to_bits(),
+                    batch.per_job.completion[j].to_bits(),
+                    "{tag}: completion of job {j}"
+                );
+            }
+        }
+    }
+}
+
+/// The independent audit must return the same verdict for a schedule
+/// rebuilt from the stream's spill ring as for the batch schedule.
+#[test]
+fn stream_audit_verdict_matches_batch_verdict() {
+    let law = PowerLaw::cube();
+    let mut suites = tiny_suite(9, true);
+    suites.extend(nonuniform_suite(5).into_iter().take(4));
+    let auditor = ScheduleAudit::new(AuditConfig::default());
+    for (i, inst) in suites.iter().enumerate() {
+        let batch = run_c(inst, law).expect("batch C");
+        let batch_report = auditor.audit(
+            inst,
+            &batch.schedule,
+            &Evaluated { objective: batch.objective, per_job: batch.per_job.clone() },
+        );
+
+        // Retained stream pass: keep every retired segment, rebuild.
+        let n = inst.len();
+        let mut per_job = PerJob {
+            completion: vec![f64::NAN; n],
+            frac_flow: vec![0.0; n],
+            int_flow: vec![0.0; n],
+        };
+        let mut stream = CStream::new(law, StreamConfig::batch());
+        let mut sink = |c: ncss::core::CCompletion| {
+            per_job.completion[c.id] = c.completion;
+            per_job.frac_flow[c.id] = c.frac_flow;
+            per_job.int_flow[c.id] = c.int_flow;
+        };
+        for job in inst.jobs() {
+            stream.offer(*job, &mut sink).expect("offer");
+        }
+        let summary = stream.finish(&mut sink).expect("finish");
+        let mut builder = ScheduleBuilder::new(law);
+        for seg in stream.spill_mut().drain() {
+            builder.push(seg);
+        }
+        let schedule = builder.build().expect("rebuild schedule");
+        let stream_report =
+            auditor.audit(inst, &schedule, &Evaluated { objective: summary.objective, per_job });
+
+        assert_eq!(
+            stream_report.passed(),
+            batch_report.passed(),
+            "instance {i}: stream verdict {} vs batch verdict {}",
+            stream_report.passed(),
+            batch_report.passed()
+        );
+        assert!(stream_report.passed(), "instance {i}: streamed schedule failed audit");
+    }
+}
+
+/// Both paths must reject a non-uniform instance identically for NC.
+#[test]
+fn stream_nc_rejects_nonuniform_like_batch() {
+    let law = PowerLaw::cube();
+    let inst = nonuniform_suite(5)
+        .into_iter()
+        .find(|i| !i.is_uniform_density())
+        .expect("suite has a non-uniform instance");
+    let batch = run_nc_uniform(&inst, law);
+    assert!(matches!(batch, Err(SimError::NonUniformDensity)));
+    let mut stream = NcStream::new(law, StreamConfig::batch());
+    let mut err = None;
+    for job in inst.jobs() {
+        if let Err(e) = stream.offer(*job, &mut |_c: ncss::core::NcCompletion| {}) {
+            err = Some(e);
+            break;
+        }
+    }
+    assert!(matches!(err, Some(SimError::NonUniformDensity)));
+}
