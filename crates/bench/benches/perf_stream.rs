@@ -16,9 +16,10 @@
 
 use ncss_audit::{AuditConfig, AuditReport, ScheduleAudit};
 use ncss_bench::harness::{black_box, Suite};
-use ncss_core::streaming::{CStream, NcStream, StreamConfig};
+use ncss_core::streaming::{CCompletion, CStream, NcStream, StreamConfig};
 use ncss_rng::{dist, Pcg64};
 use ncss_sim::{Evaluated, Instance, Job, PerJob, PowerLaw, ScheduleBuilder, Segment};
+use ncss_trace::{read_file, replay, Algo, Event, Recorder, TraceHeader, TraceSummary};
 
 /// Poisson arrivals with exponential unit-mean volumes at density 1 — the
 /// same synthetic source as `ncss-cli stream --synthetic`.
@@ -184,6 +185,94 @@ fn assert_flat(name: &str, stats: &ncss_core::StreamStats, n: usize) {
     );
 }
 
+/// How many arrivals of the soak process the record/replay gate captures.
+/// Bounded so the WAL row costs milliseconds while still exercising the
+/// full frame set (releases, completions, segments, checkpoints, summary).
+const RECORD_PREFIX: usize = 5_000;
+
+/// Record the first [`RECORD_PREFIX`] arrivals of the soak process to a
+/// CRC-framed trace, checkpointing as `ncss-cli record` would. Returns the
+/// trace path so the gate can replay it.
+fn record_soak_prefix(law: PowerLaw, seed: u64, rate: f64) -> Result<std::path::PathBuf, String> {
+    let path = std::env::temp_dir().join(format!("ncss_bench_soak_{seed}.nct"));
+    let header = TraceHeader::new(
+        Algo::C,
+        law.alpha(),
+        seed,
+        format!("perf_stream soak prefix, rate {rate}"),
+    );
+    let mut rec = Recorder::create(&path, &header).map_err(|e| e.to_string())?;
+    let mut source = Poisson::new(seed, rate);
+    let mut stream = CStream::new(law, StreamConfig::streaming(SPILL_CAP));
+    let append_all =
+        |rec: &mut Recorder<_>, stream: &mut CStream, pending: &mut Vec<CCompletion>| {
+            for c in pending.drain(..) {
+                rec.append(&Event::CompleteC {
+                    id: c.id as u64,
+                    completion: c.completion,
+                    frac_flow: c.frac_flow,
+                    int_flow: c.int_flow,
+                })
+                .map_err(|e| e.to_string())?;
+            }
+            for seg in stream.spill_mut().drain() {
+                rec.append(&Event::Segment(seg)).map_err(|e| e.to_string())?;
+            }
+            Ok::<(), String>(())
+        };
+    let mut pending: Vec<CCompletion> = Vec::new();
+    for i in 0..RECORD_PREFIX {
+        let job = source.next_job();
+        rec.append(&Event::Release { id: i as u64, job }).map_err(|e| e.to_string())?;
+        stream.offer(job, &mut |c| pending.push(c)).map_err(|e| e.to_string())?;
+        append_all(&mut rec, &mut stream, &mut pending)?;
+        if (i + 1) % 512 == 0 {
+            rec.append(&Event::Checkpoint(Box::new(ncss_trace::Checkpoint::C(
+                stream.snapshot(),
+            ))))
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    let summary = stream.finish(&mut |c| pending.push(c)).map_err(|e| e.to_string())?;
+    append_all(&mut rec, &mut stream, &mut pending)?;
+    rec.finalize(&TraceSummary {
+        ingested: RECORD_PREFIX as u64,
+        completed: summary.completed as u64,
+        makespan: summary.makespan,
+        energy: summary.objective.energy,
+        frac_flow: summary.objective.frac_flow,
+        int_flow: summary.objective.int_flow,
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+/// Gate for the record/replay row: replay the recorded prefix and require
+/// bitwise-identical completions, segments, checkpoints, and objectives —
+/// the DESIGN.md §10 contract applied to the bench's own workload.
+fn gate_record_replay(law: PowerLaw, seed: u64, rate: f64) -> AuditReport {
+    let run = || -> Result<AuditReport, String> {
+        let path = record_soak_prefix(law, seed, rate)?;
+        let trace = read_file(&path).map_err(|e| format!("[{}] {e}", e.name()))?;
+        let report = replay(&trace).map_err(|e| format!("[{}] {e}", e.name()))?;
+        let mut out = AuditReport::default();
+        out.record(
+            "trace-replay-bitwise",
+            0.0,
+            0.0,
+            format!(
+                "{} jobs, {} segments, {} checkpoints verified, objectives bitwise-equal",
+                report.jobs.len(),
+                report.segments.len(),
+                report.checkpoints_verified
+            ),
+        );
+        let _ = std::fs::remove_file(&path);
+        Ok(out)
+    };
+    run().unwrap_or_else(placeholder)
+}
+
 fn main() {
     let law = PowerLaw::cube();
     let mut suite = Suite::new("stream");
@@ -212,6 +301,16 @@ fn main() {
             assert_flat("stream_nc_uniform", &stats, n);
         });
     }
+
+    // Record/replay row: the soak's own arrival process, recorded to a
+    // CRC-framed WAL and replayed bitwise (the gate), with the recording
+    // pass itself timed — the crash-safety tax on streaming throughput.
+    let r = gate_record_replay(law, 97, rate);
+    suite.bench_report_with("stream_c/record_prefix", Some(&r), 1, 5, || {
+        let path = record_soak_prefix(law, 97, rate).expect("record soak prefix");
+        black_box(&path);
+        let _ = std::fs::remove_file(&path);
+    });
 
     // Soak rows: ≥10M releases per core on a single thread, one timed pass,
     // flat-memory ceiling asserted inside the measured closure. The gate

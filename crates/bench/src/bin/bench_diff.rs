@@ -76,17 +76,26 @@ fn main() -> ExitCode {
         return fail("expected exactly two bench JSON paths");
     };
 
+    // Load errors — unreadable files, malformed JSON, schema drift (an
+    // unknown ncss-bench/N tag or a row without audit_timing) — are tool
+    // errors: a named warning and exit 2, distinct from exit 1 (a real
+    // perf/verdict regression). No usage spam: the command line was fine.
     let load = |path: &str| -> Result<BenchDoc, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
     };
+    let tool_error = |msg: &str| -> ExitCode {
+        eprintln!("bench-diff: warning: {msg}");
+        eprintln!("bench-diff: cannot compare (tool error, not a regression)");
+        ExitCode::from(2)
+    };
     let base = match load(base_path) {
         Ok(doc) => doc,
-        Err(e) => return fail(&e),
+        Err(e) => return tool_error(&e),
     };
     let new = match load(new_path) {
         Ok(doc) => doc,
-        Err(e) => return fail(&e),
+        Err(e) => return tool_error(&e),
     };
     if base.suite != new.suite {
         eprintln!(

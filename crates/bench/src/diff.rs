@@ -273,6 +273,13 @@ pub struct BenchEntry {
 /// The quantile keys of a bench entry, in document order.
 pub const QUANTILES: [&str; 5] = ["min_ns", "mean_ns", "median_ns", "p95_ns", "max_ns"];
 
+/// Schema tags this reader understands. A document with any other
+/// `ncss-bench/N` tag is **schema drift**: written by a newer (or older)
+/// harness whose rows this reader would misinterpret. The diff refuses it
+/// with a named error (exit 2 in `bench-diff` — tool error, not a perf
+/// regression) instead of guessing.
+pub const KNOWN_SCHEMAS: [&str; 1] = ["ncss-bench/2"];
+
 /// A parsed `BENCH_<suite>.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
@@ -311,6 +318,14 @@ impl BenchDoc {
         if !schema.starts_with("ncss-bench/") {
             return Err(format!("unrecognised schema {schema:?} (want ncss-bench/*)"));
         }
+        if !KNOWN_SCHEMAS.contains(&schema.as_str()) {
+            return Err(format!(
+                "schema drift: document declares {schema:?} but this reader only \
+                 understands {} — regenerate the artifact with the matching \
+                 harness, or rebuild bench-diff",
+                KNOWN_SCHEMAS.join(", ")
+            ));
+        }
         let mut entries = Vec::new();
         for (i, entry) in root
             .get("results")
@@ -322,9 +337,13 @@ impl BenchDoc {
             let ctx = format!("results[{i}]");
             let name = req_str(entry, "name", &ctx)?;
             let audit = req_str(entry, "audit", &ctx)?;
-            let timing = entry
-                .get("audit_timing")
-                .ok_or_else(|| format!("{ctx}: missing \"audit_timing\""))?;
+            let timing = entry.get("audit_timing").ok_or_else(|| {
+                format!(
+                    "schema drift: {ctx} ({name:?}) has no \"audit_timing\" block — \
+                     the row predates schema ncss-bench/2; regenerate the artifact \
+                     with the current harness"
+                )
+            })?;
             let audit_total_ns = req_u64(timing, "total_ns", &ctx)?;
             let mut checks = Vec::new();
             for (k, row) in timing
@@ -629,6 +648,39 @@ mod tests {
         assert!(Json::parse("{\"a\":1,}").is_err());
         assert!(Json::parse("[1 2]").is_err());
         assert!(BenchDoc::parse("{\"suite\":\"t\",\"schema\":\"other/1\",\"results\":[]}").is_err());
+    }
+
+    #[test]
+    fn unknown_schema_version_is_named_drift_not_a_guess() {
+        let err = BenchDoc::parse(
+            "{\"suite\":\"t\",\"schema\":\"ncss-bench/3\",\"results\":[]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("schema drift"), "{err}");
+        assert!(err.contains("ncss-bench/3"), "{err}");
+        assert!(err.contains("ncss-bench/2"), "{err}");
+        // Same for an ancient tag.
+        let err = BenchDoc::parse(
+            "{\"suite\":\"t\",\"schema\":\"ncss-bench/1\",\"results\":[]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("schema drift"), "{err}");
+    }
+
+    #[test]
+    fn missing_audit_timing_is_named_drift_not_a_panic() {
+        let text = "{\"suite\":\"t\",\"schema\":\"ncss-bench/2\",\"results\":[\
+                    {\"name\":\"a/1\",\"audit\":\"pass\",\"min_ns\":1,\"mean_ns\":1,\
+                    \"median_ns\":1,\"p95_ns\":1,\"max_ns\":1}]}";
+        let err = BenchDoc::parse(text).unwrap_err();
+        assert!(err.contains("schema drift"), "{err}");
+        assert!(err.contains("audit_timing"), "{err}");
+        assert!(err.contains("a/1"), "{err}");
+        // A non-object audit_timing is also an error, not a panic.
+        let text = "{\"suite\":\"t\",\"schema\":\"ncss-bench/2\",\"results\":[\
+                    {\"name\":\"a/1\",\"audit\":\"pass\",\"audit_timing\":7,\"min_ns\":1,\
+                    \"mean_ns\":1,\"median_ns\":1,\"p95_ns\":1,\"max_ns\":1}]}";
+        assert!(BenchDoc::parse(text).is_err());
     }
 
     #[test]

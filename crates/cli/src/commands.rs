@@ -67,6 +67,36 @@ commands:
            run fail if more than N jobs were ever resident; both
            self-checks exit non-zero on violation. --corrupt energy skews
            the reported energy so those gates must go red (verify probe)
+           --strict 1 turns any spill-ring segment drop into a non-zero
+           exit. Malformed or out-of-order stdin rows fail with the line
+           number, matching the CSV loader's error contract
+  record   --out TRACE.nct (--input FILE|- | --synthetic N [--rate R]
+           [--seed S]) [--algorithm c|nc] [--alpha ALPHA] [--note STR]
+           [--checkpoint-every N] [--kill-after K [--torn-bytes B]]
+           stream the input and append every release/completion/segment
+           to a CRC-framed write-ahead trace, checkpointing the full
+           scheduler state every N offers (durability points). --kill-after
+           K simulates a crash: stop after K offers without finalizing,
+           optionally leaving B bytes of a torn half-written frame at the
+           tail — feed the result to 'resume'
+  replay   --trace X.nct [--audit 0|1] [--check-against Y.nct]
+           strict-read a trace, re-run its releases through a fresh
+           scheduler and require bitwise-identical completions, segments,
+           checkpoints, and objectives; --audit 1 additionally rebuilds
+           the schedule and runs the independent audit; --check-against
+           compares two finalized traces event-by-event (e.g. a resumed
+           run vs its uninterrupted twin). Exits non-zero on any
+           divergence or corruption, naming the trace error
+  resume   --trace TORN.nct --out X.nct (--input ... as for record)
+           [--checkpoint-every N]
+           recover a torn/killed trace (truncating tail damage, reporting
+           dropped bytes), restore the last checkpoint, re-offer the
+           remaining input, and finalize — the result is bitwise-equal to
+           an uninterrupted recording
+  tamper   --trace X.nct --out Y.nct [--kind K] [--seed S]
+           corrupt a valid trace deterministically; K = bit-flip |
+           truncate | duplicate-frame | reorder-frames | bad-length |
+           stale-version ('replay' must then fail with the named error)
   help     this message
 ";
 
@@ -545,6 +575,10 @@ pub fn run_cli(raw: &[String]) -> Result<String, String> {
         "sweep" => cmd_sweep(&args),
         "audit" => cmd_audit(&args),
         "stream" => crate::stream::cmd_stream(&args),
+        "record" => crate::trace_cmd::cmd_record(&args),
+        "replay" => crate::trace_cmd::cmd_replay(&args),
+        "resume" => crate::trace_cmd::cmd_resume(&args),
+        "tamper" => crate::trace_cmd::cmd_tamper(&args),
         other => Err(format!("unknown command '{other}'; try 'ncss help'")),
     }
 }

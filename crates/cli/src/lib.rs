@@ -21,6 +21,7 @@
 mod args;
 mod commands;
 mod stream;
+mod trace_cmd;
 
 pub use args::{parse_args, ParsedArgs};
 pub use commands::run_cli;

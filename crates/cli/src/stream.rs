@@ -27,21 +27,66 @@ use ncss_sim::{
 };
 use std::io::BufRead;
 
-/// A source of released jobs, in non-decreasing release order.
-enum JobSource {
+/// A source of released jobs, in non-decreasing release order. Shared with
+/// the trace subcommands (`record`/`resume`), which replay the same inputs.
+pub(crate) enum JobSource {
     /// CSV rows (`release,volume,density` header) from a file or stdin.
-    Csv { lines: Box<dyn Iterator<Item = std::io::Result<String>>>, line: usize, header_seen: bool },
+    Csv {
+        /// Line iterator over the input.
+        lines: Box<dyn Iterator<Item = std::io::Result<String>>>,
+        /// Current 1-based line number (for named, line-numbered errors).
+        line: usize,
+        /// Whether the header row has been consumed.
+        header_seen: bool,
+        /// Highest release seen, for the ordered-stream contract.
+        last_release: f64,
+    },
     /// Synthetic Poisson arrivals with exponential volumes, density 1.
     Synthetic { remaining: usize, rate: f64, clock: f64, rng: Pcg64 },
 }
 
 impl JobSource {
-    fn next_job(&mut self) -> Result<Option<Job>, String> {
+    /// Build a source from the shared `--input FILE|-` / `--synthetic N
+    /// [--rate R] [--seed S]` options. Returns the source plus the seed
+    /// (0 for CSV inputs), which trace headers record as provenance.
+    pub(crate) fn from_args(args: &ParsedArgs, who: &str) -> Result<(Self, u64), String> {
+        let synthetic = args.usize_or("synthetic", 0)?;
+        if synthetic > 0 {
+            let seed = args.usize_or("seed", 1)? as u64;
+            let source = JobSource::Synthetic {
+                remaining: synthetic,
+                rate: args.f64_or("rate", 2.0)?,
+                clock: 0.0,
+                rng: Pcg64::seed_from_u64(seed),
+            };
+            return Ok((source, seed));
+        }
+        let path = args
+            .require("input")
+            .map_err(|_| format!("{who} needs --input FILE|- or --synthetic N"))?;
+        let lines: Box<dyn Iterator<Item = std::io::Result<String>>> = if path == "-" {
+            Box::new(std::io::stdin().lock().lines())
+        } else {
+            let file =
+                std::fs::File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Box::new(std::io::BufReader::new(file).lines())
+        };
+        Ok((JobSource::Csv { lines, line: 0, header_seen: false, last_release: f64::NEG_INFINITY }, 0))
+    }
+
+    pub(crate) fn next_job(&mut self) -> Result<Option<Job>, String> {
         match self {
-            JobSource::Csv { lines, line, header_seen } => loop {
+            JobSource::Csv { lines, line, header_seen, last_release } => loop {
                 let Some(row) = lines.next() else { return Ok(None) };
                 *line += 1;
-                let row = row.map_err(|e| format!("read error at line {line}: {e}"))?;
+                // Same named, line-numbered contract as the batch CSV
+                // loader (SimError::InvalidRow): a bad row — including one
+                // piped through stdin mid-run — says where and what, and
+                // the run exits non-zero instead of panicking downstream.
+                let bad = |line: usize, detail: String| {
+                    ncss_sim::SimError::InvalidRow { line, detail }.to_string()
+                };
+                let row = row.map_err(|e| bad(*line, format!("read error: {e}")))?;
                 let row = row.trim();
                 if row.is_empty() || row.starts_with('#') {
                     continue;
@@ -49,8 +94,9 @@ impl JobSource {
                 if !*header_seen {
                     let cols: Vec<&str> = row.split(',').map(str::trim).collect();
                     if cols != ["release", "volume", "density"] {
-                        return Err(format!(
-                            "line {line}: header must be release,volume,density (got '{row}')"
+                        return Err(bad(
+                            *line,
+                            format!("header must be release,volume,density (got `{row}`)"),
                         ));
                     }
                     *header_seen = true;
@@ -58,16 +104,43 @@ impl JobSource {
                 }
                 let fields: Vec<&str> = row.split(',').map(str::trim).collect();
                 if fields.len() != 3 {
-                    return Err(format!("line {line}: expected 3 fields, got {}", fields.len()));
+                    return Err(bad(*line, format!("expected 3 fields, got {}", fields.len())));
                 }
                 let f = |name: &str, s: &str| -> Result<f64, String> {
-                    s.parse().map_err(|_| format!("line {line}: non-numeric {name} '{s}'"))
+                    s.parse().map_err(|_| bad(*line, format!("{name} `{s}` is not a number")))
                 };
-                return Ok(Some(Job::new(
+                let job = Job::new(
                     f("release", fields[0])?,
                     f("volume", fields[1])?,
                     f("density", fields[2])?,
-                )));
+                );
+                for (name, v, positive) in [
+                    ("release", job.release, false),
+                    ("volume", job.volume, true),
+                    ("density", job.density, true),
+                ] {
+                    if !v.is_finite() || v < 0.0 || (positive && v == 0.0) {
+                        return Err(bad(
+                            *line,
+                            format!(
+                                "{name} `{v}` must be finite and {}",
+                                if positive { "> 0" } else { ">= 0" }
+                            ),
+                        ));
+                    }
+                }
+                if job.release < *last_release {
+                    return Err(bad(
+                        *line,
+                        format!(
+                            "release {} goes back in time (previous release {}; \
+                             streamed input must be ordered by release)",
+                            job.release, last_release
+                        ),
+                    ));
+                }
+                *last_release = job.release;
+                return Ok(Some(job));
             },
             JobSource::Synthetic { remaining, rate, clock, rng } => {
                 if *remaining == 0 {
@@ -109,7 +182,9 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
     let audit = args.usize_or("audit", 0)? == 1;
     let check_batch = args.usize_or("check-batch", 0)? == 1;
     let assert_active = args.usize_or("assert-active", usize::MAX)?;
-    let synthetic = args.usize_or("synthetic", 0)?;
+    // --strict 1: any spill-ring drop (segments evicted because the
+    // consumer fell behind) fails the run instead of just being counted.
+    let strict = args.usize_or("strict", 0)? == 1;
     // Verification probe, mirroring `audit --corrupt`: deliberately skew
     // the reported energy so the cross-check / audit gates must go red.
     let corrupt = args.get_or("corrupt", "none");
@@ -117,25 +192,7 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
         return Err(format!("--corrupt expects none|energy, got '{corrupt}'"));
     }
 
-    let mut source = if synthetic > 0 {
-        JobSource::Synthetic {
-            remaining: synthetic,
-            rate: args.f64_or("rate", 2.0)?,
-            clock: 0.0,
-            rng: Pcg64::seed_from_u64(args.usize_or("seed", 1)? as u64),
-        }
-    } else {
-        let path = args.require("input").map_err(|_| {
-            "stream needs --input FILE|- or --synthetic N".to_string()
-        })?;
-        let lines: Box<dyn Iterator<Item = std::io::Result<String>>> = if path == "-" {
-            Box::new(std::io::stdin().lock().lines())
-        } else {
-            let file = std::fs::File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Box::new(std::io::BufReader::new(file).lines())
-        };
-        JobSource::Csv { lines, line: 0, header_seen: false }
-    };
+    let (mut source, _seed) = JobSource::from_args(args, "stream")?;
 
     // Audit and batch cross-check both need the whole run retained; plain
     // streaming drains and discards, keeping memory flat.
@@ -231,6 +288,13 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
         return Err(format!(
             "{} segments dropped from a retained run (should be impossible)",
             stats.spill_dropped
+        ));
+    }
+    if strict && stats.spill_dropped > 0 {
+        return Err(format!(
+            "--strict: {} segments dropped from the spill ring (cap {}); \
+             raise --spill or drain faster",
+            stats.spill_dropped, spill_cap
         ));
     }
 
@@ -335,4 +399,87 @@ fn check_bitwise(stream: &Objective, batch: &Objective) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_cli;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn write_csv(name: &str, body: &str) -> String {
+        let dir = std::env::temp_dir().join("ncss_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn stream(input: &str, extra: &[&str]) -> Result<String, String> {
+        let mut argv = v(&["stream", "--input", input, "--alpha", "2.5"]);
+        argv.extend(extra.iter().map(|s| (*s).to_string()));
+        run_cli(&argv)
+    }
+
+    #[test]
+    fn ordered_csv_streams_fine() {
+        let p = write_csv("ok.csv", "release,volume,density\n0,1,1\n0.5,2,1\n1.5,0.5,1\n");
+        let out = stream(&p, &[]).unwrap();
+        assert!(out.contains("completed"), "{out}");
+    }
+
+    #[test]
+    fn out_of_order_release_names_the_line() {
+        let p = write_csv("ooo.csv", "release,volume,density\n0,1,1\n2,1,1\n1,1,1\n");
+        let err = stream(&p, &[]).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("goes back in time"), "{err}");
+    }
+
+    #[test]
+    fn bad_rows_name_the_line_and_field() {
+        for (name, body, line, want) in [
+            ("hdr.csv", "time,volume,density\n0,1,1\n", 1, "header must be"),
+            ("cols.csv", "release,volume,density\n0,1\n", 2, "expected 3 fields"),
+            ("nan.csv", "release,volume,density\n0,abc,1\n", 2, "is not a number"),
+            ("inf.csv", "release,volume,density\n0,inf,1\n", 2, "must be finite"),
+            ("zero.csv", "release,volume,density\n0,0,1\n", 2, "must be finite and > 0"),
+            ("negrel.csv", "release,volume,density\n-1,1,1\n", 2, ">= 0"),
+        ] {
+            let p = write_csv(name, body);
+            let err = stream(&p, &[]).unwrap_err();
+            assert!(err.contains(&format!("line {line}")), "{name}: {err}");
+            assert!(err.contains(want), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped_but_lines_still_count() {
+        let p = write_csv(
+            "cmt.csv",
+            "# a comment\nrelease,volume,density\n\n0,1,1\n# mid\n1,bad,1\n",
+        );
+        let err = stream(&p, &[]).unwrap_err();
+        assert!(err.contains("line 6"), "{err}");
+    }
+
+    #[test]
+    fn strict_turns_spill_drops_into_failure() {
+        // A one-slot ring with a workload that retires several segments per
+        // arrival: lenient mode counts the drops, strict mode fails.
+        let lenient = run_cli(&v(&[
+            "stream", "--synthetic", "200", "--rate", "0.5", "--seed", "9", "--spill", "1",
+        ]))
+        .unwrap();
+        assert!(lenient.contains("spill dropped"), "{lenient}");
+        let err = run_cli(&v(&[
+            "stream", "--synthetic", "200", "--rate", "0.5", "--seed", "9", "--spill", "1",
+            "--strict", "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--strict"), "{err}");
+        assert!(err.contains("dropped from the spill ring"), "{err}");
+    }
 }

@@ -51,5 +51,6 @@ pub use known_weight::run_known_weight_sharing;
 pub use nc_uniform::{run_nc_uniform, NcRun};
 pub use reduction::{reduce_to_integral, IntegralRun};
 pub use streaming::{
-    CCompletion, CStream, NcCompletion, NcStream, StreamConfig, StreamStats, StreamSummary,
+    CCompletion, CStream, CStreamSnapshot, NcCompletion, NcStream, NcStreamSnapshot,
+    StreamConfig, StreamStats, StreamSummary,
 };

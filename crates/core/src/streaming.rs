@@ -27,9 +27,9 @@
 //! crosses them.
 
 use crate::clairvoyant::ActiveKey;
-use ncss_sim::arena::JobArena;
+use ncss_sim::arena::{ArenaSnapshot, JobArena};
 use ncss_sim::kernel::{DecayKernel, GrowthKernel};
-use ncss_sim::spill::SpillRing;
+use ncss_sim::spill::{SpillRing, SpillSnapshot};
 use ncss_sim::{Job, JobId, Objective, PowerLaw, Segment, SimError, SimResult, SpeedLaw};
 use std::collections::BinaryHeap;
 
@@ -401,6 +401,140 @@ impl CStream {
     pub fn spill_mut(&mut self) -> &mut SpillRing {
         &mut self.spill
     }
+
+    /// Capture the complete stream state as plain data (DESIGN.md §10).
+    ///
+    /// The snapshot is taken between events (the stream is always quiescent
+    /// between [`CStream::offer`] calls), carries every `f64` bit-for-bit,
+    /// and is sufficient for [`CStream::from_snapshot`] to rebuild a stream
+    /// whose future completions and objectives are **bitwise identical** to
+    /// this one's — the checkpoint/resume contract that
+    /// `tests/checkpoint_determinism.rs` enforces.
+    #[must_use]
+    pub fn snapshot(&self) -> CStreamSnapshot {
+        CStreamSnapshot {
+            alpha: self.law.alpha(),
+            keep_segments: self.keep_segments,
+            arena: self.arena.snapshot(),
+            heap: self
+                .heap
+                .iter()
+                .map(|k| HeapEntry {
+                    density: k.key.density,
+                    release: k.key.release,
+                    id: k.key.id,
+                    slot: k.slot,
+                })
+                .collect(),
+            spill: self.spill.snapshot(),
+            t: self.t,
+            watermark: self.watermark,
+            total_w: self.total_w,
+            last_seg: self.last_seg,
+            ingested: self.ingested,
+            completed: self.completed,
+            energy: self.energy,
+            frac_done: self.frac_done,
+            int_done: self.int_done,
+        }
+    }
+
+    /// Rebuild a stream from a snapshot, validating its structure.
+    ///
+    /// Snapshots restored from disk may be corrupt; inconsistent shapes
+    /// (heap slots outside the arena, live/heap cardinality mismatch, bad
+    /// α) come back as structured errors, never panics. The rebuilt binary
+    /// heap may have a different *internal* layout than the original — pop
+    /// order is still unique because `ActiveKey`s are totally ordered, so
+    /// the event loop's arithmetic is unaffected.
+    pub fn from_snapshot(snap: CStreamSnapshot) -> SimResult<Self> {
+        let law = PowerLaw::new(snap.alpha)?;
+        let arena = JobArena::restore(snap.arena)?;
+        let bad = |reason| Err(SimError::InvalidInstance { reason });
+        if snap.heap.len() != arena.live() {
+            return bad("stream snapshot: heap size disagrees with live jobs");
+        }
+        let mut heap = BinaryHeap::with_capacity(snap.heap.len());
+        for e in &snap.heap {
+            if e.slot >= arena.capacity() {
+                return bad("stream snapshot: heap entry slot out of range");
+            }
+            heap.push(StreamKey {
+                key: ActiveKey { density: e.density, release: e.release, id: e.id },
+                slot: e.slot,
+            });
+        }
+        if snap.completed > snap.ingested || snap.ingested - snap.completed != arena.live() {
+            return bad("stream snapshot: ingested/completed/live counts disagree");
+        }
+        let spill = SpillRing::restore(snap.spill)?;
+        Ok(Self {
+            law,
+            arena,
+            heap,
+            spill,
+            keep_segments: snap.keep_segments,
+            t: snap.t,
+            watermark: snap.watermark,
+            total_w: snap.total_w,
+            last_seg: snap.last_seg,
+            ingested: snap.ingested,
+            completed: snap.completed,
+            energy: snap.energy,
+            frac_done: snap.frac_done,
+            int_done: snap.int_done,
+        })
+    }
+}
+
+/// One active-job entry of a [`CStreamSnapshot`] heap: the HDF ordering key
+/// plus the arena slot the job lives in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapEntry {
+    /// Job density (primary HDF key).
+    pub density: f64,
+    /// Release time (tie-break).
+    pub release: f64,
+    /// External job id (final tie-break).
+    pub id: JobId,
+    /// Arena slot of the job.
+    pub slot: usize,
+}
+
+/// Plain-data image of a [`CStream`], produced by [`CStream::snapshot`] and
+/// consumed by [`CStream::from_snapshot`]. Serialized into trace checkpoint
+/// frames by `ncss-trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CStreamSnapshot {
+    /// Power-law exponent α.
+    pub alpha: f64,
+    /// Whether closed segments are retired into the spill ring.
+    pub keep_segments: bool,
+    /// Active-job store.
+    pub arena: ArenaSnapshot,
+    /// Active-job heap entries (order is the heap's internal layout; only
+    /// the *set* matters, see [`CStream::from_snapshot`]).
+    pub heap: Vec<HeapEntry>,
+    /// Spill ring (resident segments + drop accounting).
+    pub spill: SpillSnapshot,
+    /// Event-loop clock.
+    pub t: f64,
+    /// Highest release offered so far (−∞ before the first offer).
+    pub watermark: f64,
+    /// Cached total remaining weight `W(t)`.
+    pub total_w: f64,
+    /// Last closed segment (for the `W(t⁻)` left limit).
+    pub last_seg: Option<Segment>,
+    /// Jobs offered.
+    pub ingested: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Energy accumulated.
+    pub energy: f64,
+    /// Fractional flow of completed jobs.
+    pub frac_done: f64,
+    /// Integral flow of completed jobs.
+    pub int_done: f64,
 }
 
 /// Streaming Algorithm NC for uniform densities: FIFO, one growth segment
@@ -587,6 +721,93 @@ impl NcStream {
     pub fn spill_mut(&mut self) -> &mut SpillRing {
         &mut self.spill
     }
+
+    /// Capture the complete stream state — including the embedded shadow
+    /// [`CStream`] — as plain data. Same bitwise-resume contract as
+    /// [`CStream::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> NcStreamSnapshot {
+        NcStreamSnapshot {
+            alpha: self.law.alpha(),
+            shadow: self.shadow.snapshot(),
+            spill: self.spill.snapshot(),
+            t_free: self.t_free,
+            density0: self.density0,
+            tie_release: self.tie_release,
+            tie_weight: self.tie_weight,
+            watermark: self.watermark,
+            ingested: self.ingested,
+            energy: self.energy,
+            frac_sum: self.frac_sum,
+            int_sum: self.int_sum,
+            makespan: self.makespan,
+        }
+    }
+
+    /// Rebuild a stream from a snapshot, validating its structure (the
+    /// shadow stream and spill ring are validated by their own restores).
+    pub fn from_snapshot(snap: NcStreamSnapshot) -> SimResult<Self> {
+        let law = PowerLaw::new(snap.alpha)?;
+        let shadow = CStream::from_snapshot(snap.shadow)?;
+        if shadow.law.alpha() != snap.alpha {
+            return Err(SimError::InvalidInstance {
+                reason: "stream snapshot: shadow alpha disagrees with stream alpha",
+            });
+        }
+        if shadow.ingested != snap.ingested {
+            return Err(SimError::InvalidInstance {
+                reason: "stream snapshot: shadow ingest count disagrees with stream",
+            });
+        }
+        let spill = SpillRing::restore(snap.spill)?;
+        Ok(Self {
+            law,
+            shadow,
+            spill,
+            t_free: snap.t_free,
+            density0: snap.density0,
+            tie_release: snap.tie_release,
+            tie_weight: snap.tie_weight,
+            watermark: snap.watermark,
+            ingested: snap.ingested,
+            energy: snap.energy,
+            frac_sum: snap.frac_sum,
+            int_sum: snap.int_sum,
+            makespan: snap.makespan,
+        })
+    }
+}
+
+/// Plain-data image of an [`NcStream`], produced by [`NcStream::snapshot`]
+/// and consumed by [`NcStream::from_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NcStreamSnapshot {
+    /// Power-law exponent α.
+    pub alpha: f64,
+    /// The embedded shadow clairvoyant stream supplying `K_j`.
+    pub shadow: CStreamSnapshot,
+    /// This stream's own spill ring.
+    pub spill: SpillSnapshot,
+    /// Time the machine frees up.
+    pub t_free: f64,
+    /// Locked-in uniform density (None before the first offer).
+    pub density0: Option<f64>,
+    /// Release time of the current tie group.
+    pub tie_release: f64,
+    /// Weight of earlier arrivals tied at `tie_release`.
+    pub tie_weight: f64,
+    /// Highest release offered so far.
+    pub watermark: f64,
+    /// Jobs offered (= completed; NC emits eagerly).
+    pub ingested: usize,
+    /// Energy accumulated.
+    pub energy: f64,
+    /// Fractional flow accumulated.
+    pub frac_sum: f64,
+    /// Integral flow accumulated.
+    pub int_sum: f64,
+    /// Completion time of the latest-finishing job.
+    pub makespan: f64,
 }
 
 #[cfg(test)]
@@ -685,6 +906,112 @@ mod tests {
         assert_eq!(stats.spill_dropped, 0, "drained between offers: nothing may drop");
         assert!(stats.peak_active <= 4, "peak active {} for a trickle", stats.peak_active);
         assert_eq!(stats.arena_slots, stats.peak_active);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bitwise_identical() {
+        // Kill a C stream after every prefix of offers; the resumed stream
+        // must finish with bitwise-equal completions and objectives.
+        let law = pl(2.5);
+        let jobs = vec![
+            Job::new(0.0, 1.0, 2.0),
+            Job::new(0.2, 2.0, 1.0),
+            Job::new(0.2, 0.5, 5.0),
+            Job::new(1.7, 0.3, 1.0),
+        ];
+        let mut full = Vec::new();
+        let mut s = CStream::new(law, StreamConfig::batch());
+        for &j in &jobs {
+            s.offer(j, &mut |c| full.push(c)).unwrap();
+        }
+        let full_summary = s.finish(&mut |c| full.push(c)).unwrap();
+
+        for k in 0..=jobs.len() {
+            let mut done = Vec::new();
+            let mut s = CStream::new(law, StreamConfig::batch());
+            for &j in &jobs[..k] {
+                s.offer(j, &mut |c| done.push(c)).unwrap();
+            }
+            let snap = s.snapshot();
+            drop(s); // the "crash"
+            let mut r = CStream::from_snapshot(snap).unwrap();
+            for &j in &jobs[k..] {
+                r.offer(j, &mut |c| done.push(c)).unwrap();
+            }
+            let summary = r.finish(&mut |c| done.push(c)).unwrap();
+            assert_eq!(summary.objective.energy.to_bits(), full_summary.objective.energy.to_bits());
+            assert_eq!(
+                summary.objective.frac_flow.to_bits(),
+                full_summary.objective.frac_flow.to_bits()
+            );
+            assert_eq!(done.len(), full.len());
+            for (a, b) in done.iter().zip(&full) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.completion.to_bits(), b.completion.to_bits());
+                assert_eq!(a.frac_flow.to_bits(), b.frac_flow.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nc_snapshot_resume_is_bitwise_identical() {
+        let law = pl(3.0);
+        let jobs = vec![
+            Job::unit_density(0.0, 4.0),
+            Job::unit_density(1.0, 1.0),
+            Job::unit_density(1.0, 2.0),
+            Job::unit_density(3.0, 0.7),
+        ];
+        let mut full = Vec::new();
+        let mut s = NcStream::new(law, StreamConfig::batch());
+        for &j in &jobs {
+            s.offer(j, &mut |c| full.push(c)).unwrap();
+        }
+        let full_summary = s.finish().unwrap();
+
+        for k in 0..=jobs.len() {
+            let mut done = Vec::new();
+            let mut s = NcStream::new(law, StreamConfig::batch());
+            for &j in &jobs[..k] {
+                s.offer(j, &mut |c| done.push(c)).unwrap();
+            }
+            let snap = s.snapshot();
+            drop(s);
+            let mut r = NcStream::from_snapshot(snap).unwrap();
+            for &j in &jobs[k..] {
+                r.offer(j, &mut |c| done.push(c)).unwrap();
+            }
+            let summary = r.finish().unwrap();
+            assert_eq!(summary.objective.energy.to_bits(), full_summary.objective.energy.to_bits());
+            assert_eq!(summary.objective.int_flow.to_bits(), full_summary.objective.int_flow.to_bits());
+            for (a, b) in done[k..].iter().zip(&full[k..]) {
+                assert_eq!(a.base_power.to_bits(), b.base_power.to_bits());
+                assert_eq!(a.completion.to_bits(), b.completion.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistent_state() {
+        let mut s = CStream::new(pl(2.0), StreamConfig::batch());
+        s.offer(Job::unit_density(0.0, 2.0), &mut |_| {}).unwrap();
+        let good = s.snapshot();
+
+        let mut bad = good.clone();
+        bad.alpha = 0.5;
+        assert!(CStream::from_snapshot(bad).is_err(), "bad alpha");
+
+        let mut bad = good.clone();
+        bad.heap.clear();
+        assert!(CStream::from_snapshot(bad).is_err(), "heap/live mismatch");
+
+        let mut bad = good.clone();
+        bad.heap[0].slot = 99;
+        assert!(CStream::from_snapshot(bad).is_err(), "slot out of range");
+
+        let mut bad = good;
+        bad.completed = 5;
+        assert!(CStream::from_snapshot(bad).is_err(), "count mismatch");
     }
 
     #[test]

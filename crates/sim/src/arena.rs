@@ -35,6 +35,7 @@
 //! let _ = b;
 //! ```
 
+use crate::error::{SimError, SimResult};
 use crate::job::{Job, JobId};
 
 /// Weighted remaining volume `Σ ρ_i · R_i` over parallel slices.
@@ -216,6 +217,102 @@ impl JobArena {
     pub fn capacity(&self) -> usize {
         self.release.len()
     }
+
+    /// Capture the complete arena state as plain data, for checkpointing.
+    ///
+    /// The snapshot is exact: every `f64` is carried bit-for-bit, the free
+    /// list keeps its order, so [`JobArena::restore`] rebuilds an arena whose
+    /// subsequent allocations and slice sweeps are bitwise identical to the
+    /// original's.
+    #[must_use]
+    pub fn snapshot(&self) -> ArenaSnapshot {
+        ArenaSnapshot {
+            release: self.release.clone(),
+            volume: self.volume.clone(),
+            density: self.density.clone(),
+            remaining: self.remaining.clone(),
+            frac_flow: self.frac_flow.clone(),
+            id: self.id.clone(),
+            free: self.free.clone(),
+            live: self.live,
+            peak_live: self.peak_live,
+        }
+    }
+
+    /// Rebuild an arena from a snapshot, validating its structure first.
+    ///
+    /// A snapshot decoded from an on-disk checkpoint may have been tampered
+    /// with; this constructor refuses inconsistent shapes (mismatched column
+    /// lengths, free-list entries out of range or duplicated, live counts
+    /// that do not add up) with a structured error instead of panicking
+    /// later inside a slice kernel.
+    pub fn restore(snap: ArenaSnapshot) -> SimResult<Self> {
+        let n = snap.release.len();
+        let bad = |reason| Err(SimError::InvalidInstance { reason });
+        if [
+            snap.volume.len(),
+            snap.density.len(),
+            snap.remaining.len(),
+            snap.frac_flow.len(),
+            snap.id.len(),
+        ]
+        .iter()
+        .any(|&len| len != n)
+        {
+            return bad("arena snapshot: column lengths disagree");
+        }
+        let mut seen = vec![false; n];
+        for &slot in &snap.free {
+            if slot >= n {
+                return bad("arena snapshot: free-list slot out of range");
+            }
+            if std::mem::replace(&mut seen[slot], true) {
+                return bad("arena snapshot: free-list slot duplicated");
+            }
+        }
+        if snap.live != n - snap.free.len() {
+            return bad("arena snapshot: live count disagrees with free list");
+        }
+        if snap.peak_live < snap.live || snap.peak_live > n {
+            return bad("arena snapshot: peak-live outside [live, capacity]");
+        }
+        Ok(Self {
+            release: snap.release,
+            volume: snap.volume,
+            density: snap.density,
+            remaining: snap.remaining,
+            frac_flow: snap.frac_flow,
+            id: snap.id,
+            free: snap.free,
+            live: snap.live,
+            peak_live: snap.peak_live,
+        })
+    }
+}
+
+/// Plain-data image of a [`JobArena`], produced by [`JobArena::snapshot`]
+/// and consumed by [`JobArena::restore`]. Serialized into checkpoint frames
+/// by `ncss-trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaSnapshot {
+    /// Per-slot release times.
+    pub release: Vec<f64>,
+    /// Per-slot total volumes.
+    pub volume: Vec<f64>,
+    /// Per-slot densities (0 for retired slots).
+    pub density: Vec<f64>,
+    /// Per-slot remaining volumes (0 for retired slots).
+    pub remaining: Vec<f64>,
+    /// Per-slot accrued fractional flow.
+    pub frac_flow: Vec<f64>,
+    /// Per-slot external [`JobId`]s.
+    pub id: Vec<JobId>,
+    /// Free (retired, reusable) slots in pop order.
+    pub free: Vec<usize>,
+    /// Live slot count (`capacity - free.len()`).
+    pub live: usize,
+    /// High-water mark of simultaneously live slots.
+    pub peak_live: usize,
 }
 
 #[cfg(test)]
@@ -248,6 +345,52 @@ mod tests {
         a.accrue_waiting(1.0, usize::MAX); // no slot in service
         assert_eq!(a.frac_flow(s0), 6.0);
         assert_eq!(a.frac_flow(s1), 0.0, "retired slot accrues nothing");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bitwise() {
+        let mut a = JobArena::new();
+        let s0 = a.alloc(Job::new(0.0, 2.0, 3.0), 0);
+        let _s1 = a.alloc(Job::new(0.5, 1.0, 5.0), 1);
+        a.retire(s0);
+        a.alloc(Job::new(1.0, 0.25, 2.0), 2);
+        a.set_remaining(1, 0.125);
+        a.add_frac_flow(1, 0.75);
+        let snap = a.snapshot();
+        let b = JobArena::restore(snap.clone()).unwrap();
+        assert_eq!(b.snapshot(), snap);
+        assert_eq!(b.total_weight().to_bits(), a.total_weight().to_bits());
+        assert_eq!(b.live(), a.live());
+        assert_eq!(b.peak_live(), a.peak_live());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut a = JobArena::new();
+        let s = a.alloc(Job::unit_density(0.0, 1.0), 0);
+        a.alloc(Job::unit_density(0.5, 1.0), 1);
+        a.retire(s);
+        let good = a.snapshot();
+
+        let mut bad = good.clone();
+        bad.volume.pop();
+        assert!(JobArena::restore(bad).is_err(), "mismatched columns");
+
+        let mut bad = good.clone();
+        bad.free[0] = 99;
+        assert!(JobArena::restore(bad).is_err(), "free slot out of range");
+
+        let mut bad = good.clone();
+        bad.free.push(bad.free[0]);
+        assert!(JobArena::restore(bad).is_err(), "duplicated free slot");
+
+        let mut bad = good.clone();
+        bad.live = 7;
+        assert!(JobArena::restore(bad).is_err(), "live count off");
+
+        let mut bad = good;
+        bad.peak_live = 0;
+        assert!(JobArena::restore(bad).is_err(), "peak below live");
     }
 
     #[test]

@@ -36,9 +36,9 @@ pub mod schedule;
 pub mod spill;
 pub mod validate;
 
-pub use arena::JobArena;
+pub use arena::{ArenaSnapshot, JobArena};
 pub use error::{SimError, SimResult};
-pub use spill::SpillRing;
+pub use spill::{SpillRing, SpillSnapshot};
 pub use job::{Instance, Job, JobId};
 pub use objective::{evaluate, Evaluated, Objective, PerJob};
 pub use power::PowerLaw;

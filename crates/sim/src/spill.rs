@@ -34,6 +34,7 @@
 //! assert_eq!(ring.resident(), 0);
 //! ```
 
+use crate::error::{SimError, SimResult};
 use crate::schedule::Segment;
 use std::collections::VecDeque;
 
@@ -106,6 +107,63 @@ impl SpillRing {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Capture the ring — resident segments *and* accounting counters — as
+    /// plain data for checkpointing. Restoring via [`SpillRing::restore`]
+    /// preserves drop accounting across a crash/resume boundary, so a
+    /// resumed run's chain-of-custody counters match the uninterrupted run.
+    #[must_use]
+    pub fn snapshot(&self) -> SpillSnapshot {
+        SpillSnapshot {
+            segments: self.buf.iter().copied().collect(),
+            capacity: self.capacity,
+            dropped: self.dropped,
+            total: self.total,
+            peak: self.peak,
+        }
+    }
+
+    /// Rebuild a ring from a snapshot, validating the counters first (a
+    /// tampered checkpoint must surface as an error, not a panic or a
+    /// silently wrong ring).
+    pub fn restore(snap: SpillSnapshot) -> SimResult<Self> {
+        let bad = |reason| Err(SimError::InvalidInstance { reason });
+        if snap.capacity == 0 {
+            return bad("spill snapshot: zero capacity");
+        }
+        if snap.segments.len() > snap.capacity {
+            return bad("spill snapshot: more resident segments than capacity");
+        }
+        if snap.peak < snap.segments.len() || snap.peak > snap.capacity {
+            return bad("spill snapshot: peak outside [resident, capacity]");
+        }
+        if snap.total < snap.dropped + snap.segments.len() as u64 {
+            return bad("spill snapshot: total below dropped + resident");
+        }
+        Ok(Self {
+            buf: snap.segments.into(),
+            capacity: snap.capacity,
+            dropped: snap.dropped,
+            total: snap.total,
+            peak: snap.peak,
+        })
+    }
+}
+
+/// Plain-data image of a [`SpillRing`], produced by [`SpillRing::snapshot`]
+/// and consumed by [`SpillRing::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillSnapshot {
+    /// Resident segments in retirement order.
+    pub segments: Vec<Segment>,
+    /// Configured resident cap (`usize::MAX` = unbounded).
+    pub capacity: usize,
+    /// Segments evicted so far.
+    pub dropped: u64,
+    /// Segments ever retired.
+    pub total: u64,
+    /// High-water mark of resident segments.
+    pub peak: usize,
 }
 
 #[cfg(test)]
@@ -140,6 +198,30 @@ mod tests {
         assert_eq!(ring.peak_resident(), 3);
         let jobs: Vec<_> = ring.drain().map(|s| s.job).collect();
         assert_eq!(jobs, vec![Some(4), Some(5), Some(6)], "newest survive");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_counters_and_segments() {
+        let mut ring = SpillRing::with_capacity(3);
+        for i in 0..5 {
+            ring.push(seg(i));
+        }
+        let snap = ring.snapshot();
+        let restored = SpillRing::restore(snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.dropped(), 2);
+        assert_eq!(restored.total_retired(), 5);
+        assert_eq!(restored.resident(), 3);
+
+        let mut bad = snap.clone();
+        bad.capacity = 1;
+        assert!(SpillRing::restore(bad).is_err(), "resident beyond capacity");
+        let mut bad = snap.clone();
+        bad.total = 0;
+        assert!(SpillRing::restore(bad).is_err(), "total below dropped+resident");
+        let mut bad = snap;
+        bad.peak = 0;
+        assert!(SpillRing::restore(bad).is_err(), "peak below resident");
     }
 
     #[test]

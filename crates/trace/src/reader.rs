@@ -1,0 +1,366 @@
+//! Validating trace readers: strict replay mode and torn-write recovery.
+//!
+//! Two entry points with deliberately different contracts:
+//!
+//! * **Strict** ([`read_bytes`] / [`read_file`]) — the replay/CI gate. Any
+//!   byte-level damage, any semantic violation, and any missing terminal
+//!   summary frame is a hard [`TraceError`]. Golden traces must pass this.
+//! * **Recovery** ([`recover_bytes`] / [`recover_file`]) — the resume path.
+//!   Byte-level damage at the tail (torn append, partial flush) truncates
+//!   the trace to its longest valid frame prefix and reports what was
+//!   dropped in a [`Recovery`]; the surviving prefix is still validated
+//!   *semantically* in full, because a CRC-valid but semantically
+//!   inconsistent prefix is tampering, not tearing, and must not be
+//!   silently resumed.
+//!
+//! Validation enforced on every accepted frame sequence: exactly one header
+//! (first), strictly sequential `seq`, sequential release ids with
+//! non-decreasing release times, completions referencing released-and-not-
+//! yet-completed jobs after their release time, chronological segments,
+//! checkpoints whose ingest count matches the releases seen, at most one
+//! summary (last, with matching counts), and finite floats everywhere.
+
+use crate::crc::crc32;
+use crate::format::{
+    decode_event, decode_header, kind, Algo, Event, TraceHeader, TraceSummary, MAGIC,
+    MAX_FRAME_LEN, VERSION,
+};
+use crate::snapshot::Checkpoint;
+use crate::TraceError;
+use ncss_sim::{Job, SpeedLaw};
+use std::path::Path;
+
+/// One CRC-validated frame as located by the scanner.
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    /// Byte offset of the frame's kind byte in the file.
+    pub offset: u64,
+    /// Frame kind tag.
+    pub kind: u8,
+    /// Frame payload (CRC already verified).
+    pub payload: Vec<u8>,
+}
+
+/// A fully decoded and validated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// Provenance header.
+    pub header: TraceHeader,
+    /// Events in log order (header excluded).
+    pub events: Vec<Event>,
+}
+
+impl TraceFile {
+    /// Whether the trace ends with its summary frame.
+    #[must_use]
+    pub fn finalized(&self) -> bool {
+        matches!(self.events.last(), Some(Event::Summary(_)))
+    }
+
+    /// The terminal summary, if the trace is finalized.
+    #[must_use]
+    pub fn summary(&self) -> Option<TraceSummary> {
+        match self.events.last() {
+            Some(Event::Summary(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// All released jobs in arrival order (index = job id).
+    #[must_use]
+    pub fn jobs(&self) -> Vec<Job> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Release { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last checkpoint and its event index, if any — the resume point.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<(usize, &Checkpoint)> {
+        self.events.iter().enumerate().rev().find_map(|(i, e)| match e {
+            Event::Checkpoint(cp) => Some((i, cp.as_ref())),
+            _ => None,
+        })
+    }
+}
+
+/// Outcome of a recovery read: the surviving trace plus damage accounting.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The validated longest-valid-prefix trace.
+    pub trace: TraceFile,
+    /// Bytes of the file that survived (magic + valid frames).
+    pub valid_bytes: u64,
+    /// Bytes truncated away (0 for an undamaged file).
+    pub dropped_bytes: u64,
+    /// The byte-level error that ended the scan, if any.
+    pub damage: Option<TraceError>,
+}
+
+/// Scan the byte-level frame structure, stopping at the first invalid
+/// frame. Returns the valid frames, the byte length of the valid prefix,
+/// and the error that stopped the scan (if it did not reach EOF cleanly).
+pub(crate) fn scan(bytes: &[u8]) -> (Vec<RawFrame>, u64, Option<TraceError>) {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return (Vec::new(), 0, Some(TraceError::BadMagic));
+    }
+    let mut frames = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        if pos == bytes.len() {
+            return (frames, pos as u64, None);
+        }
+        let offset = pos as u64;
+        let avail = bytes.len() - pos;
+        if avail < 5 {
+            let err = TraceError::Truncated { offset, missing: (5 - avail) as u64 };
+            return (frames, offset, Some(err));
+        }
+        let frame_kind = bytes[pos];
+        let len =
+            u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN as usize {
+            let err = TraceError::BadLength { offset, len: len as u32 };
+            return (frames, offset, Some(err));
+        }
+        let total = 5 + len + 4;
+        if avail < total {
+            let err = TraceError::Truncated { offset, missing: (total - avail) as u64 };
+            return (frames, offset, Some(err));
+        }
+        let body = &bytes[pos..pos + 5 + len];
+        let stored =
+            u32::from_le_bytes(bytes[pos + 5 + len..pos + total].try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return (frames, offset, Some(TraceError::CrcMismatch { offset }));
+        }
+        if !(kind::HEADER..=kind::SUMMARY).contains(&frame_kind) {
+            let err = TraceError::UnknownFrameKind { offset, kind: frame_kind };
+            return (frames, offset, Some(err));
+        }
+        frames.push(RawFrame { offset, kind: frame_kind, payload: body[5..].to_vec() });
+        pos += total;
+    }
+}
+
+fn check_finite(values: &[f64], frame: usize, what: &'static str) -> Result<(), TraceError> {
+    if values.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(TraceError::NonFinite { frame, what })
+    }
+}
+
+/// Decode and semantically validate a scanned frame sequence.
+fn decode_validate(frames: &[RawFrame], require_summary: bool) -> Result<TraceFile, TraceError> {
+    let Some(first) = frames.first() else {
+        return Err(TraceError::MissingHeader);
+    };
+    if first.kind != kind::HEADER {
+        return Err(TraceError::MissingHeader);
+    }
+    let header = decode_header(&first.payload)
+        .map_err(|what| TraceError::Malformed { offset: first.offset, what })?;
+    if header.version != VERSION {
+        return Err(TraceError::UnsupportedVersion { found: header.version });
+    }
+    check_finite(&[header.alpha], 0, "header.alpha")?;
+
+    let mut events = Vec::with_capacity(frames.len().saturating_sub(1));
+    let mut next_seq = 0u64;
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut done: Vec<bool> = Vec::new();
+    let mut completions = 0u64;
+    let mut last_release = f64::NEG_INFINITY;
+    let mut last_seg_end = f64::NEG_INFINITY;
+    let mut finalized = false;
+
+    for (idx, frame) in frames.iter().enumerate().skip(1) {
+        if finalized {
+            return Err(TraceError::TrailingFrame { offset: frame.offset });
+        }
+        if frame.kind == kind::HEADER {
+            return Err(TraceError::UnexpectedHeader { offset: frame.offset });
+        }
+        let (seq, event) = decode_event(frame.kind, &frame.payload).map_err(|what| {
+            if frame.kind == kind::CHECKPOINT {
+                TraceError::BadCheckpoint { frame: idx, what }
+            } else {
+                TraceError::Malformed { offset: frame.offset, what }
+            }
+        })?;
+        if seq != next_seq {
+            return Err(TraceError::BadSequence {
+                offset: frame.offset,
+                expected: next_seq,
+                found: seq,
+            });
+        }
+        next_seq += 1;
+
+        match &event {
+            Event::Release { id, job } => {
+                if *id != jobs.len() as u64 {
+                    return Err(TraceError::NonSequentialId {
+                        frame: idx,
+                        expected: jobs.len() as u64,
+                        found: *id,
+                    });
+                }
+                check_finite(&[job.release, job.volume, job.density], idx, "release fields")?;
+                if job.release < 0.0 || job.volume <= 0.0 || job.density <= 0.0 {
+                    return Err(TraceError::Malformed {
+                        offset: frame.offset,
+                        what: "release: negative time or non-positive volume/density".into(),
+                    });
+                }
+                if job.release < last_release {
+                    return Err(TraceError::OutOfOrderRelease { frame: idx, id: *id });
+                }
+                last_release = job.release;
+                jobs.push(*job);
+                done.push(false);
+            }
+            Event::CompleteC { id, completion, frac_flow, int_flow } => {
+                if header.algorithm != Algo::C {
+                    return Err(TraceError::AlgorithmMismatch { frame: idx });
+                }
+                check_finite(&[*completion, *frac_flow, *int_flow], idx, "completion fields")?;
+                complete(&jobs, &mut done, idx, *id, *completion)?;
+                completions += 1;
+            }
+            Event::CompleteNc { id, base_power, start, completion, frac_flow, int_flow } => {
+                if header.algorithm != Algo::Nc {
+                    return Err(TraceError::AlgorithmMismatch { frame: idx });
+                }
+                check_finite(
+                    &[*base_power, *start, *completion, *frac_flow, *int_flow],
+                    idx,
+                    "completion fields",
+                )?;
+                complete(&jobs, &mut done, idx, *id, *completion)?;
+                completions += 1;
+            }
+            Event::Segment(seg) => {
+                let (a, b) = match seg.law {
+                    SpeedLaw::Idle => (0.0, 0.0),
+                    SpeedLaw::Constant { speed } => (speed, 0.0),
+                    SpeedLaw::Decay { w0, rho } => (w0, rho),
+                    SpeedLaw::Growth { u0, rho } => (u0, rho),
+                };
+                check_finite(&[seg.start, seg.end, seg.scale, a, b], idx, "segment fields")?;
+                if !(seg.end > seg.start) || seg.start < last_seg_end {
+                    return Err(TraceError::NonChronologicalSegment { frame: idx });
+                }
+                last_seg_end = seg.end;
+            }
+            Event::Checkpoint(cp) => {
+                if cp.algo() != header.algorithm {
+                    return Err(TraceError::AlgorithmMismatch { frame: idx });
+                }
+                if cp.ingested() != jobs.len() {
+                    return Err(TraceError::BadCheckpoint {
+                        frame: idx,
+                        what: format!(
+                            "checkpoint ingested {} but {} releases seen",
+                            cp.ingested(),
+                            jobs.len()
+                        ),
+                    });
+                }
+            }
+            Event::Summary(s) => {
+                check_finite(
+                    &[s.makespan, s.energy, s.frac_flow, s.int_flow],
+                    idx,
+                    "summary fields",
+                )?;
+                if s.ingested != jobs.len() as u64 || s.completed != completions {
+                    return Err(TraceError::Malformed {
+                        offset: frame.offset,
+                        what: format!(
+                            "summary counts ({} in / {} done) disagree with log ({} / {})",
+                            s.ingested,
+                            s.completed,
+                            jobs.len(),
+                            completions
+                        ),
+                    });
+                }
+                finalized = true;
+            }
+        }
+        events.push(event);
+    }
+
+    if require_summary && !finalized {
+        return Err(TraceError::MissingSummary);
+    }
+    Ok(TraceFile { header, events })
+}
+
+fn complete(
+    jobs: &[Job],
+    done: &mut [bool],
+    frame: usize,
+    id: u64,
+    completion: f64,
+) -> Result<(), TraceError> {
+    let Some(slot) = usize::try_from(id).ok().filter(|&i| i < jobs.len()) else {
+        return Err(TraceError::UnknownJob { frame, id });
+    };
+    if done[slot] {
+        return Err(TraceError::DuplicateCompletion { frame, id });
+    }
+    if completion < jobs[slot].release {
+        return Err(TraceError::CompletionBeforeRelease { frame, id });
+    }
+    done[slot] = true;
+    Ok(())
+}
+
+/// Strict read: every frame valid, every invariant held, summary present.
+pub fn read_bytes(bytes: &[u8]) -> Result<TraceFile, TraceError> {
+    let (frames, _valid, damage) = scan(bytes);
+    if let Some(err) = damage {
+        return Err(err);
+    }
+    decode_validate(&frames, true)
+}
+
+/// Strict read of a file (see [`read_bytes`]).
+pub fn read_file(path: &Path) -> Result<TraceFile, TraceError> {
+    read_bytes(&read_raw(path)?)
+}
+
+/// Recovery read: truncate byte-level tail damage to the longest valid
+/// frame prefix, then validate that prefix semantically (semantic errors
+/// are *not* recoverable — see the module docs).
+pub fn recover_bytes(bytes: &[u8]) -> Result<Recovery, TraceError> {
+    let (frames, valid_bytes, damage) = scan(bytes);
+    if frames.is_empty() {
+        // Not even a header survived; nothing to resume from.
+        return Err(damage.unwrap_or(TraceError::MissingHeader));
+    }
+    let trace = decode_validate(&frames, false)?;
+    Ok(Recovery {
+        trace,
+        valid_bytes,
+        dropped_bytes: bytes.len() as u64 - valid_bytes,
+        damage,
+    })
+}
+
+/// Recovery read of a file (see [`recover_bytes`]).
+pub fn recover_file(path: &Path) -> Result<Recovery, TraceError> {
+    recover_bytes(&read_raw(path)?)
+}
+
+/// Read a whole trace file, mapping IO failures to [`TraceError::Io`].
+pub fn read_raw(path: &Path) -> Result<Vec<u8>, TraceError> {
+    std::fs::read(path).map_err(|e| TraceError::Io { detail: format!("{}: {e}", path.display()) })
+}

@@ -1,0 +1,367 @@
+//! Checkpoint frames: full stream state serialized for crash/resume.
+//!
+//! A checkpoint is the byte image of a [`CStreamSnapshot`] or
+//! [`NcStreamSnapshot`] — arena columns, heap entries, spill ring, and the
+//! objective accumulators — taken at a quiescent point (between offers).
+//! Restoring one and re-offering the remaining releases reproduces the
+//! uninterrupted run *bitwise*: the streams' heap keys are totally ordered,
+//! so pop order (and hence every arithmetic step) is independent of the
+//! heap's internal layout, which is the only thing a restore may permute.
+//!
+//! Decoding here is structural (lengths, tags, bounds); *consistency* of the
+//! decoded state is enforced by [`ncss_core::CStream::from_snapshot`] /
+//! [`ncss_core::NcStream::from_snapshot`], which reject mismatched counts,
+//! out-of-range slots, and bad exponents. Both layers report errors — a
+//! tampered checkpoint must never panic or restore silently wrong.
+
+use crate::format::{
+    put_bool, put_f64, put_segment, put_u8, put_usize, take_segment, Algo, Cursor,
+};
+use ncss_core::streaming::{CStreamSnapshot, HeapEntry, NcStreamSnapshot};
+use ncss_sim::{ArenaSnapshot, SpillSnapshot};
+
+/// A decoded checkpoint: the state of one streaming core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Checkpoint {
+    /// Algorithm C state.
+    C(CStreamSnapshot),
+    /// Algorithm NC state (includes its embedded shadow C state).
+    Nc(NcStreamSnapshot),
+}
+
+impl Checkpoint {
+    /// Which algorithm this checkpoint restores.
+    #[must_use]
+    pub fn algo(&self) -> Algo {
+        match self {
+            Checkpoint::C(_) => Algo::C,
+            Checkpoint::Nc(_) => Algo::Nc,
+        }
+    }
+
+    /// Jobs the checkpointed stream had ingested — the resume point: a
+    /// resumed run re-offers releases from this index on.
+    #[must_use]
+    pub fn ingested(&self) -> usize {
+        match self {
+            Checkpoint::C(s) => s.ingested,
+            Checkpoint::Nc(s) => s.ingested,
+        }
+    }
+
+    /// Append the checkpoint body (algorithm tag + state) to `out`.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Checkpoint::C(s) => {
+                put_u8(out, Algo::C.tag());
+                put_c(out, s);
+            }
+            Checkpoint::Nc(s) => {
+                put_u8(out, Algo::Nc.tag());
+                put_nc(out, s);
+            }
+        }
+    }
+
+    /// Decode a checkpoint body from `c`.
+    pub(crate) fn decode(c: &mut Cursor<'_>) -> Result<Self, String> {
+        match Algo::from_tag(c.u8("checkpoint.algo")?)? {
+            Algo::C => Ok(Checkpoint::C(take_c(c)?)),
+            Algo::Nc => Ok(Checkpoint::Nc(take_nc(c)?)),
+        }
+    }
+}
+
+/// Encoded size of one [`ncss_sim::Segment`] (2 f64 + u64 + tag + 3 f64).
+const SEGMENT_BYTES: usize = 49;
+/// Encoded size of one [`HeapEntry`] (2 f64 + 2 u64).
+const HEAP_ENTRY_BYTES: usize = 32;
+/// Encoded size of one arena row (5 f64 columns + u64 id).
+const ARENA_ROW_BYTES: usize = 48;
+
+fn put_arena(out: &mut Vec<u8>, a: &ArenaSnapshot) {
+    put_usize(out, a.release.len());
+    for col in [&a.release, &a.volume, &a.density, &a.remaining, &a.frac_flow] {
+        for &v in col.iter() {
+            put_f64(out, v);
+        }
+    }
+    for &id in &a.id {
+        put_usize(out, id);
+    }
+    put_usize(out, a.free.len());
+    for &slot in &a.free {
+        put_usize(out, slot);
+    }
+    put_usize(out, a.live);
+    put_usize(out, a.peak_live);
+}
+
+fn take_arena(c: &mut Cursor<'_>) -> Result<ArenaSnapshot, String> {
+    let n = c.count(ARENA_ROW_BYTES, "arena.slots")?;
+    let mut cols: [Vec<f64>; 5] = Default::default();
+    for col in &mut cols {
+        col.reserve_exact(n);
+        for _ in 0..n {
+            col.push(c.f64("arena.column")?);
+        }
+    }
+    let [release, volume, density, remaining, frac_flow] = cols;
+    let mut id = Vec::with_capacity(n);
+    for _ in 0..n {
+        id.push(c.usize("arena.id")?);
+    }
+    let n_free = c.count(8, "arena.free")?;
+    let mut free = Vec::with_capacity(n_free);
+    for _ in 0..n_free {
+        free.push(c.usize("arena.free_slot")?);
+    }
+    let live = c.usize("arena.live")?;
+    let peak_live = c.usize("arena.peak_live")?;
+    Ok(ArenaSnapshot { release, volume, density, remaining, frac_flow, id, free, live, peak_live })
+}
+
+fn put_spill(out: &mut Vec<u8>, s: &SpillSnapshot) {
+    put_usize(out, s.segments.len());
+    for seg in &s.segments {
+        put_segment(out, seg);
+    }
+    put_usize(out, s.capacity);
+    out.extend_from_slice(&s.dropped.to_le_bytes());
+    out.extend_from_slice(&s.total.to_le_bytes());
+    put_usize(out, s.peak);
+}
+
+fn take_spill(c: &mut Cursor<'_>) -> Result<SpillSnapshot, String> {
+    let n = c.count(SEGMENT_BYTES, "spill.segments")?;
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        segments.push(take_segment(c, "spill.segment")?);
+    }
+    let capacity = c.usize("spill.capacity")?;
+    let dropped = c.u64("spill.dropped")?;
+    let total = c.u64("spill.total")?;
+    let peak = c.usize("spill.peak")?;
+    Ok(SpillSnapshot { segments, capacity, dropped, total, peak })
+}
+
+fn put_c(out: &mut Vec<u8>, s: &CStreamSnapshot) {
+    put_f64(out, s.alpha);
+    put_bool(out, s.keep_segments);
+    put_arena(out, &s.arena);
+    put_usize(out, s.heap.len());
+    for e in &s.heap {
+        put_f64(out, e.density);
+        put_f64(out, e.release);
+        put_usize(out, e.id);
+        put_usize(out, e.slot);
+    }
+    put_spill(out, &s.spill);
+    put_f64(out, s.t);
+    put_f64(out, s.watermark);
+    put_f64(out, s.total_w);
+    match &s.last_seg {
+        Some(seg) => {
+            put_bool(out, true);
+            put_segment(out, seg);
+        }
+        None => put_bool(out, false),
+    }
+    put_usize(out, s.ingested);
+    put_usize(out, s.completed);
+    put_f64(out, s.energy);
+    put_f64(out, s.frac_done);
+    put_f64(out, s.int_done);
+}
+
+fn take_c(c: &mut Cursor<'_>) -> Result<CStreamSnapshot, String> {
+    let alpha = c.f64("c.alpha")?;
+    let keep_segments = c.bool("c.keep_segments")?;
+    let arena = take_arena(c)?;
+    let n_heap = c.count(HEAP_ENTRY_BYTES, "c.heap")?;
+    let mut heap = Vec::with_capacity(n_heap);
+    for _ in 0..n_heap {
+        heap.push(HeapEntry {
+            density: c.f64("c.heap.density")?,
+            release: c.f64("c.heap.release")?,
+            id: c.usize("c.heap.id")?,
+            slot: c.usize("c.heap.slot")?,
+        });
+    }
+    let spill = take_spill(c)?;
+    let t = c.f64("c.t")?;
+    let watermark = c.f64("c.watermark")?;
+    let total_w = c.f64("c.total_w")?;
+    let last_seg =
+        if c.bool("c.has_last_seg")? { Some(take_segment(c, "c.last_seg")?) } else { None };
+    let ingested = c.usize("c.ingested")?;
+    let completed = c.usize("c.completed")?;
+    let energy = c.f64("c.energy")?;
+    let frac_done = c.f64("c.frac_done")?;
+    let int_done = c.f64("c.int_done")?;
+    Ok(CStreamSnapshot {
+        alpha,
+        keep_segments,
+        arena,
+        heap,
+        spill,
+        t,
+        watermark,
+        total_w,
+        last_seg,
+        ingested,
+        completed,
+        energy,
+        frac_done,
+        int_done,
+    })
+}
+
+fn put_nc(out: &mut Vec<u8>, s: &NcStreamSnapshot) {
+    put_f64(out, s.alpha);
+    put_c(out, &s.shadow);
+    put_spill(out, &s.spill);
+    put_f64(out, s.t_free);
+    match s.density0 {
+        Some(d) => {
+            put_bool(out, true);
+            put_f64(out, d);
+        }
+        None => put_bool(out, false),
+    }
+    put_f64(out, s.tie_release);
+    put_f64(out, s.tie_weight);
+    put_f64(out, s.watermark);
+    put_usize(out, s.ingested);
+    put_f64(out, s.energy);
+    put_f64(out, s.frac_sum);
+    put_f64(out, s.int_sum);
+    put_f64(out, s.makespan);
+}
+
+fn take_nc(c: &mut Cursor<'_>) -> Result<NcStreamSnapshot, String> {
+    let alpha = c.f64("nc.alpha")?;
+    let shadow = take_c(c)?;
+    let spill = take_spill(c)?;
+    let t_free = c.f64("nc.t_free")?;
+    let density0 = if c.bool("nc.has_density0")? { Some(c.f64("nc.density0")?) } else { None };
+    let tie_release = c.f64("nc.tie_release")?;
+    let tie_weight = c.f64("nc.tie_weight")?;
+    let watermark = c.f64("nc.watermark")?;
+    let ingested = c.usize("nc.ingested")?;
+    let energy = c.f64("nc.energy")?;
+    let frac_sum = c.f64("nc.frac_sum")?;
+    let int_sum = c.f64("nc.int_sum")?;
+    let makespan = c.f64("nc.makespan")?;
+    Ok(NcStreamSnapshot {
+        alpha,
+        shadow,
+        spill,
+        t_free,
+        density0,
+        tie_release,
+        tie_weight,
+        watermark,
+        ingested,
+        energy,
+        frac_sum,
+        int_sum,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncss_core::streaming::{CStream, NcStream, StreamConfig};
+    use ncss_sim::{Job, PowerLaw};
+
+    fn populated_c() -> CStreamSnapshot {
+        let law = PowerLaw::new(2.5).unwrap();
+        let mut s = CStream::new(law, StreamConfig::streaming(4));
+        let mut sink = |_c| {};
+        for i in 0..6 {
+            let t = f64::from(i) * 0.3;
+            s.offer(Job::new(t, 1.0 + f64::from(i) * 0.1, 1.0 + f64::from(i % 3)), &mut sink)
+                .unwrap();
+        }
+        s.snapshot()
+    }
+
+    #[test]
+    fn c_checkpoint_round_trips_bitwise() {
+        let snap = populated_c();
+        let cp = Checkpoint::C(snap.clone());
+        let mut bytes = Vec::new();
+        cp.encode_into(&mut bytes);
+        let mut cursor = Cursor::new(&bytes);
+        let decoded = Checkpoint::decode(&mut cursor).unwrap();
+        cursor.finish("checkpoint").unwrap();
+        assert_eq!(decoded, cp);
+        // And the decoded state must actually restore.
+        match decoded {
+            Checkpoint::C(s) => {
+                CStream::from_snapshot(s).unwrap();
+            }
+            Checkpoint::Nc(_) => unreachable!(),
+        }
+        assert_eq!(cp.ingested(), snap.ingested);
+    }
+
+    #[test]
+    fn nc_checkpoint_round_trips_bitwise() {
+        let law = PowerLaw::new(3.0).unwrap();
+        let mut s = NcStream::new(law, StreamConfig::streaming(4));
+        let mut sink = |_c| {};
+        for i in 0..5 {
+            let t = f64::from(i) * 0.7;
+            s.offer(Job::new(t, 0.5 + f64::from(i) * 0.2, 2.0), &mut sink).unwrap();
+        }
+        let cp = Checkpoint::Nc(s.snapshot());
+        let mut bytes = Vec::new();
+        cp.encode_into(&mut bytes);
+        let mut cursor = Cursor::new(&bytes);
+        let decoded = Checkpoint::decode(&mut cursor).unwrap();
+        cursor.finish("checkpoint").unwrap();
+        assert_eq!(decoded, cp);
+        match decoded {
+            Checkpoint::Nc(s) => {
+                NcStream::from_snapshot(s).unwrap();
+            }
+            Checkpoint::C(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_named_error_at_every_cut() {
+        let cp = Checkpoint::C(populated_c());
+        let mut bytes = Vec::new();
+        cp.encode_into(&mut bytes);
+        // Cut the body at every prefix length: decode must error (or, for
+        // prefixes that happen to parse, leave trailing state unread) —
+        // never panic.
+        for cut in 0..bytes.len() {
+            let mut cursor = Cursor::new(&bytes[..cut]);
+            let res = Checkpoint::decode(&mut cursor);
+            assert!(
+                res.is_err() || cursor.remaining() == 0,
+                "cut at {cut}: decode accepted a truncated checkpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        let cp = Checkpoint::C(populated_c());
+        let mut bytes = Vec::new();
+        cp.encode_into(&mut bytes);
+        // Overwrite the arena slot count (right after algo tag + alpha +
+        // keep_segments) with an absurd value; `Cursor::count` must refuse
+        // it before reserving memory.
+        let count_at = 1 + 8 + 1;
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = Cursor::new(&bytes);
+        let err = Checkpoint::decode(&mut cursor).unwrap_err();
+        assert!(err.contains("arena.slots"), "unexpected message: {err}");
+    }
+}

@@ -101,12 +101,63 @@ if "$cli" stream --algorithm nc --input "$trace" --alpha 2 \
 fi
 echo "stream smoke passed"
 
+echo "==> replay gate (committed golden traces + crash/tamper probes)"
+# Every committed golden trace must strict-read, replay with bitwise-equal
+# completions/objectives, and pass the independent audit — offline, no
+# regeneration. A scheduler change that moves one mantissa bit goes red.
+golden_count=0
+for golden in traces/*.nct; do
+    [ -f "$golden" ] || { echo "FAIL: no committed golden traces under traces/" >&2; exit 1; }
+    golden_count=$((golden_count + 1))
+    "$cli" replay --trace "$golden" --audit 1 > /dev/null \
+        || { echo "FAIL: golden $golden does not replay bitwise" >&2; exit 1; }
+done
+echo "replayed $golden_count golden traces bitwise"
+# Mandatory-red probe: a tampered golden must be rejected with a named
+# trace error and a non-zero exit. Silent acceptance fails the gate.
+nct_tmp="$(mktemp /tmp/ncss_verify_tamper.XXXXXX.nct)"
+for kind in bit-flip truncate duplicate-frame reorder-frames bad-length stale-version; do
+    "$cli" tamper --trace traces/c_alpha2.nct --out "$nct_tmp" --kind "$kind" --seed 7 > /dev/null
+    if "$cli" replay --trace "$nct_tmp" > /dev/null 2>&1; then
+        echo "FAIL: $kind-tampered golden replayed as clean" >&2
+        rm -f "$nct_tmp"; exit 1
+    fi
+done
+# Crash chain: record, kill mid-run leaving a torn tail, resume from the
+# last checkpoint, and require the resumed trace to equal an uninterrupted
+# recording event-for-event.
+full_tmp="$(mktemp /tmp/ncss_verify_full.XXXXXX.nct)"
+torn_tmp="$(mktemp /tmp/ncss_verify_torn.XXXXXX.nct)"
+res_tmp="$(mktemp /tmp/ncss_verify_resumed.XXXXXX.nct)"
+cleanup_nct() { rm -f "$nct_tmp" "$full_tmp" "$torn_tmp" "$res_tmp"; }
+"$cli" record --synthetic 64 --rate 1.3 --seed 4242 --algorithm c --alpha 2.5 \
+    --checkpoint-every 9 --out "$full_tmp" > /dev/null \
+    || { echo "FAIL: record could not write a trace" >&2; cleanup_nct; exit 1; }
+"$cli" record --synthetic 64 --rate 1.3 --seed 4242 --algorithm c --alpha 2.5 \
+    --checkpoint-every 9 --kill-after 37 --torn-bytes 17 --out "$torn_tmp" > /dev/null \
+    || { echo "FAIL: kill-after recording failed" >&2; cleanup_nct; exit 1; }
+"$cli" resume --trace "$torn_tmp" --synthetic 64 --rate 1.3 --seed 4242 \
+    --checkpoint-every 9 --out "$res_tmp" > /dev/null \
+    || { echo "FAIL: resume could not recover the torn trace" >&2; cleanup_nct; exit 1; }
+"$cli" replay --trace "$res_tmp" --audit 1 --check-against "$full_tmp" > /dev/null \
+    || { echo "FAIL: resumed trace is not bitwise-equal to the uninterrupted run" >&2; cleanup_nct; exit 1; }
+cleanup_nct
+echo "replay gate passed"
+
 # Soak gate, opt-in (NCSS_SOAK=1): pushes NCSS_STREAM_SOAK_N (default 10M)
 # releases through each streaming core with flat-memory assertions; writes
 # BENCH_stream.json. Too slow for the default CI lane.
 if [ "${NCSS_SOAK:-0}" = "1" ]; then
     echo "==> soak bench (cargo bench -p ncss-bench --bench perf_stream)"
-    cargo bench --offline -p ncss-bench --bench perf_stream
+    bench_out="$(mktemp -d /tmp/ncss_verify_bench.XXXXXX)"
+    NCSS_BENCH_DIR="$bench_out" cargo bench --offline -p ncss-bench --bench perf_stream
+    # Bench-diff the fresh artifact against the committed baseline with
+    # generous timing headroom (soak boxes vary wildly) but zero tolerance
+    # for audit-verdict flips or vanished rows.
+    target/release/bench-diff BENCH_stream.json "$bench_out/BENCH_stream.json" \
+        --threshold 10000 --floor-ns 1000000000 \
+        || { echo "FAIL: fresh soak artifact regressed vs committed baseline" >&2; rm -rf "$bench_out"; exit 1; }
+    rm -rf "$bench_out"
     echo "soak bench passed"
 fi
 
@@ -122,6 +173,27 @@ if "$bench_diff" BENCH_algorithms.json /nonexistent.json > /dev/null 2>&1; then
     echo "FAIL: bench-diff accepted a nonexistent candidate" >&2
     exit 1
 fi
+# Verdict-flip probe: an audit that goes pass→fail must be a regression
+# (exit 1) no matter how generous the timing thresholds are.
+bench_tmp="$(mktemp /tmp/ncss_verify_bench.XXXXXX.json)"
+sed 's/"audit":"pass"/"audit":"fail"/' BENCH_algorithms.json > "$bench_tmp"
+rc=0
+"$bench_diff" BENCH_algorithms.json "$bench_tmp" --threshold 10000 --floor-ns 1000000000 \
+    > /dev/null 2>&1 || rc=$?
+if [ "$rc" != "1" ]; then
+    echo "FAIL: bench-diff exit $rc on an audit verdict flip (want 1)" >&2
+    rm -f "$bench_tmp"; exit 1
+fi
+# Schema-drift probe: an unknown ncss-bench/N is a named tool error (exit
+# 2), never a parse panic and never a silent pass.
+sed 's|ncss-bench/2|ncss-bench/9|' BENCH_algorithms.json > "$bench_tmp"
+rc=0
+"$bench_diff" BENCH_algorithms.json "$bench_tmp" > /dev/null 2>&1 || rc=$?
+if [ "$rc" != "2" ]; then
+    echo "FAIL: bench-diff exit $rc on schema drift (want 2)" >&2
+    rm -f "$bench_tmp"; exit 1
+fi
+rm -f "$bench_tmp"
 echo "bench-diff smoke passed"
 
 echo "==> cargo doc --workspace --no-deps --offline (must be warning-clean)"

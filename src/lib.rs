@@ -19,6 +19,7 @@
 //! | [`audit`] | independent run auditing: closed-form re-derivation of objectives (sampled quadrature cross-check tier) + event-level invariants |
 //! | [`analysis`] | ratio measurement, parallel sweeps, ASCII tables/charts |
 //! | [`pool`] | persistent worker pool: order-preserving parallel maps used by sweeps, audits, the OPT solver, and the fault/contract suites |
+//! | [`trace`] | crash-safe record/replay: CRC-framed WAL traces, torn-write recovery, checkpoint/resume, corruption contract |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use ncss_multi as multi;
 pub use ncss_opt as opt;
 pub use ncss_pool as pool;
 pub use ncss_sim as sim;
+pub use ncss_trace as trace;
 pub use ncss_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
