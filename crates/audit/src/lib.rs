@@ -57,11 +57,13 @@
 #![deny(missing_docs)]
 
 pub mod closed_form;
+pub mod incremental;
 mod multi_audit;
 pub mod quad;
 pub mod report;
 mod schedule_audit;
 
+pub use incremental::{IncrementalAudit, IncrementalMultiAudit, IncrementalSnapshot, Trip};
 pub use multi_audit::MultiAudit;
 pub use report::{AuditReport, CheckVerdict, Stopwatch};
 pub use schedule_audit::{AuditConfig, ScheduleAudit};

@@ -14,8 +14,8 @@
 //! per algorithm; `NCSS_BENCH_WARMUP`/`NCSS_BENCH_ITERS` override loop
 //! counts as for every other bench.
 
-use ncss_audit::{AuditConfig, AuditReport, ScheduleAudit};
-use ncss_bench::harness::{black_box, Suite};
+use ncss_audit::{AuditConfig, AuditReport, IncrementalAudit, ScheduleAudit};
+use ncss_bench::harness::{black_box, AuditMode, Suite};
 use ncss_core::streaming::{CCompletion, CStream, NcStream, StreamConfig};
 use ncss_rng::{dist, Pcg64};
 use ncss_sim::{Evaluated, Instance, Job, PerJob, PowerLaw, ScheduleBuilder, Segment};
@@ -159,6 +159,106 @@ fn soak_nc(law: PowerLaw, n: usize, seed: u64, rate: f64) -> (f64, ncss_core::St
     let summary = stream.finish().expect("stream finish");
     stream.spill_mut().drain().for_each(drop);
     (summary.objective.fractional(), stream.stats())
+}
+
+/// Streaming-mode C pass with an [`IncrementalAudit`] riding the stream:
+/// every release, retired segment, and completion feeds the auditor as it
+/// happens (O(segments of the job) per completion, O(active) state — the
+/// always-on audit must not reintroduce the O(n) memory the streaming mode
+/// exists to avoid). Returns the finalized report, the stream stats, and
+/// the auditor's peak active-job count.
+fn soak_c_audited(
+    law: PowerLaw,
+    n: usize,
+    seed: u64,
+    rate: f64,
+    config: AuditConfig,
+) -> (AuditReport, ncss_core::StreamStats, usize) {
+    let mut source = Poisson::new(seed, rate);
+    let mut stream = CStream::new(law, StreamConfig::streaming(SPILL_CAP));
+    let mut audit = IncrementalAudit::new(law, config);
+    let mut buf: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut audit_peak_active = 0usize;
+    for i in 0..n {
+        let job = source.next_job();
+        audit.on_release(i, job);
+        stream
+            .offer(job, &mut |c: ncss_core::CCompletion| {
+                buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+            })
+            .expect("stream offer");
+        for seg in stream.spill_mut().drain() {
+            if let Some(t) = audit.on_segment(seg) {
+                panic!("honest soak tripped {}: {}", t.check, t.detail);
+            }
+        }
+        for (id, completion, frac, int) in buf.drain(..) {
+            if let Some(t) = audit.on_complete(id, completion, frac, int) {
+                panic!("honest soak tripped {}: {}", t.check, t.detail);
+            }
+        }
+        audit_peak_active = audit_peak_active.max(audit.active_jobs());
+    }
+    let summary = stream
+        .finish(&mut |c: ncss_core::CCompletion| {
+            buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+        })
+        .expect("stream finish");
+    for seg in stream.spill_mut().drain() {
+        if let Some(t) = audit.on_segment(seg) {
+            panic!("honest soak tripped {}: {}", t.check, t.detail);
+        }
+    }
+    for (id, completion, frac, int) in buf.drain(..) {
+        if let Some(t) = audit.on_complete(id, completion, frac, int) {
+            panic!("honest soak tripped {}: {}", t.check, t.detail);
+        }
+    }
+    let stats = stream.stats();
+    (audit.finalize(&summary.objective), stats, audit_peak_active)
+}
+
+/// Same audited pass for the non-clairvoyant uniform-density stream.
+fn soak_nc_audited(
+    law: PowerLaw,
+    n: usize,
+    seed: u64,
+    rate: f64,
+    config: AuditConfig,
+) -> (AuditReport, ncss_core::StreamStats, usize) {
+    let mut source = Poisson::new(seed, rate);
+    let mut stream = NcStream::new(law, StreamConfig::streaming(SPILL_CAP));
+    let mut audit = IncrementalAudit::new(law, config);
+    let mut buf: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut audit_peak_active = 0usize;
+    for i in 0..n {
+        let job = source.next_job();
+        audit.on_release(i, job);
+        stream
+            .offer(job, &mut |c: ncss_core::NcCompletion| {
+                buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+            })
+            .expect("stream offer");
+        for seg in stream.spill_mut().drain() {
+            if let Some(t) = audit.on_segment(seg) {
+                panic!("honest soak tripped {}: {}", t.check, t.detail);
+            }
+        }
+        for (id, completion, frac, int) in buf.drain(..) {
+            if let Some(t) = audit.on_complete(id, completion, frac, int) {
+                panic!("honest soak tripped {}: {}", t.check, t.detail);
+            }
+        }
+        audit_peak_active = audit_peak_active.max(audit.active_jobs());
+    }
+    let summary = stream.finish().expect("stream finish");
+    for seg in stream.spill_mut().drain() {
+        if let Some(t) = audit.on_segment(seg) {
+            panic!("honest soak tripped {}: {}", t.check, t.detail);
+        }
+    }
+    let stats = stream.stats();
+    (audit.finalize(&summary.objective), stats, audit_peak_active)
 }
 
 /// Panic unless the run's footprint was flat: bounded active set, arena
@@ -333,13 +433,84 @@ fn main() {
         assert_flat("stream_nc_uniform/soak", &stats, soak_n);
     });
 
-    // RSS growth across both soaks, best effort: a leak proportional to n
-    // would show up as hundreds of MB here; flat cores stay in the noise.
+    // Audited-throughput soak rows: the same release stream with an
+    // incremental auditor attached to every event. The row's verdict is the
+    // auditor's own finalized report over the *full* soak (not a prefix —
+    // the O(delta) design is what makes auditing all of it affordable), and
+    // the flat-memory claim now covers the auditor's state too. The
+    // quadrature cross-check tier runs at a soak-appropriate stride: every
+    // segment and completion still gets its closed-form re-derivation, and
+    // at 10M releases stride 512 still pits tanh–sinh quadrature against
+    // ~100k closed-form integrals. A 103-node quadrature costs ~7 µs vs
+    // ~100 ns closed-form, so the default stride 8 would triple the audit
+    // cost for no additional coverage kind (see EXPERIMENTS.md).
+    let soak_cfg = AuditConfig { cross_check_stride: 512, ..AuditConfig::default() };
+    let (r, _, _) = soak_c_audited(law, soak_n.min(50_000), 97, rate, soak_cfg);
+    suite.bench_report_mode_with(
+        "stream_c/soak_audited",
+        Some(&r),
+        AuditMode::Incremental,
+        0,
+        1,
+        || {
+            let (report, stats, audit_peak) = soak_c_audited(law, soak_n, 97, rate, soak_cfg);
+            assert!(report.passed(), "audited soak failed:\n{}", report.render());
+            assert_flat("stream_c/soak_audited", &stats, soak_n);
+            assert!(
+                audit_peak <= ACTIVE_CEILING,
+                "auditor held {audit_peak} active jobs (> {ACTIVE_CEILING}): audit state is not O(active)"
+            );
+        },
+    );
+
+    let (r, _, _) = soak_nc_audited(law, soak_n.min(50_000), 97, rate, soak_cfg);
+    suite.bench_report_mode_with(
+        "stream_nc_uniform/soak_audited",
+        Some(&r),
+        AuditMode::Incremental,
+        0,
+        1,
+        || {
+            let (report, stats, audit_peak) = soak_nc_audited(law, soak_n, 97, rate, soak_cfg);
+            assert!(report.passed(), "audited soak failed:\n{}", report.render());
+            assert_flat("stream_nc_uniform/soak_audited", &stats, soak_n);
+            assert!(
+                audit_peak <= ACTIVE_CEILING,
+                "auditor held {audit_peak} active jobs (> {ACTIVE_CEILING}): audit state is not O(active)"
+            );
+        },
+    );
+
+    // RSS growth across all four soaks (the audited pair included), best
+    // effort: a leak proportional to n would show up as hundreds of MB
+    // here; flat cores stay in the noise.
     if let (Some(before), Some(after)) = (rss_before, rss_bytes()) {
         let grown = after.saturating_sub(before);
         assert!(
             grown < 64 * 1024 * 1024,
             "soak RSS grew by {grown} bytes (> 64 MiB): resident memory is not flat"
+        );
+    }
+
+    // Audited throughput must stay within 2x of the un-audited soak
+    // (≥ 0.5x throughput): the always-on audit is a tax, not a cliff. The
+    // absolute slack keeps tiny smoke runs (NCSS_STREAM_SOAK_N=1000) from
+    // flaking on scheduler jitter.
+    let mean_of = |name: &str| {
+        suite
+            .results()
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("missing bench row {name}"))
+            .mean_ns
+    };
+    for core in ["stream_c", "stream_nc_uniform"] {
+        let plain = mean_of(&format!("{core}/soak"));
+        let audited = mean_of(&format!("{core}/soak_audited"));
+        assert!(
+            (audited as f64) <= 2.0 * (plain as f64) + 5e7,
+            "{core}: audited soak {audited} ns vs un-audited {plain} ns — \
+             audited throughput fell below 0.5x"
         );
     }
 

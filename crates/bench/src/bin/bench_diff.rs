@@ -125,6 +125,7 @@ fn main() -> ExitCode {
             Kind::CheckTime => "CHECK-SLOWER",
             Kind::Residual => "RESIDUAL",
             Kind::Verdict => "VERDICT",
+            Kind::Mode => "MODE",
             Kind::Missing => "MISSING",
         };
         println!("  {tag:<10} {f}");

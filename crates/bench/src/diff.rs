@@ -20,6 +20,10 @@
 //!   a log scale, so the factor defaults to an order of magnitude;
 //! * an audit verdict that was `pass` in the baseline and is anything else
 //!   in the candidate is **always** a regression, no thresholds;
+//! * an `audit_mode` flip (`batch` ↔ `incremental`, new in `ncss-bench/3`;
+//!   `/2` rows default to `batch`) is **always** a regression — the row is
+//!   measuring a different auditor, so the trajectory is not comparable
+//!   until the baseline is regenerated;
 //! * entries present in the baseline but missing from the candidate are
 //!   regressions (a silently dropped bench reads as "covered" when it
 //!   isn't); new entries are reported but never fail the diff.
@@ -262,6 +266,10 @@ pub struct BenchEntry {
     pub name: String,
     /// Audit verdict string (`pass` / `fail` / `skipped`).
     pub audit: String,
+    /// Which auditor produced the verdict (`batch` / `incremental`).
+    /// Schema `ncss-bench/2` rows predate the field and default to
+    /// `batch` — the only auditor that harness had.
+    pub audit_mode: String,
     /// Total audit nanoseconds.
     pub audit_total_ns: u64,
     /// Per-check audit rows.
@@ -278,14 +286,14 @@ pub const QUANTILES: [&str; 5] = ["min_ns", "mean_ns", "median_ns", "p95_ns", "m
 /// harness whose rows this reader would misinterpret. The diff refuses it
 /// with a named error (exit 2 in `bench-diff` — tool error, not a perf
 /// regression) instead of guessing.
-pub const KNOWN_SCHEMAS: [&str; 1] = ["ncss-bench/2"];
+pub const KNOWN_SCHEMAS: [&str; 2] = ["ncss-bench/2", "ncss-bench/3"];
 
 /// A parsed `BENCH_<suite>.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
     /// Suite name (`algorithms`, `opt`, …).
     pub suite: String,
-    /// Schema tag (`ncss-bench/2`).
+    /// Schema tag (`ncss-bench/2` or `ncss-bench/3`).
     pub schema: String,
     /// All measurements, in file order.
     pub entries: Vec<BenchEntry>,
@@ -337,6 +345,23 @@ impl BenchDoc {
             let ctx = format!("results[{i}]");
             let name = req_str(entry, "name", &ctx)?;
             let audit = req_str(entry, "audit", &ctx)?;
+            // `audit_mode` arrived with ncss-bench/3; older rows were all
+            // produced by the batch auditor.
+            let audit_mode = match entry.get("audit_mode") {
+                None => "batch".to_string(),
+                Some(v) => {
+                    let mode = v
+                        .as_str()
+                        .ok_or_else(|| format!("{ctx}: \"audit_mode\" is not a string"))?;
+                    if mode != "batch" && mode != "incremental" {
+                        return Err(format!(
+                            "{ctx} ({name:?}): unknown audit_mode {mode:?} \
+                             (want \"batch\" or \"incremental\")"
+                        ));
+                    }
+                    mode.to_string()
+                }
+            };
             let timing = entry.get("audit_timing").ok_or_else(|| {
                 format!(
                     "schema drift: {ctx} ({name:?}) has no \"audit_timing\" block — \
@@ -367,7 +392,7 @@ impl BenchDoc {
             for (q, key) in QUANTILES.iter().enumerate() {
                 quantiles[q] = req_u64(entry, key, &ctx)?;
             }
-            entries.push(BenchEntry { name, audit, audit_total_ns, checks, quantiles });
+            entries.push(BenchEntry { name, audit, audit_mode, audit_total_ns, checks, quantiles });
         }
         Ok(Self { suite, schema, entries })
     }
@@ -413,6 +438,10 @@ pub enum Kind {
     Residual,
     /// The audit verdict flipped away from `pass` (always fatal).
     Verdict,
+    /// The audit mode changed (`batch` ↔ `incremental`): the row is no
+    /// longer measuring the same auditor, so its trajectory is not
+    /// comparable until the baseline is regenerated (always fatal).
+    Mode,
     /// A baseline entry or check is missing from the candidate.
     Missing,
 }
@@ -492,6 +521,22 @@ pub fn diff(base: &BenchDoc, new: &BenchDoc, opts: &DiffOptions) -> DiffReport {
             });
             continue;
         };
+
+        // Audit mode must not drift silently: an incremental row compared
+        // against a batch baseline (or vice versa) is measuring a
+        // different auditor, not a perf change.
+        if b.audit_mode != n.audit_mode {
+            report.regressions.push(Finding {
+                kind: Kind::Mode,
+                what: b.name.clone(),
+                base: 0.0,
+                new: 0.0,
+                detail: format!(
+                    "audit mode {} -> {} — regenerate the baseline to compare",
+                    b.audit_mode, n.audit_mode
+                ),
+            });
+        }
 
         // Verdict: pass must stay pass. (skipped→skipped etc. is fine;
         // fail→pass is an improvement, not a regression.)
@@ -615,6 +660,20 @@ mod tests {
         format!("{{\"suite\":\"t\",\"schema\":\"ncss-bench/2\",\"results\":[{entries}]}}")
     }
 
+    fn doc3(entries: &str) -> String {
+        format!("{{\"suite\":\"t\",\"schema\":\"ncss-bench/3\",\"results\":[{entries}]}}")
+    }
+
+    fn entry3(name: &str, median: u64, check_ns: u64, residual: &str, audit: &str, mode: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"audit\":\"{audit}\",\"audit_mode\":\"{mode}\",\
+             \"audit_timing\":{{\"total_ns\":{check_ns},\
+             \"checks\":[{{\"name\":\"energy-recomputed\",\"elapsed_ns\":{check_ns},\"residual\":{residual}}}]}},\
+             \"warmup\":3,\"iters\":30,\"min_ns\":{median},\"mean_ns\":{median},\"median_ns\":{median},\
+             \"p95_ns\":{median},\"max_ns\":{median}}}"
+        )
+    }
+
     fn entry(name: &str, median: u64, check_ns: u64, residual: &str, audit: &str) -> String {
         format!(
             "{{\"name\":\"{name}\",\"audit\":\"{audit}\",\"audit_timing\":{{\"total_ns\":{check_ns},\
@@ -653,18 +712,63 @@ mod tests {
     #[test]
     fn unknown_schema_version_is_named_drift_not_a_guess() {
         let err = BenchDoc::parse(
-            "{\"suite\":\"t\",\"schema\":\"ncss-bench/3\",\"results\":[]}",
+            "{\"suite\":\"t\",\"schema\":\"ncss-bench/9\",\"results\":[]}",
         )
         .unwrap_err();
         assert!(err.contains("schema drift"), "{err}");
-        assert!(err.contains("ncss-bench/3"), "{err}");
+        assert!(err.contains("ncss-bench/9"), "{err}");
         assert!(err.contains("ncss-bench/2"), "{err}");
+        assert!(err.contains("ncss-bench/3"), "{err}");
         // Same for an ancient tag.
         let err = BenchDoc::parse(
             "{\"suite\":\"t\",\"schema\":\"ncss-bench/1\",\"results\":[]}",
         )
         .unwrap_err();
         assert!(err.contains("schema drift"), "{err}");
+    }
+
+    #[test]
+    fn audit_mode_parses_defaults_and_rejects_unknowns() {
+        // A /2 row has no audit_mode: it defaults to the batch auditor.
+        let old = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-15", "pass"))).unwrap();
+        assert_eq!(old.entries[0].audit_mode, "batch");
+        // A /3 row carries it explicitly.
+        let new = BenchDoc::parse(&doc3(&entry3(
+            "a/1",
+            1000,
+            500,
+            "1e-15",
+            "pass",
+            "incremental",
+        )))
+        .unwrap();
+        assert_eq!(new.schema, "ncss-bench/3");
+        assert_eq!(new.entries[0].audit_mode, "incremental");
+        // An unknown mode is a named parse error, not a silent default.
+        let err = BenchDoc::parse(&doc3(&entry3("a/1", 1000, 500, "1e-15", "pass", "psychic")))
+            .unwrap_err();
+        assert!(err.contains("audit_mode"), "{err}");
+        assert!(err.contains("psychic"), "{err}");
+    }
+
+    #[test]
+    fn audit_mode_flip_is_a_regression_same_mode_is_not() {
+        // Baseline /2 (implicit batch) vs candidate /3 tagged batch: the
+        // schema bump alone must not flag anything.
+        let base = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-15", "pass"))).unwrap();
+        let same =
+            BenchDoc::parse(&doc3(&entry3("a/1", 1000, 500, "1e-15", "pass", "batch"))).unwrap();
+        assert!(diff(&base, &same, &DiffOptions::default()).passed());
+        // ...but a row that silently became incremental is flagged even
+        // with identical timings.
+        let flipped = BenchDoc::parse(&doc3(&entry3("a/1", 1000, 500, "1e-15", "pass", "incremental")))
+            .unwrap();
+        let report = diff(&base, &flipped, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, Kind::Mode);
+        assert!(report.regressions[0].detail.contains("batch -> incremental"));
+        // Incremental vs incremental compares cleanly again.
+        assert!(diff(&flipped, &flipped, &DiffOptions::default()).passed());
     }
 
     #[test]

@@ -64,6 +64,32 @@ impl AuditVerdict {
     }
 }
 
+/// Which auditor produced a measurement's verdict: the batch
+/// [`ScheduleAudit`](ncss_audit::ScheduleAudit) over the finished run, or
+/// the event-driven [`IncrementalAudit`](ncss_audit::IncrementalAudit)
+/// riding the stream. Recorded per row (`audit_mode` in `BENCH_*.json`,
+/// schema `ncss-bench/3`) so a baseline diff can tell "the auditor got
+/// slower" apart from "a different auditor was measured".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditMode {
+    /// Batch audit of the completed schedule (the default).
+    #[default]
+    Batch,
+    /// Incremental audit fed event-by-event during the run.
+    Incremental,
+}
+
+impl AuditMode {
+    /// The JSON string value.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Batch => "batch",
+            Self::Incremental => "incremental",
+        }
+    }
+}
+
 /// One named check's cost and worst residual, copied from the audit that
 /// gated a measurement — the `audit_timing.checks[]` rows of
 /// `BENCH_*.json` (schema in EXPERIMENTS.md, "Performance benches").
@@ -143,6 +169,8 @@ pub struct Measurement {
     pub name: String,
     /// Audit verdict for the benched algorithm's output.
     pub audit: AuditVerdict,
+    /// Which auditor produced the verdict (batch or incremental).
+    pub audit_mode: AuditMode,
     /// Per-check audit cost (empty when the audit was skipped).
     pub audit_timing: AuditTiming,
     /// Unrecorded warmup iterations that preceded timing.
@@ -164,10 +192,11 @@ pub struct Measurement {
 impl Measurement {
     fn json(&self) -> String {
         format!(
-            "{{\"name\":{},\"audit\":{},\"audit_timing\":{},\"warmup\":{},\"iters\":{},\
+            "{{\"name\":{},\"audit\":{},\"audit_mode\":{},\"audit_timing\":{},\"warmup\":{},\"iters\":{},\
              \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
             json_string(&self.name),
             json_string(self.audit.as_str()),
+            json_string(self.audit_mode.as_str()),
             self.audit_timing.json(),
             self.warmup,
             self.iters,
@@ -276,15 +305,45 @@ impl Suite {
         iters: u32,
         f: F,
     ) {
+        self.bench_report_mode_with(name, report, AuditMode::Batch, warmup, iters, f);
+    }
+
+    /// Like [`Suite::bench_report_with`], but recording which auditor
+    /// produced the report — use [`AuditMode::Incremental`] for rows whose
+    /// verdict came from an [`IncrementalAudit`](ncss_audit::IncrementalAudit)
+    /// attached to the stream.
+    pub fn bench_report_mode_with<F: FnMut()>(
+        &mut self,
+        name: &str,
+        report: Option<&AuditReport>,
+        mode: AuditMode,
+        warmup: u32,
+        iters: u32,
+        f: F,
+    ) {
         let audit = report.map_or(AuditVerdict::Skipped, |r| AuditVerdict::from_passed(r.passed()));
         let timing = report.map(AuditTiming::from_report).unwrap_or_default();
-        self.measure(name, audit, timing, warmup, iters, f);
+        self.measure_mode(name, audit, mode, timing, warmup, iters, f);
     }
 
     fn measure<F: FnMut()>(
         &mut self,
         name: &str,
         audit: AuditVerdict,
+        audit_timing: AuditTiming,
+        warmup: u32,
+        iters: u32,
+        f: F,
+    ) {
+        self.measure_mode(name, audit, AuditMode::Batch, audit_timing, warmup, iters, f);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn measure_mode<F: FnMut()>(
+        &mut self,
+        name: &str,
+        audit: AuditVerdict,
+        audit_mode: AuditMode,
         audit_timing: AuditTiming,
         warmup: u32,
         iters: u32,
@@ -307,6 +366,7 @@ impl Suite {
         let m = Measurement {
             name: name.to_string(),
             audit,
+            audit_mode,
             audit_timing,
             warmup,
             iters,
@@ -332,7 +392,7 @@ impl Suite {
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self.results.iter().map(Measurement::json).collect();
         format!(
-            "{{\"suite\":{},\"schema\":\"ncss-bench/2\",\"results\":[{}]}}\n",
+            "{{\"suite\":{},\"schema\":\"ncss-bench/3\",\"results\":[{}]}}\n",
             json_string(&self.name),
             results.join(",")
         )
@@ -415,11 +475,13 @@ mod tests {
         });
         let json = suite.to_json();
         assert!(json.starts_with("{\"suite\":\"json\\\"test\""));
-        assert!(json.contains("\"schema\":\"ncss-bench/2\""));
+        assert!(json.contains("\"schema\":\"ncss-bench/3\""));
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
         // Every entry carries an audit verdict; plain bench() records it
         // as "skipped".
         assert_eq!(json.matches("\"audit\":\"skipped\"").count(), 2);
+        // ...and an audit_mode, defaulting to the batch auditor.
+        assert_eq!(json.matches("\"audit_mode\":\"batch\"").count(), 2);
         // ...and every entry carries an audit_timing block (empty when the
         // measurement was not audit-gated).
         assert_eq!(json.matches("\"audit_timing\":{\"total_ns\":0,\"checks\":[]}").count(), 2);
@@ -475,6 +537,28 @@ mod tests {
         assert!(json.contains("\"name\":\"unaudited\",\"audit\":\"skipped\""), "{json}");
         assert_eq!(suite.audit_failures(), vec!["audited"]);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn incremental_mode_rows_are_tagged() {
+        let mut report = AuditReport::default();
+        report.record_timed("energy-recomputed", 2.5e-9, 1e-6, "fine".into(), 1200);
+        let mut suite = Suite::new("modes");
+        suite.bench_report_mode_with("soak_audited", Some(&report), AuditMode::Incremental, 0, 2, || {
+            busy_work();
+        });
+        suite.bench_report_with("soak", Some(&report), 0, 2, || {
+            busy_work();
+        });
+        let json = suite.to_json();
+        assert!(
+            json.contains("\"name\":\"soak_audited\",\"audit\":\"pass\",\"audit_mode\":\"incremental\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"soak\",\"audit\":\"pass\",\"audit_mode\":\"batch\""),
+            "{json}"
+        );
     }
 
     #[test]

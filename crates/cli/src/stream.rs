@@ -15,10 +15,16 @@
 //! * `--audit 1` rebuilds a full schedule from the spill ring and feeds it,
 //!   with the stream's own reported objectives, through the independent
 //!   `ScheduleAudit` — the same gate the batch algorithms face.
+//! * `--audit incremental` keeps the bounded-memory streaming configuration
+//!   and attaches an always-on `IncrementalAudit` to the event feed instead:
+//!   every retired segment and completion is checked in O(delta) as it
+//!   happens (a tripped check exits non-zero immediately, naming the check),
+//!   and the final report carries the same named checks as the batch
+//!   auditor (DESIGN.md §11).
 
 use crate::args::ParsedArgs;
 use ncss_analysis::{fmt_f, Table};
-use ncss_audit::{AuditConfig, ScheduleAudit};
+use ncss_audit::{AuditConfig, IncrementalAudit, ScheduleAudit, Trip};
 use ncss_core::streaming::{CStream, NcStream, StreamConfig};
 use ncss_core::{run_c, run_nc_uniform};
 use ncss_rng::{dist, Pcg64};
@@ -169,6 +175,33 @@ fn drain(ring: &mut SpillRing, keep: Option<&mut Vec<ncss_sim::Segment>>) {
     }
 }
 
+/// One step of the incremental feeding contract (DESIGN.md §11): retired
+/// segments first, then the completions the offer emitted. An eagerly
+/// tripped check becomes an immediate, named, non-zero exit.
+fn feed_incremental(
+    audit: &mut IncrementalAudit,
+    ring: &mut SpillRing,
+    completions: &mut Vec<(usize, f64, f64, f64)>,
+) -> Result<(), String> {
+    let fail = |t: Trip| {
+        format!(
+            "incremental audit tripped {}: residual {:.3e} — {}",
+            t.check, t.residual, t.detail
+        )
+    };
+    for seg in ring.drain() {
+        if let Some(t) = audit.on_segment(seg) {
+            return Err(fail(t));
+        }
+    }
+    for (id, completion, frac, int) in completions.drain(..) {
+        if let Some(t) = audit.on_complete(id, completion, frac, int) {
+            return Err(fail(t));
+        }
+    }
+    Ok(())
+}
+
 /// Entry point for `ncss stream`.
 pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
     let law = PowerLaw::new(args.f64_or("alpha", 3.0)?).map_err(|e| e.to_string())?;
@@ -179,7 +212,13 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
     }
     let every = args.usize_or("every", 1)?.max(1);
     let spill_cap = args.usize_or("spill", 4096)?;
-    let audit = args.usize_or("audit", 0)? == 1;
+    let audit_arg = args.get_or("audit", "0");
+    let (audit, audit_inc) = match audit_arg.as_str() {
+        "0" => (false, false),
+        "1" => (true, false),
+        "incremental" => (false, true),
+        other => return Err(format!("--audit expects 0|1|incremental, got '{other}'")),
+    };
     let check_batch = args.usize_or("check-batch", 0)? == 1;
     let assert_active = args.usize_or("assert-active", usize::MAX)?;
     // --strict 1: any spill-ring drop (segments evicted because the
@@ -202,6 +241,10 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
     let mut segments: Vec<ncss_sim::Segment> = Vec::new();
     let mut records: Vec<(usize, f64, f64, f64, f64)> = Vec::new(); // (id, completion, frac, int, base)
     let mut tally = Tally { offered: 0, emitted: 0 };
+    // Always-on auditor + the per-offer completion buffer of its feeding
+    // contract (segments are fed before the completions they precede).
+    let mut inc = audit_inc.then(|| IncrementalAudit::new(law, AuditConfig::default()));
+    let mut inc_buf: Vec<(usize, f64, f64, f64)> = Vec::new();
 
     let err = |e: ncss_sim::SimError| e.to_string();
     let (mut summary, stats) = match algo.as_str() {
@@ -212,9 +255,15 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
                 if retain {
                     jobs.push(job);
                 }
+                if let Some(a) = inc.as_mut() {
+                    a.on_release(tally.offered, job);
+                }
                 let mut sink = |c: ncss_core::CCompletion| {
                     if retain {
                         records.push((c.id, c.completion, c.frac_flow, c.int_flow, 0.0));
+                    }
+                    if audit_inc {
+                        inc_buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
                     }
                     tally.emitted += 1;
                     if emit == "completions" && tally.emitted % every == 0 {
@@ -226,13 +275,18 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
                 };
                 stream.offer(job, &mut sink).map_err(err)?;
                 tally.offered += 1;
-                if !retain {
+                if let Some(a) = inc.as_mut() {
+                    feed_incremental(a, stream.spill_mut(), &mut inc_buf)?;
+                } else if !retain {
                     drain(stream.spill_mut(), None);
                 }
             }
             let mut sink = |c: ncss_core::CCompletion| {
                 if retain {
                     records.push((c.id, c.completion, c.frac_flow, c.int_flow, 0.0));
+                }
+                if audit_inc {
+                    inc_buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
                 }
                 tally.emitted += 1;
                 if emit == "completions" && tally.emitted % every == 0 {
@@ -243,7 +297,11 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
                 }
             };
             let summary = stream.finish(&mut sink).map_err(err)?;
-            drain(stream.spill_mut(), retain.then_some(&mut segments));
+            if let Some(a) = inc.as_mut() {
+                feed_incremental(a, stream.spill_mut(), &mut inc_buf)?;
+            } else {
+                drain(stream.spill_mut(), retain.then_some(&mut segments));
+            }
             (summary, stream.stats())
         }
         "nc" => {
@@ -253,9 +311,15 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
                 if retain {
                     jobs.push(job);
                 }
+                if let Some(a) = inc.as_mut() {
+                    a.on_release(tally.offered, job);
+                }
                 let mut sink = |c: ncss_core::NcCompletion| {
                     if retain {
                         records.push((c.id, c.completion, c.frac_flow, c.int_flow, c.base_power));
+                    }
+                    if audit_inc {
+                        inc_buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
                     }
                     tally.emitted += 1;
                     if emit == "completions" && tally.emitted % every == 0 {
@@ -267,12 +331,18 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
                 };
                 stream.offer(job, &mut sink).map_err(err)?;
                 tally.offered += 1;
-                if !retain {
+                if let Some(a) = inc.as_mut() {
+                    feed_incremental(a, stream.spill_mut(), &mut inc_buf)?;
+                } else if !retain {
                     drain(stream.spill_mut(), None);
                 }
             }
             let summary = stream.finish().map_err(err)?;
-            drain(stream.spill_mut(), retain.then_some(&mut segments));
+            if let Some(a) = inc.as_mut() {
+                feed_incremental(a, stream.spill_mut(), &mut inc_buf)?;
+            } else {
+                drain(stream.spill_mut(), retain.then_some(&mut segments));
+            }
             (summary, stream.stats())
         }
         other => return Err(format!("stream supports --algorithm c|nc, got '{other}'")),
@@ -303,6 +373,23 @@ pub(crate) fn cmd_stream(args: &ParsedArgs) -> Result<String, String> {
     }
 
     let mut extra_rows: Vec<(String, String)> = Vec::new();
+    if let Some(a) = inc {
+        // Judged against the possibly `--corrupt`-skewed reported
+        // objective, so the probe must go red here exactly as it does for
+        // the batch audit gate.
+        let report = a.finalize(&summary.objective);
+        extra_rows.push((
+            "incremental audit".into(),
+            format!(
+                "{} (max residual {:.1e})",
+                if report.passed() { "PASS" } else { "FAIL" },
+                report.max_residual()
+            ),
+        ));
+        if !report.passed() {
+            return Err(format!("stream incremental audit FAILED:\n{}", report.render()));
+        }
+    }
     if retain {
         let per_job = per_job_of(&records, tally.offered);
         if check_batch {
@@ -463,6 +550,39 @@ mod tests {
         );
         let err = stream(&p, &[]).unwrap_err();
         assert!(err.contains("line 6"), "{err}");
+    }
+
+    #[test]
+    fn incremental_audit_passes_honest_runs_and_reports() {
+        for algo in ["c", "nc"] {
+            let out = run_cli(&v(&[
+                "stream", "--synthetic", "300", "--rate", "1.5", "--seed", "11", "--algorithm",
+                algo, "--audit", "incremental",
+            ]))
+            .unwrap();
+            assert!(out.contains("incremental audit"), "{algo}: {out}");
+            assert!(out.contains("PASS"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn incremental_audit_trips_on_corrupt_energy() {
+        let err = run_cli(&v(&[
+            "stream", "--synthetic", "200", "--rate", "1.5", "--seed", "11", "--audit",
+            "incremental", "--corrupt", "energy",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("energy-recomputed"), "{err}");
+        assert!(err.contains("FAIL"), "{err}");
+    }
+
+    #[test]
+    fn audit_flag_rejects_unknown_modes() {
+        let err = run_cli(&v(&[
+            "stream", "--synthetic", "10", "--audit", "sometimes",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--audit expects 0|1|incremental"), "{err}");
     }
 
     #[test]

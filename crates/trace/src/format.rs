@@ -22,7 +22,8 @@
 //! [`crate::TraceError::UnsupportedVersion`] rather than guessing.
 
 use crate::crc::crc32;
-use crate::snapshot::Checkpoint;
+use crate::snapshot::{put_audit, take_audit, Checkpoint};
+use ncss_audit::IncrementalSnapshot;
 use ncss_sim::{Job, Segment, SpeedLaw};
 
 /// File magic: identifies an `.nct` trace (the trailing byte is the magic's
@@ -53,6 +54,9 @@ pub mod kind {
     pub const CHECKPOINT: u8 = 0x06;
     /// Final tally. Last frame of a finalized trace, exactly once.
     pub const SUMMARY: u8 = 0x07;
+    /// An incremental-auditor snapshot riding alongside a checkpoint, so a
+    /// resumed run's audit verdicts match the uninterrupted run bitwise.
+    pub const AUDIT: u8 = 0x08;
 }
 
 /// Which streaming core produced (and can replay) a trace.
@@ -178,6 +182,9 @@ pub enum Event {
     /// A checkpoint of the full stream state (boxed: it is by far the
     /// largest variant).
     Checkpoint(Box<Checkpoint>),
+    /// An incremental-auditor snapshot (boxed: carries the active-job
+    /// working set), written next to the stream checkpoint it pairs with.
+    Audit(Box<IncrementalSnapshot>),
     /// The final tally; must be the last frame.
     Summary(TraceSummary),
 }
@@ -422,6 +429,10 @@ pub fn encode_event(seq: u64, event: &Event) -> (u8, Vec<u8>) {
             cp.encode_into(&mut out);
             (kind::CHECKPOINT, out)
         }
+        Event::Audit(snap) => {
+            put_audit(&mut out, snap);
+            (kind::AUDIT, out)
+        }
         Event::Summary(s) => {
             put_u64(&mut out, s.ingested);
             put_u64(&mut out, s.completed);
@@ -466,6 +477,7 @@ pub fn decode_event(frame_kind: u8, payload: &[u8]) -> Result<(u64, Event), Stri
         },
         kind::SEGMENT => Event::Segment(take_segment(&mut c, "segment")?),
         kind::CHECKPOINT => Event::Checkpoint(Box::new(Checkpoint::decode(&mut c)?)),
+        kind::AUDIT => Event::Audit(Box::new(take_audit(&mut c)?)),
         kind::SUMMARY => Event::Summary(TraceSummary {
             ingested: c.u64("summary.ingested")?,
             completed: c.u64("summary.completed")?,

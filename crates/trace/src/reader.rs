@@ -138,7 +138,7 @@ pub(crate) fn scan(bytes: &[u8]) -> (Vec<RawFrame>, u64, Option<TraceError>) {
         if crc32(body) != stored {
             return (frames, offset, Some(TraceError::CrcMismatch { offset }));
         }
-        if !(kind::HEADER..=kind::SUMMARY).contains(&frame_kind) {
+        if !(kind::HEADER..=kind::AUDIT).contains(&frame_kind) {
             let err = TraceError::UnknownFrameKind { offset, kind: frame_kind };
             return (frames, offset, Some(err));
         }
@@ -268,6 +268,21 @@ fn decode_validate(frames: &[RawFrame], require_summary: bool) -> Result<TraceFi
                         what: format!(
                             "checkpoint ingested {} but {} releases seen",
                             cp.ingested(),
+                            jobs.len()
+                        ),
+                    });
+                }
+            }
+            Event::Audit(snap) => {
+                // Structural validation happened in the decode; the only
+                // cross-frame invariant is that the auditor has not seen
+                // more releases than the log has.
+                if snap.released > jobs.len() as u64 {
+                    return Err(TraceError::Malformed {
+                        offset: frame.offset,
+                        what: format!(
+                            "audit snapshot saw {} releases but log has {}",
+                            snap.released,
                             jobs.len()
                         ),
                     });

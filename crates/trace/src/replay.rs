@@ -134,7 +134,7 @@ fn replay_c(
                 verify_checkpoint_c(cp, &stream, jobs.len())?;
                 checkpoints_verified += 1;
             }
-            Event::CompleteNc { .. } | Event::Summary(_) => {}
+            Event::CompleteNc { .. } | Event::Audit(_) | Event::Summary(_) => {}
         }
     }
     let mut sink = |c: CCompletion| completions.push(c);
@@ -199,7 +199,7 @@ fn replay_nc(
                 verify_checkpoint_nc(cp, &stream, jobs.len())?;
                 checkpoints_verified += 1;
             }
-            Event::CompleteC { .. } | Event::Summary(_) => {}
+            Event::CompleteC { .. } | Event::Audit(_) | Event::Summary(_) => {}
         }
     }
     let replayed = stream.finish()?;

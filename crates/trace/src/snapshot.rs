@@ -15,8 +15,9 @@
 //! tampered checkpoint must never panic or restore silently wrong.
 
 use crate::format::{
-    put_bool, put_f64, put_segment, put_u8, put_usize, take_segment, Algo, Cursor,
+    put_bool, put_f64, put_segment, put_u8, put_u64, put_usize, take_segment, Algo, Cursor,
 };
+use ncss_audit::IncrementalSnapshot;
 use ncss_core::streaming::{CStreamSnapshot, HeapEntry, NcStreamSnapshot};
 use ncss_sim::{ArenaSnapshot, SpillSnapshot};
 
@@ -270,6 +271,169 @@ fn take_nc(c: &mut Cursor<'_>) -> Result<NcStreamSnapshot, String> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-auditor snapshot codec (the `kind::AUDIT` frame body).
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of one active-job entry (id + 3 f64 + seg count);
+/// its segment list adds `SEGMENT_BYTES` each, guarded separately.
+const ACTIVE_MIN_BYTES: usize = 40;
+/// Encoded size of one pending-segment entry (index + job + segment + late).
+const PENDING_BYTES: usize = 8 + 8 + SEGMENT_BYTES + 1;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_str(c: &mut Cursor<'_>, what: &str) -> Result<String, String> {
+    let n = c.count(1, what)?;
+    let bytes = c.bytes(n, what)?;
+    std::str::from_utf8(bytes).map(str::to_string).map_err(|_| format!("{what}: invalid UTF-8"))
+}
+
+/// Append an [`IncrementalSnapshot`] body to `out` (every accumulator as
+/// `f64::to_bits`, so restore-and-continue reproduces verdicts bitwise).
+pub(crate) fn put_audit(out: &mut Vec<u8>, s: &IncrementalSnapshot) {
+    put_f64(out, s.alpha);
+    put_f64(out, s.rel_tol);
+    put_f64(out, s.time_tol);
+    put_u64(out, s.cross_check_stride);
+    put_u64(out, s.released);
+    put_u64(out, s.completed);
+    put_u64(out, s.seg_count);
+    put_f64(out, s.peak_speed);
+    put_f64(out, s.horizon);
+    put_f64(out, s.wf_prev_end);
+    put_f64(out, s.wf_worst);
+    put_str(out, &s.wf_detail);
+    put_f64(out, s.rel_worst);
+    put_str(out, &s.rel_detail);
+    put_f64(out, s.vol_a);
+    put_f64(out, s.vol_b);
+    put_f64(out, s.vol_sel);
+    put_str(out, &s.vol_detail);
+    put_f64(out, s.comp_worst);
+    put_str(out, &s.comp_detail);
+    put_f64(out, s.energy);
+    put_f64(out, s.frac_derived);
+    put_f64(out, s.int_derived);
+    put_f64(out, s.car_worst);
+    put_str(out, &s.car_detail);
+    put_f64(out, s.fdi_worst);
+    put_str(out, &s.fdi_detail);
+    put_f64(out, s.rep_frac);
+    put_f64(out, s.rep_int);
+    put_usize(out, s.active.len());
+    for (id, release, volume, density, segs) in &s.active {
+        put_u64(out, *id);
+        put_f64(out, *release);
+        put_f64(out, *volume);
+        put_f64(out, *density);
+        put_usize(out, segs.len());
+        for seg in segs {
+            put_segment(out, seg);
+        }
+    }
+    put_usize(out, s.pending.len());
+    for (index, job, seg, late) in &s.pending {
+        put_u64(out, *index);
+        put_u64(out, *job);
+        put_segment(out, seg);
+        put_bool(out, *late);
+    }
+}
+
+/// Decode an [`IncrementalSnapshot`] body. Structural only — restoring it
+/// through [`ncss_audit::IncrementalAudit::from_snapshot`] re-validates α.
+pub(crate) fn take_audit(c: &mut Cursor<'_>) -> Result<IncrementalSnapshot, String> {
+    let alpha = c.f64("audit.alpha")?;
+    let rel_tol = c.f64("audit.rel_tol")?;
+    let time_tol = c.f64("audit.time_tol")?;
+    let cross_check_stride = c.u64("audit.cross_check_stride")?;
+    let released = c.u64("audit.released")?;
+    let completed = c.u64("audit.completed")?;
+    let seg_count = c.u64("audit.seg_count")?;
+    let peak_speed = c.f64("audit.peak_speed")?;
+    let horizon = c.f64("audit.horizon")?;
+    let wf_prev_end = c.f64("audit.wf_prev_end")?;
+    let wf_worst = c.f64("audit.wf_worst")?;
+    let wf_detail = take_str(c, "audit.wf_detail")?;
+    let rel_worst = c.f64("audit.rel_worst")?;
+    let rel_detail = take_str(c, "audit.rel_detail")?;
+    let vol_a = c.f64("audit.vol_a")?;
+    let vol_b = c.f64("audit.vol_b")?;
+    let vol_sel = c.f64("audit.vol_sel")?;
+    let vol_detail = take_str(c, "audit.vol_detail")?;
+    let comp_worst = c.f64("audit.comp_worst")?;
+    let comp_detail = take_str(c, "audit.comp_detail")?;
+    let energy = c.f64("audit.energy")?;
+    let frac_derived = c.f64("audit.frac_derived")?;
+    let int_derived = c.f64("audit.int_derived")?;
+    let car_worst = c.f64("audit.car_worst")?;
+    let car_detail = take_str(c, "audit.car_detail")?;
+    let fdi_worst = c.f64("audit.fdi_worst")?;
+    let fdi_detail = take_str(c, "audit.fdi_detail")?;
+    let rep_frac = c.f64("audit.rep_frac")?;
+    let rep_int = c.f64("audit.rep_int")?;
+    let n_active = c.count(ACTIVE_MIN_BYTES, "audit.active")?;
+    let mut active = Vec::with_capacity(n_active);
+    for _ in 0..n_active {
+        let id = c.u64("audit.active.id")?;
+        let release = c.f64("audit.active.release")?;
+        let volume = c.f64("audit.active.volume")?;
+        let density = c.f64("audit.active.density")?;
+        let n_segs = c.count(SEGMENT_BYTES, "audit.active.segs")?;
+        let mut segs = Vec::with_capacity(n_segs);
+        for _ in 0..n_segs {
+            segs.push(take_segment(c, "audit.active.seg")?);
+        }
+        active.push((id, release, volume, density, segs));
+    }
+    let n_pending = c.count(PENDING_BYTES, "audit.pending")?;
+    let mut pending = Vec::with_capacity(n_pending);
+    for _ in 0..n_pending {
+        let index = c.u64("audit.pending.index")?;
+        let job = c.u64("audit.pending.job")?;
+        let seg = take_segment(c, "audit.pending.seg")?;
+        let late = c.bool("audit.pending.late")?;
+        pending.push((index, job, seg, late));
+    }
+    Ok(IncrementalSnapshot {
+        alpha,
+        rel_tol,
+        time_tol,
+        cross_check_stride,
+        released,
+        completed,
+        seg_count,
+        peak_speed,
+        horizon,
+        wf_prev_end,
+        wf_worst,
+        wf_detail,
+        rel_worst,
+        rel_detail,
+        vol_a,
+        vol_b,
+        vol_sel,
+        vol_detail,
+        comp_worst,
+        comp_detail,
+        energy,
+        frac_derived,
+        int_derived,
+        car_worst,
+        car_detail,
+        fdi_worst,
+        fdi_detail,
+        rep_frac,
+        rep_int,
+        active,
+        pending,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +512,68 @@ mod tests {
                 "cut at {cut}: decode accepted a truncated checkpoint"
             );
         }
+    }
+
+    fn populated_audit_snapshot() -> IncrementalSnapshot {
+        use ncss_audit::{AuditConfig, IncrementalAudit};
+        use ncss_sim::{Segment, SpeedLaw};
+        let law = PowerLaw::new(2.5).unwrap();
+        let mut audit = IncrementalAudit::new(law, AuditConfig::default());
+        audit.on_release(0, Job::new(0.0, 1.0, 2.0));
+        audit.on_release(1, Job::new(0.3, 0.5, 1.0));
+        let _ = audit.on_segment(Segment::new(0.0, 0.7, Some(0), SpeedLaw::Constant {
+            speed: 1.5,
+        }));
+        let _ =
+            audit.on_segment(Segment::new(0.7, 1.0, Some(7), SpeedLaw::Decay { w0: 2.0, rho: 1.0 }));
+        audit.snapshot()
+    }
+
+    #[test]
+    fn audit_snapshot_round_trips_bitwise() {
+        use ncss_audit::IncrementalAudit;
+        let snap = populated_audit_snapshot();
+        let mut bytes = Vec::new();
+        put_audit(&mut bytes, &snap);
+        let mut cursor = Cursor::new(&bytes);
+        let decoded = take_audit(&mut cursor).unwrap();
+        cursor.finish("audit").unwrap();
+        assert_eq!(decoded, snap);
+        // The decoded state must actually restore into a live auditor.
+        let restored = IncrementalAudit::from_snapshot(decoded).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn truncated_audit_snapshot_is_a_named_error_at_every_cut() {
+        let snap = populated_audit_snapshot();
+        let mut bytes = Vec::new();
+        put_audit(&mut bytes, &snap);
+        for cut in 0..bytes.len() {
+            let mut cursor = Cursor::new(&bytes[..cut]);
+            let res = take_audit(&mut cursor);
+            assert!(
+                res.is_err() || cursor.remaining() == 0,
+                "cut at {cut}: decode accepted a truncated audit snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_audit_count_does_not_allocate() {
+        let snap = populated_audit_snapshot();
+        let mut bytes = Vec::new();
+        put_audit(&mut bytes, &snap);
+        // The active-job count sits right after the fixed accumulators and
+        // the five detail strings; find it by re-encoding with a poisoned
+        // count instead of hunting for the offset: rewrite the last 8 bytes
+        // of the prefix before `active` encoding. Simpler: flip the pending
+        // count at the very end (fixed offset from the tail).
+        let tail = bytes.len() - PENDING_BYTES * snap.pending.len() - 8;
+        bytes[tail..tail + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = Cursor::new(&bytes);
+        let err = take_audit(&mut cursor).unwrap_err();
+        assert!(err.contains("audit.pending"), "unexpected message: {err}");
     }
 
     #[test]

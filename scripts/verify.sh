@@ -20,9 +20,11 @@
 #      go through the cross-machine auditor, and a deliberately
 #      corrupted report must come back non-zero
 #   7. stream smoke: the bounded-memory streaming core must match the
-#      batch runner bitwise and pass the audit, ingest stdin, and a
-#      corrupted streamed objective must exit non-zero; with NCSS_SOAK=1
-#      the ≥10M-release flat-memory soak bench runs too (off by default)
+#      batch runner bitwise and pass the audit (batch-rebuilt and O(delta)
+#      incremental), ingest stdin, and a corrupted streamed objective must
+#      exit non-zero under both audit modes; with NCSS_SOAK=1 the
+#      ≥10M-release flat-memory + audited-throughput soak bench runs too
+#      (off by default), bench-diffed against the committed baseline
 #   8. bench-diff smoke: each committed BENCH_*.json self-compares to
 #      zero regressions (exercises the JSON parser + diff engine on the
 #      real artifacts), and the tool's exit-code contract is probed
@@ -89,6 +91,24 @@ for algo in c nc; do
 done
 "$cli" stream --algorithm c --input - --alpha 2 --assert-active 64 < "$trace" > /dev/null \
     || { echo "FAIL: stream could not ingest stdin" >&2; exit 1; }
+# Always-on auditor: the O(delta) incremental audit rides the bounded-
+# memory configuration (no schedule rebuild) and must pass on honest runs.
+for algo in c nc; do
+    "$cli" stream --algorithm "$algo" --input "$trace" --alpha 2 \
+        --audit incremental > /dev/null \
+        || { echo "FAIL: stream $algo failed the incremental audit" >&2; exit 1; }
+done
+# Mandatory-red probe: the incremental auditor must reject a corrupted
+# streamed objective with a non-zero exit and a named check.
+inc_log="$(mktemp /tmp/ncss_verify_inc.XXXXXX.log)"
+if "$cli" stream --algorithm c --input "$trace" --alpha 2 \
+        --audit incremental --corrupt energy > /dev/null 2> "$inc_log"; then
+    echo "FAIL: corrupted streamed objective passed the incremental audit" >&2
+    rm -f "$inc_log"; exit 1
+fi
+grep -q "energy-recomputed" "$inc_log" \
+    || { echo "FAIL: incremental audit rejection did not name energy-recomputed" >&2; rm -f "$inc_log"; exit 1; }
+rm -f "$inc_log"
 if "$cli" stream --algorithm c --input "$trace" --alpha 2 \
         --check-batch 1 --corrupt energy > /dev/null 2>&1; then
     echo "FAIL: corrupted streamed objective passed the batch cross-check" >&2

@@ -11,12 +11,20 @@
 //!   many workers must produce bit-identical verdicts: same check names in
 //!   the same order, same pass/fail, same residual bits, same detail text.
 //!   Only the wall-clock `elapsed_ns` fields may differ.
+//! * **Incremental == batch parity** — feeding the same run through the
+//!   event-driven [`IncrementalAudit`] must reproduce the batch auditor's
+//!   verdicts: identical check names in identical order, identical
+//!   pass/fail, honest residuals bitwise equal, and every tampered
+//!   residual within an order of magnitude across the full
+//!   tamper × workload-suite × α matrix.
 
-use ncss::audit::{AuditConfig, AuditReport, MultiAudit, ScheduleAudit};
+use ncss::audit::{
+    AuditConfig, AuditReport, IncrementalAudit, IncrementalMultiAudit, MultiAudit, ScheduleAudit,
+};
 use ncss::core::run_c;
 use ncss::pool::Pool;
-use ncss::sim::{Evaluated, Instance, PowerLaw, Schedule};
-use ncss::workloads::{VolumeDist, WorkloadSpec};
+use ncss::sim::{Evaluated, Instance, Job, Objective, PerJob, PowerLaw, Schedule, Segment};
+use ncss::workloads::{DensityDist, VolumeDist, WorkloadSpec};
 use ncss_rng::Pcg64;
 
 const TRIALS: usize = 40;
@@ -240,4 +248,216 @@ fn serial_and_parallel_audits_are_bit_identical() {
         let p = MultiAudit::new(parallel_cfg).audit(&inst, &fleet, &reported);
         assert_reports_identical(&s, &p, &format!("seed {seed} fleet"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental == batch parity
+// ---------------------------------------------------------------------------
+
+/// α grid for the parity matrix — sub-quadratic, quadratic, super-quadratic.
+const PARITY_ALPHAS: [f64; 3] = [1.5, 2.0, 2.75];
+
+/// Release-ordered workload suites spanning uniform, skewed-density, and
+/// bursty arrivals.
+fn parity_suites() -> Vec<(&'static str, Instance)> {
+    let uniform = workload(21);
+    let mut spec = WorkloadSpec::uniform(8, 0.9, VolumeDist::Exponential { mean: 1.0 });
+    spec.densities = DensityDist::LogUniform { lo: 0.25, hi: 4.0 };
+    let nonuniform = spec.generate(23).expect("nonuniform suite");
+    let bursty = WorkloadSpec::uniform(10, 2.5, VolumeDist::Uniform { lo: 0.2, hi: 2.2 })
+        .generate(29)
+        .expect("bursty suite");
+    vec![("uniform", uniform), ("nonuniform", nonuniform), ("bursty", bursty)]
+}
+
+/// Feed a finished run through a fresh incremental auditor in event order:
+/// releases by job id, segments in schedule order, completions by job id.
+fn incremental_report(
+    law: PowerLaw,
+    jobs: &[Job],
+    segments: &[Segment],
+    per_job: &PerJob,
+    objective: &Objective,
+) -> AuditReport {
+    let mut audit = IncrementalAudit::new(law, AuditConfig::default());
+    for (id, job) in jobs.iter().enumerate() {
+        audit.on_release(id, *job);
+    }
+    for seg in segments {
+        let _ = audit.on_segment(*seg);
+    }
+    for j in 0..jobs.len() {
+        let _ = audit.on_complete(
+            j,
+            per_job.completion.get(j).copied().unwrap_or(f64::NAN),
+            per_job.frac_flow.get(j).copied().unwrap_or(f64::NAN),
+            per_job.int_flow.get(j).copied().unwrap_or(f64::NAN),
+        );
+    }
+    audit.finalize(objective)
+}
+
+/// Two residuals "agree" when they are bitwise equal, both non-finite, or
+/// within an order of magnitude of each other (the incremental path is
+/// allowed last-ulp divergence from fold-order differences, never a
+/// different magnitude of wrongness).
+fn residuals_same_order(a: f64, b: f64) -> bool {
+    if a.to_bits() == b.to_bits() {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return !a.is_finite() && !b.is_finite();
+    }
+    let (lo, hi) = if a.abs() <= b.abs() { (a.abs(), b.abs()) } else { (b.abs(), a.abs()) };
+    lo > 0.0 && hi / lo <= 10.0
+}
+
+/// Name-by-name parity: same checks in the same order, same verdicts,
+/// residuals of the same order (bitwise when `strict_bits`).
+fn assert_parity(batch: &AuditReport, inc: &AuditReport, context: &str, strict_bits: bool) {
+    assert_eq!(batch.checks.len(), inc.checks.len(), "{context}: check count");
+    for (b, i) in batch.checks.iter().zip(&inc.checks) {
+        assert_eq!(b.name, i.name, "{context}: check order");
+        assert_eq!(b.passed, i.passed, "{context}: {} verdict (batch {:?} vs inc {:?})",
+            b.name, b, i);
+        if strict_bits {
+            assert_eq!(
+                b.residual.to_bits(),
+                i.residual.to_bits(),
+                "{context}: {} residual batch {:e} vs incremental {:e}",
+                b.name,
+                b.residual,
+                i.residual
+            );
+        } else {
+            assert!(
+                residuals_same_order(b.residual, i.residual),
+                "{context}: {} residual order diverged: batch {:e} vs incremental {:e}",
+                b.name,
+                b.residual,
+                i.residual
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_and_batch_verdicts_agree_across_tamper_matrix() {
+    // One pool shard per (α, suite) cell; each cell audits the honest run
+    // plus every tamper kind through both auditors and returns violations.
+    let suites = parity_suites();
+    let cells: Vec<(usize, usize)> = (0..PARITY_ALPHAS.len())
+        .flat_map(|a| (0..suites.len()).map(move |s| (a, s)))
+        .collect();
+
+    let outcomes: Vec<Result<Vec<Tamper>, String>> = Pool::auto().map(&cells, |&(ai, si)| {
+        let alpha = PARITY_ALPHAS[ai];
+        let (suite, inst) = &suites[si];
+        let ctx = |what: &str| format!("α={alpha} suite={suite} {what}");
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+        let run = run_c(inst, law).map_err(|e| ctx(&format!("run failed: {e}")))?;
+        let reported = Evaluated { objective: run.objective, per_job: run.per_job };
+        let batch_auditor = ScheduleAudit::new(AuditConfig::default());
+
+        // Honest runs must pass both auditors with bitwise-equal residuals.
+        let batch = batch_auditor.audit(inst, &run.schedule, &reported);
+        let inc = incremental_report(
+            law,
+            inst.jobs(),
+            run.schedule.segments(),
+            &reported.per_job,
+            &reported.objective,
+        );
+        if !batch.passed() {
+            return Err(ctx(&format!("honest run failed batch audit:\n{batch}")));
+        }
+        if !inc.passed() {
+            return Err(ctx(&format!("honest run failed incremental audit:\n{inc}")));
+        }
+        assert_parity(&batch, &inc, &ctx("honest"), true);
+
+        // Every tamper kind the run's shape can host must trip identically.
+        let mut exercised = Vec::new();
+        let mut rng = Pcg64::seed_from_u64(0x1AC5 + (ai as u64) * 31 + si as u64);
+        for tamper in TAMPERS {
+            let Some((schedule, reported)) = apply(tamper, &mut rng, &run.schedule, &reported)
+            else {
+                continue;
+            };
+            let batch = batch_auditor.audit(inst, &schedule, &reported);
+            let inc = incremental_report(
+                law,
+                inst.jobs(),
+                schedule.segments(),
+                &reported.per_job,
+                &reported.objective,
+            );
+            if batch.passed() != inc.passed() {
+                return Err(ctx(&format!(
+                    "{tamper:?}: batch passed={} but incremental passed={}\n{batch}\n{inc}",
+                    batch.passed(),
+                    inc.passed()
+                )));
+            }
+            assert_parity(&batch, &inc, &ctx(&format!("{tamper:?}")), false);
+            if !batch.passed() {
+                exercised.push(tamper);
+            }
+        }
+        Ok(exercised)
+    });
+
+    let mut violations = Vec::new();
+    let mut tripped: Vec<Tamper> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(mut kinds) => tripped.append(&mut kinds),
+            Err(msg) => violations.push(msg),
+        }
+    }
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+    for tamper in TAMPERS {
+        assert!(
+            tripped.contains(&tamper),
+            "no matrix cell tripped {tamper:?} through both auditors — coverage regressed"
+        );
+    }
+}
+
+#[test]
+fn incremental_multi_matches_batch_multi_on_duplicated_fleet() {
+    // Same duplicated-fleet corruption as the batch cross-machine test,
+    // replayed through the event-driven fleet auditor: the verdict sheet
+    // must carry the same names, order, and pass/fail.
+    let inst = workload(7);
+    let law = PowerLaw::cube();
+    let run = run_c(&inst, law).expect("clean run");
+    let reported = Evaluated { objective: run.objective, per_job: run.per_job };
+    let fleet = vec![run.schedule.clone(), run.schedule.clone()];
+
+    let batch = MultiAudit::new(AuditConfig::default()).audit(&inst, &fleet, &reported);
+    let mut audit = IncrementalMultiAudit::new(vec![law; fleet.len()], AuditConfig::default());
+    for (id, job) in inst.jobs().iter().enumerate() {
+        audit.on_release(id, *job);
+    }
+    for (m, schedule) in fleet.iter().enumerate() {
+        for seg in schedule.segments() {
+            let _ = audit.on_segment(m, *seg);
+        }
+    }
+    for j in 0..inst.jobs().len() {
+        let _ = audit.on_complete(
+            j,
+            reported.per_job.completion[j],
+            reported.per_job.frac_flow[j],
+            reported.per_job.int_flow[j],
+        );
+    }
+    let inc = audit.finalize(&reported.objective);
+
+    assert!(!batch.passed() && !inc.passed(), "duplication must trip both auditors");
+    assert_parity(&batch, &inc, "duplicated fleet", false);
+    let batch_failed: Vec<&str> = batch.failures().iter().map(|c| c.name).collect();
+    let inc_failed: Vec<&str> = inc.failures().iter().map(|c| c.name).collect();
+    assert_eq!(batch_failed, inc_failed, "failure sets must match");
 }

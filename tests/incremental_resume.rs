@@ -1,0 +1,243 @@
+//! Kill/resume oracle for the **incremental auditor** (DESIGN.md §11).
+//!
+//! The streaming kill/resume oracle (`checkpoint_determinism.rs`) proves the
+//! scheduler cores restore bitwise; this suite attaches an
+//! [`IncrementalAudit`] to the stream and proves the *auditor* does too. For
+//! every workload suite × α × core, run to completion with the auditor fed
+//! after every offer, snapshotting both the stream and the auditor each
+//! time. Then for every kill index k: round-trip the stream checkpoint
+//! through the trace codec as an [`Event::Checkpoint`] frame and the auditor
+//! snapshot as an [`Event::Audit`] frame — the same bytes a `.nct` file
+//! carries — restore both, feed the remaining jobs, and require the resumed
+//! final report to be **bitwise identical** to the uninterrupted one: same
+//! check names in the same order, same verdicts, same residual bits, same
+//! detail text.
+
+use ncss::audit::{AuditConfig, AuditReport, IncrementalAudit, IncrementalSnapshot};
+use ncss::core::{CStream, NcStream, StreamConfig};
+use ncss::sim::{Job, PowerLaw, SpillRing};
+use ncss::trace::format::{decode_event, encode_event};
+use ncss::trace::{Checkpoint, Event};
+use ncss::workloads::{DensityDist, VolumeDist, WorkloadSpec};
+
+const ALPHAS: [f64; 2] = [2.0, 2.75];
+
+/// (name, uniform-density?, jobs) — release-ordered workload suites,
+/// mirroring the checkpoint-determinism oracle's shapes at a
+/// resume-friendly size. The NC core only accepts unit-density jobs.
+fn suites() -> Vec<(&'static str, bool, Vec<Job>)> {
+    let uniform = WorkloadSpec::uniform(14, 1.2, VolumeDist::Uniform { lo: 0.3, hi: 1.8 })
+        .generate(41)
+        .expect("uniform suite")
+        .jobs()
+        .to_vec();
+    let mut spec = WorkloadSpec::uniform(12, 0.9, VolumeDist::Exponential { mean: 1.0 });
+    spec.densities = DensityDist::LogUniform { lo: 0.25, hi: 4.0 };
+    let nonuniform = spec.generate(43).expect("nonuniform suite").jobs().to_vec();
+    let tiny = vec![
+        Job::unit_density(0.0, 2.0),
+        Job::unit_density(0.4, 1.0),
+        Job::unit_density(1.1, 0.5),
+    ];
+    vec![("uniform", true, uniform), ("nonuniform", false, nonuniform), ("tiny", true, tiny)]
+}
+
+/// Drain retired segments and buffered completions into the auditor — the
+/// same feeding contract the `stream` CLI uses. Verdicts are deferred to
+/// `finalize` here; the oracle compares full reports, not eager trips.
+fn feed(
+    audit: &mut IncrementalAudit,
+    ring: &mut SpillRing,
+    buf: &mut Vec<(usize, f64, f64, f64)>,
+) {
+    for seg in ring.drain() {
+        let _ = audit.on_segment(seg);
+    }
+    for (id, completion, frac, int) in buf.drain(..) {
+        let _ = audit.on_complete(id, completion, frac, int);
+    }
+}
+
+/// Round-trip a stream checkpoint and an auditor snapshot through the trace
+/// event codec — the exact frames a recorded `.nct` checkpoint carries.
+fn roundtrip(cp: Checkpoint, snap: IncrementalSnapshot) -> (Checkpoint, IncrementalSnapshot) {
+    let (kind, payload) = encode_event(0, &Event::Checkpoint(Box::new(cp)));
+    let cp = match decode_event(kind, &payload).expect("checkpoint frame decodes") {
+        (_, Event::Checkpoint(cp)) => *cp,
+        other => panic!("checkpoint round-trip produced {other:?}"),
+    };
+    let (kind, payload) = encode_event(1, &Event::Audit(Box::new(snap)));
+    let snap = match decode_event(kind, &payload).expect("audit frame decodes") {
+        (_, Event::Audit(snap)) => *snap,
+        other => panic!("audit round-trip produced {other:?}"),
+    };
+    (cp, snap)
+}
+
+/// One audited run: the final report plus, for the full run, the paired
+/// (stream checkpoint, auditor snapshot) taken after every offer.
+struct AuditedRun {
+    report: AuditReport,
+    checkpoints: Vec<(Checkpoint, IncrementalSnapshot)>,
+}
+
+fn full_c(jobs: &[Job], law: PowerLaw) -> AuditedRun {
+    let mut stream = CStream::new(law, StreamConfig::batch());
+    let mut audit = IncrementalAudit::new(law, AuditConfig::default());
+    let mut buf = Vec::new();
+    let mut checkpoints = Vec::new();
+    for (id, &job) in jobs.iter().enumerate() {
+        audit.on_release(id, job);
+        stream
+            .offer(job, &mut |c: ncss::core::CCompletion| {
+                buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+            })
+            .expect("offer");
+        feed(&mut audit, stream.spill_mut(), &mut buf);
+        checkpoints.push((Checkpoint::C(stream.snapshot()), audit.snapshot()));
+    }
+    let summary = stream
+        .finish(&mut |c: ncss::core::CCompletion| {
+            buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+        })
+        .expect("finish");
+    feed(&mut audit, stream.spill_mut(), &mut buf);
+    AuditedRun { report: audit.finalize(&summary.objective), checkpoints }
+}
+
+fn resume_c(cp: Checkpoint, snap: IncrementalSnapshot, jobs: &[Job], law: PowerLaw) -> AuditReport {
+    let (cp, snap) = roundtrip(cp, snap);
+    let Checkpoint::C(stream_snap) = cp else { panic!("wrong checkpoint algo") };
+    let skip = stream_snap.ingested;
+    let mut stream = CStream::from_snapshot(stream_snap).expect("restore stream");
+    let mut audit = IncrementalAudit::from_snapshot(snap).expect("restore auditor");
+    let _ = law;
+    let mut buf = Vec::new();
+    for (id, &job) in jobs.iter().enumerate().skip(skip) {
+        audit.on_release(id, job);
+        stream
+            .offer(job, &mut |c: ncss::core::CCompletion| {
+                buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+            })
+            .expect("resumed offer");
+        feed(&mut audit, stream.spill_mut(), &mut buf);
+    }
+    let summary = stream
+        .finish(&mut |c: ncss::core::CCompletion| {
+            buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+        })
+        .expect("resumed finish");
+    feed(&mut audit, stream.spill_mut(), &mut buf);
+    audit.finalize(&summary.objective)
+}
+
+fn full_nc(jobs: &[Job], law: PowerLaw) -> AuditedRun {
+    let mut stream = NcStream::new(law, StreamConfig::batch());
+    let mut audit = IncrementalAudit::new(law, AuditConfig::default());
+    let mut buf = Vec::new();
+    let mut checkpoints = Vec::new();
+    for (id, &job) in jobs.iter().enumerate() {
+        audit.on_release(id, job);
+        stream
+            .offer(job, &mut |c: ncss::core::NcCompletion| {
+                buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+            })
+            .expect("offer");
+        feed(&mut audit, stream.spill_mut(), &mut buf);
+        checkpoints.push((Checkpoint::Nc(stream.snapshot()), audit.snapshot()));
+    }
+    let summary = stream.finish().expect("finish");
+    feed(&mut audit, stream.spill_mut(), &mut buf);
+    AuditedRun { report: audit.finalize(&summary.objective), checkpoints }
+}
+
+fn resume_nc(
+    cp: Checkpoint,
+    snap: IncrementalSnapshot,
+    jobs: &[Job],
+    law: PowerLaw,
+) -> AuditReport {
+    let (cp, snap) = roundtrip(cp, snap);
+    let Checkpoint::Nc(stream_snap) = cp else { panic!("wrong checkpoint algo") };
+    let skip = stream_snap.ingested;
+    let mut stream = NcStream::from_snapshot(stream_snap).expect("restore stream");
+    let mut audit = IncrementalAudit::from_snapshot(snap).expect("restore auditor");
+    let _ = law;
+    let mut buf = Vec::new();
+    for (id, &job) in jobs.iter().enumerate().skip(skip) {
+        audit.on_release(id, job);
+        stream
+            .offer(job, &mut |c: ncss::core::NcCompletion| {
+                buf.push((c.id, c.completion, c.frac_flow, c.int_flow));
+            })
+            .expect("resumed offer");
+        feed(&mut audit, stream.spill_mut(), &mut buf);
+    }
+    let summary = stream.finish().expect("resumed finish");
+    feed(&mut audit, stream.spill_mut(), &mut buf);
+    audit.finalize(&summary.objective)
+}
+
+/// Bitwise report equality: names, order, verdicts, residual bits, detail.
+fn assert_reports_bitwise(full: &AuditReport, resumed: &AuditReport, ctx: &str) {
+    assert_eq!(full.checks.len(), resumed.checks.len(), "{ctx}: check count");
+    for (f, r) in full.checks.iter().zip(&resumed.checks) {
+        assert_eq!(f.name, r.name, "{ctx}: check order");
+        assert_eq!(f.passed, r.passed, "{ctx}: {} verdict", f.name);
+        assert_eq!(
+            f.residual.to_bits(),
+            r.residual.to_bits(),
+            "{ctx}: {} residual {:e} vs {:e}",
+            f.name,
+            f.residual,
+            r.residual
+        );
+        assert_eq!(f.detail, r.detail, "{ctx}: {} detail", f.name);
+    }
+}
+
+/// The oracle: kill at every offer index, resume stream + auditor from the
+/// codec-round-tripped frames, demand a bitwise-identical final report.
+fn oracle(
+    name: &str,
+    jobs: &[Job],
+    law: PowerLaw,
+    full: AuditedRun,
+    resume: impl Fn(Checkpoint, IncrementalSnapshot, &[Job], PowerLaw) -> AuditReport,
+) {
+    assert!(
+        full.report.passed(),
+        "{name} α={}: honest audited run failed:\n{}",
+        law.alpha(),
+        full.report.render()
+    );
+    for (k, (cp, snap)) in full.checkpoints.iter().enumerate() {
+        let ctx = format!("{name} α={} kill@{k}", law.alpha());
+        assert_eq!(snap.released, (k + 1) as u64, "{ctx}: auditor release count");
+        let resumed = resume(cp.clone(), snap.clone(), jobs, law);
+        assert_reports_bitwise(&full.report, &resumed, &ctx);
+    }
+}
+
+#[test]
+fn c_stream_audit_survives_kill_at_every_offer() {
+    for alpha in ALPHAS {
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+        for (name, _, jobs) in suites() {
+            oracle(name, &jobs, law, full_c(&jobs, law), resume_c);
+        }
+    }
+}
+
+#[test]
+fn nc_stream_audit_survives_kill_at_every_offer() {
+    for alpha in ALPHAS {
+        let law = PowerLaw::new(alpha).expect("valid alpha");
+        for (name, uniform, jobs) in suites() {
+            if !uniform {
+                continue;
+            }
+            oracle(name, &jobs, law, full_nc(&jobs, law), resume_nc);
+        }
+    }
+}

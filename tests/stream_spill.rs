@@ -189,3 +189,56 @@ fn honest_streamed_run_passes_audit() {
     let report = audit_of(&jobs, &segments, &reported);
     assert!(report.passed(), "honest run failed audit:\n{}", report.render());
 }
+
+/// Tamper case 1, incremental edition: the event-driven auditor sees only
+/// the segments a lossy ring kept, and must trip the same named
+/// `volume-conservation` check the batch auditor does — eagerly, at the
+/// first completion whose service history has a hole.
+#[test]
+fn incremental_audit_catches_dropped_segments_like_batch() {
+    use ncss::audit::IncrementalAudit;
+
+    let jobs = poisson_jobs(60, 2.0, 7);
+    let (summary, per_job, segments) = retained_run(&jobs);
+
+    // Same forced overflow as the batch test: replay the retained history
+    // through a tiny ring so only the most recent segments survive.
+    let mut ring = SpillRing::with_capacity(8);
+    for seg in &segments {
+        ring.push(*seg);
+    }
+    assert!(ring.dropped() > 0, "replay must overflow the 8-slot ring");
+    let kept: Vec<Segment> = ring.drain().collect();
+
+    let mut audit = IncrementalAudit::new(PowerLaw::cube(), AuditConfig::default());
+    for (id, job) in jobs.iter().enumerate() {
+        audit.on_release(id, *job);
+    }
+    for seg in &kept {
+        assert!(audit.on_segment(*seg).is_none(), "kept segments are individually honest");
+    }
+    let mut eager_trip = None;
+    for j in 0..jobs.len() {
+        if let Some(trip) =
+            audit.on_complete(j, per_job.completion[j], per_job.frac_flow[j], per_job.int_flow[j])
+        {
+            eager_trip.get_or_insert(trip);
+        }
+    }
+    let trip = eager_trip.expect("a lossy ring must trip an eager verdict");
+    assert_eq!(
+        trip.check, "volume-conservation",
+        "expected volume-conservation, got {} ({})",
+        trip.check, trip.detail
+    );
+
+    // The final report agrees with the batch auditor on the same evidence:
+    // failed, with volume-conservation among the named failures.
+    let report = audit.finalize(&summary.objective);
+    assert!(!report.passed(), "incremental audit must fail on a lossy schedule");
+    assert!(
+        report.failures().iter().any(|c| c.name == "volume-conservation"),
+        "expected volume-conservation among failures, got {:?}",
+        report.failures().iter().map(|c| c.name).collect::<Vec<_>>()
+    );
+}
