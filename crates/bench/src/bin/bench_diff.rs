@@ -23,10 +23,15 @@ baseline. A quantile or check regresses when it is both PCT percent and
 N nanoseconds slower; a residual regresses when it grows by more than F x
 past the noise floor R; an audit verdict that leaves \"pass\" always fails.
 
+Named \"metrics\" values (schema ncss-bench/4 — derived scalars such as
+the fleet k-sweep's degradation ratio) are compared to float slack: any
+real drift, loss, or nullification of a baseline metric fails the diff.
+
   --threshold PCT        relative slowdown to flag, percent (default 25)
   --floor-ns N           absolute slowdown floor, nanoseconds (default 50000)
   --residual-factor F    residual growth factor to flag (default 10)
   --residual-floor R     residuals below R are noise (default 1e-9)
+  --metric-rel-tol T     relative drift allowed on metrics (default 1e-6)
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -62,6 +67,10 @@ fn main() -> ExitCode {
             },
             "--residual-floor" => match flag("--residual-floor") {
                 Ok(v) => opts.residual_floor = v,
+                Err(e) => return fail(&e),
+            },
+            "--metric-rel-tol" => match flag("--metric-rel-tol") {
+                Ok(v) => opts.metric_rel_tol = v,
                 Err(e) => return fail(&e),
             },
             "--help" | "-h" => {
@@ -126,6 +135,7 @@ fn main() -> ExitCode {
             Kind::Residual => "RESIDUAL",
             Kind::Verdict => "VERDICT",
             Kind::Mode => "MODE",
+            Kind::Metric => "METRIC",
             Kind::Missing => "MISSING",
         };
         println!("  {tag:<10} {f}");

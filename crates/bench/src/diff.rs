@@ -24,6 +24,11 @@
 //!   `/2` rows default to `batch`) is **always** a regression — the row is
 //!   measuring a different auditor, so the trajectory is not comparable
 //!   until the baseline is regenerated;
+//! * a named `metrics` value (new in `ncss-bench/4` — derived scalars like
+//!   the fleet k-sweep's degradation ratio) regresses when it drifts
+//!   relatively by more than `metric_rel_tol`, or when a baseline metric
+//!   goes missing / non-finite — metrics are deterministic functions of the
+//!   committed traces, so *any* real drift means the algorithm changed;
 //! * entries present in the baseline but missing from the candidate are
 //!   regressions (a silently dropped bench reads as "covered" when it
 //!   isn't); new entries are reported but never fail the diff.
@@ -276,6 +281,10 @@ pub struct BenchEntry {
     pub checks: Vec<CheckRow>,
     /// The five timing quantiles, in `QUANTILES` order.
     pub quantiles: [u64; 5],
+    /// Named derived scalars (`metrics` object, new in `ncss-bench/4`);
+    /// `None` values were serialised as `null` (non-finite). Rows from
+    /// older schemas parse with an empty map.
+    pub metrics: BTreeMap<String, Option<f64>>,
 }
 
 /// The quantile keys of a bench entry, in document order.
@@ -286,14 +295,14 @@ pub const QUANTILES: [&str; 5] = ["min_ns", "mean_ns", "median_ns", "p95_ns", "m
 /// harness whose rows this reader would misinterpret. The diff refuses it
 /// with a named error (exit 2 in `bench-diff` — tool error, not a perf
 /// regression) instead of guessing.
-pub const KNOWN_SCHEMAS: [&str; 2] = ["ncss-bench/2", "ncss-bench/3"];
+pub const KNOWN_SCHEMAS: [&str; 3] = ["ncss-bench/2", "ncss-bench/3", "ncss-bench/4"];
 
 /// A parsed `BENCH_<suite>.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
     /// Suite name (`algorithms`, `opt`, …).
     pub suite: String,
-    /// Schema tag (`ncss-bench/2` or `ncss-bench/3`).
+    /// Schema tag (one of [`KNOWN_SCHEMAS`]).
     pub schema: String,
     /// All measurements, in file order.
     pub entries: Vec<BenchEntry>,
@@ -392,7 +401,38 @@ impl BenchDoc {
             for (q, key) in QUANTILES.iter().enumerate() {
                 quantiles[q] = req_u64(entry, key, &ctx)?;
             }
-            entries.push(BenchEntry { name, audit, audit_mode, audit_total_ns, checks, quantiles });
+            // `metrics` arrived with ncss-bench/4 and is omitted entirely
+            // on metric-free rows, so absence is not an error.
+            let mut metrics = BTreeMap::new();
+            match entry.get("metrics") {
+                None => {}
+                Some(Json::Object(map)) => {
+                    for (k, v) in map {
+                        let value = match v {
+                            Json::Null => None,
+                            Json::Number(x) => Some(*x),
+                            _ => {
+                                return Err(format!(
+                                    "{ctx} ({name:?}): metric {k:?} is not a number or null"
+                                ))
+                            }
+                        };
+                        metrics.insert(k.clone(), value);
+                    }
+                }
+                Some(_) => {
+                    return Err(format!("{ctx} ({name:?}): \"metrics\" is not an object"))
+                }
+            }
+            entries.push(BenchEntry {
+                name,
+                audit,
+                audit_mode,
+                audit_total_ns,
+                checks,
+                quantiles,
+                metrics,
+            });
         }
         Ok(Self { suite, schema, entries })
     }
@@ -419,11 +459,21 @@ pub struct DiffOptions {
     pub residual_factor: f64,
     /// Residuals below this are noise regardless of growth.
     pub residual_floor: f64,
+    /// Relative drift allowed on a named `metrics` value before it flags.
+    /// Metrics are deterministic functions of committed traces, so the
+    /// default is float-comparison slack, not a perf threshold.
+    pub metric_rel_tol: f64,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        Self { threshold: 0.25, floor_ns: 50_000, residual_factor: 10.0, residual_floor: 1e-9 }
+        Self {
+            threshold: 0.25,
+            floor_ns: 50_000,
+            residual_factor: 10.0,
+            residual_floor: 1e-9,
+            metric_rel_tol: 1e-6,
+        }
     }
 }
 
@@ -442,6 +492,10 @@ pub enum Kind {
     /// longer measuring the same auditor, so its trajectory is not
     /// comparable until the baseline is regenerated (always fatal).
     Mode,
+    /// A named `metrics` value drifted past `metric_rel_tol`, went
+    /// non-finite, or disappeared — a derived result (e.g. a degradation
+    /// ratio) changed, not just a timing.
+    Metric,
     /// A baseline entry or check is missing from the candidate.
     Missing,
 }
@@ -636,6 +690,45 @@ pub fn diff(base: &BenchDoc, new: &BenchDoc, opts: &DiffOptions) -> DiffReport {
                 (None, _) => {}
             }
         }
+
+        // Named metrics: deterministic derived scalars, compared to float
+        // slack. A metric the baseline has and the candidate lost (or that
+        // went non-finite) is flagged; candidate-only metrics are new
+        // coverage and pass silently, like added entries.
+        for (key, bv) in &b.metrics {
+            report.compared += 1;
+            let what = format!("{}#{}", b.name, key);
+            match (bv, n.metrics.get(key)) {
+                (Some(bm), Some(Some(nm))) => {
+                    let scale = bm.abs().max(1e-12);
+                    if ((nm - bm) / scale).abs() > opts.metric_rel_tol {
+                        report.regressions.push(Finding {
+                            kind: Kind::Metric,
+                            what,
+                            base: *bm,
+                            new: *nm,
+                            detail: format!("metric {bm:.6e} -> {nm:.6e}"),
+                        });
+                    }
+                }
+                (Some(bm), Some(None)) => report.regressions.push(Finding {
+                    kind: Kind::Metric,
+                    what,
+                    base: *bm,
+                    new: f64::INFINITY,
+                    detail: format!("metric {bm:.6e} -> non-finite"),
+                }),
+                (Some(bm), None) => report.regressions.push(Finding {
+                    kind: Kind::Metric,
+                    what,
+                    base: *bm,
+                    new: 0.0,
+                    detail: "metric present in baseline, missing from candidate".into(),
+                }),
+                // A baseline null never comparable; skip.
+                (None, _) => {}
+            }
+        }
     }
     report
 }
@@ -719,6 +812,7 @@ mod tests {
         assert!(err.contains("ncss-bench/9"), "{err}");
         assert!(err.contains("ncss-bench/2"), "{err}");
         assert!(err.contains("ncss-bench/3"), "{err}");
+        assert!(err.contains("ncss-bench/4"), "{err}");
         // Same for an ancient tag.
         let err = BenchDoc::parse(
             "{\"suite\":\"t\",\"schema\":\"ncss-bench/1\",\"results\":[]}",
@@ -843,6 +937,95 @@ mod tests {
         let gone = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "null", "pass"))).unwrap();
         let report = diff(&base, &gone, &DiffOptions::default());
         assert_eq!(report.regressions[0].kind, Kind::Residual);
+    }
+
+    fn doc4(entries: &str) -> String {
+        format!("{{\"suite\":\"fleet\",\"schema\":\"ncss-bench/4\",\"results\":[{entries}]}}")
+    }
+
+    fn entry4(name: &str, median: u64, metrics: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"audit\":\"pass\",\"audit_mode\":\"incremental\",\
+             \"audit_timing\":{{\"total_ns\":500,\
+             \"checks\":[{{\"name\":\"energy-recomputed\",\"elapsed_ns\":500,\"residual\":1e-15}}]}},\
+             \"warmup\":3,\"iters\":30,\"min_ns\":{median},\"mean_ns\":{median},\"median_ns\":{median},\
+             \"p95_ns\":{median},\"max_ns\":{median}{metrics}}}"
+        )
+    }
+
+    #[test]
+    fn schema_4_metrics_parse_and_default_empty() {
+        // A /4 row with metrics (including a null one) parses.
+        let text = doc4(&entry4("fleet/k64", 1000, ",\"metrics\":{\"ratio\":4.5,\"bound\":null}"));
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert_eq!(parsed.schema, "ncss-bench/4");
+        let m = &parsed.entries[0].metrics;
+        assert_eq!(m.get("ratio"), Some(&Some(4.5)));
+        assert_eq!(m.get("bound"), Some(&None));
+        // Metric-free /4 rows and all older-schema rows parse to empty maps.
+        let plain = BenchDoc::parse(&doc4(&entry4("fleet/k64", 1000, ""))).unwrap();
+        assert!(plain.entries[0].metrics.is_empty());
+        let old = BenchDoc::parse(&doc(&entry("a/1", 1000, 500, "1e-15", "pass"))).unwrap();
+        assert!(old.entries[0].metrics.is_empty());
+        // Malformed metrics are named errors.
+        let bad = doc4(&entry4("fleet/k64", 1000, ",\"metrics\":{\"ratio\":\"big\"}"));
+        let err = BenchDoc::parse(&bad).unwrap_err();
+        assert!(err.contains("ratio"), "{err}");
+        let bad = doc4(&entry4("fleet/k64", 1000, ",\"metrics\":[1,2]"));
+        assert!(BenchDoc::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn metric_drift_loss_and_nullification_are_regressions() {
+        let base = BenchDoc::parse(&doc4(&entry4(
+            "fleet/k64",
+            1000,
+            ",\"metrics\":{\"ratio\":4.5,\"bound\":8.0}",
+        )))
+        .unwrap();
+        // Identical metrics: clean.
+        assert!(diff(&base, &base, &DiffOptions::default()).passed());
+        // Sub-tolerance float noise: clean.
+        let noisy = BenchDoc::parse(&doc4(&entry4(
+            "fleet/k64",
+            1000,
+            ",\"metrics\":{\"ratio\":4.5000000001,\"bound\":8.0}",
+        )))
+        .unwrap();
+        assert!(diff(&base, &noisy, &DiffOptions::default()).passed());
+        // Real drift on one metric: exactly one Metric finding.
+        let drifted = BenchDoc::parse(&doc4(&entry4(
+            "fleet/k64",
+            1000,
+            ",\"metrics\":{\"ratio\":4.6,\"bound\":8.0}",
+        )))
+        .unwrap();
+        let report = diff(&base, &drifted, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, Kind::Metric);
+        assert_eq!(report.regressions[0].what, "fleet/k64#ratio");
+        // A metric that disappears or goes null is flagged too.
+        let lost = BenchDoc::parse(&doc4(&entry4(
+            "fleet/k64",
+            1000,
+            ",\"metrics\":{\"bound\":8.0}",
+        )))
+        .unwrap();
+        let report = diff(&base, &lost, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, Kind::Metric);
+        let nulled = BenchDoc::parse(&doc4(&entry4(
+            "fleet/k64",
+            1000,
+            ",\"metrics\":{\"ratio\":null,\"bound\":8.0}",
+        )))
+        .unwrap();
+        let report = diff(&base, &nulled, &DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        // Candidate-only metrics are new coverage, not failures; and a
+        // metric-free baseline never flags a metric-carrying candidate.
+        let report = diff(&lost, &base, &DiffOptions::default());
+        assert!(report.passed(), "{:?}", report.regressions);
     }
 
     #[test]

@@ -187,13 +187,30 @@ pub struct Measurement {
     pub p95_ns: u64,
     /// Slowest iteration, nanoseconds.
     pub max_ns: u64,
+    /// Named scalar results the bench derived alongside the timing — e.g.
+    /// the fleet k-sweep's measured degradation ratio next to the paper's
+    /// `k^{1−1/α}` bound. Serialised as a `"metrics":{...}` object (schema
+    /// `ncss-bench/4`) only when non-empty, so rows without metrics are
+    /// byte-identical to the `ncss-bench/3` layout. `bench-diff` compares
+    /// metrics by relative drift the way it compares residuals.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Measurement {
     fn json(&self) -> String {
+        let metrics = if self.metrics.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), json_f64(*v)))
+                .collect();
+            format!(",\"metrics\":{{{}}}", rows.join(","))
+        };
         format!(
             "{{\"name\":{},\"audit\":{},\"audit_mode\":{},\"audit_timing\":{},\"warmup\":{},\"iters\":{},\
-             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}{}}}",
             json_string(&self.name),
             json_string(self.audit.as_str()),
             json_string(self.audit_mode.as_str()),
@@ -205,6 +222,7 @@ impl Measurement {
             self.median_ns,
             self.p95_ns,
             self.max_ns,
+            metrics,
         )
     }
 }
@@ -321,9 +339,28 @@ impl Suite {
         iters: u32,
         f: F,
     ) {
+        self.bench_report_mode_metrics_with(name, report, mode, Vec::new(), warmup, iters, f);
+    }
+
+    /// Like [`Suite::bench_report_mode_with`], but attaching named scalar
+    /// `metrics` to the row (schema `ncss-bench/4`) — derived quantities the
+    /// bench wants baselined alongside its timing, such as the fleet
+    /// k-sweep's measured dispatch-degradation ratio and the paper's
+    /// `k^{1−1/α}` bound for that k.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bench_report_mode_metrics_with<F: FnMut()>(
+        &mut self,
+        name: &str,
+        report: Option<&AuditReport>,
+        mode: AuditMode,
+        metrics: Vec<(String, f64)>,
+        warmup: u32,
+        iters: u32,
+        f: F,
+    ) {
         let audit = report.map_or(AuditVerdict::Skipped, |r| AuditVerdict::from_passed(r.passed()));
         let timing = report.map(AuditTiming::from_report).unwrap_or_default();
-        self.measure_mode(name, audit, mode, timing, warmup, iters, f);
+        self.measure_full(name, audit, mode, timing, metrics, warmup, iters, f);
     }
 
     fn measure<F: FnMut()>(
@@ -335,16 +372,17 @@ impl Suite {
         iters: u32,
         f: F,
     ) {
-        self.measure_mode(name, audit, AuditMode::Batch, audit_timing, warmup, iters, f);
+        self.measure_full(name, audit, AuditMode::Batch, audit_timing, Vec::new(), warmup, iters, f);
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn measure_mode<F: FnMut()>(
+    fn measure_full<F: FnMut()>(
         &mut self,
         name: &str,
         audit: AuditVerdict,
         audit_mode: AuditMode,
         audit_timing: AuditTiming,
+        metrics: Vec<(String, f64)>,
         warmup: u32,
         iters: u32,
         mut f: F,
@@ -375,6 +413,7 @@ impl Suite {
             median_ns: percentile(&samples, 50.0),
             p95_ns: percentile(&samples, 95.0),
             max_ns: *samples.last().expect("at least one sample"),
+            metrics,
         };
         eprintln!(
             "  {:<44} median {:>12} ns   p95 {:>12} ns   ({} iters, audit {})",
@@ -392,7 +431,7 @@ impl Suite {
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self.results.iter().map(Measurement::json).collect();
         format!(
-            "{{\"suite\":{},\"schema\":\"ncss-bench/3\",\"results\":[{}]}}\n",
+            "{{\"suite\":{},\"schema\":\"ncss-bench/4\",\"results\":[{}]}}\n",
             json_string(&self.name),
             results.join(",")
         )
@@ -475,7 +514,10 @@ mod tests {
         });
         let json = suite.to_json();
         assert!(json.starts_with("{\"suite\":\"json\\\"test\""));
-        assert!(json.contains("\"schema\":\"ncss-bench/3\""));
+        assert!(json.contains("\"schema\":\"ncss-bench/4\""));
+        // Rows without metrics serialise without a metrics key at all, so
+        // pre-/4 readers see the exact /3 row layout.
+        assert!(!json.contains("\"metrics\""));
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
         // Every entry carries an audit verdict; plain bench() records it
         // as "skipped".
@@ -559,6 +601,33 @@ mod tests {
             json.contains("\"name\":\"soak\",\"audit\":\"pass\",\"audit_mode\":\"batch\""),
             "{json}"
         );
+    }
+
+    #[test]
+    fn metrics_rows_serialise_and_skip_when_empty() {
+        let mut suite = Suite::new("metrics");
+        suite.bench_report_mode_metrics_with(
+            "fleet_replay/k64",
+            None,
+            AuditMode::Incremental,
+            vec![("ratio".to_string(), 4.5), ("bound".to_string(), f64::NAN)],
+            0,
+            2,
+            || {
+                busy_work();
+            },
+        );
+        suite.bench_with("plain", 0, 2, || {
+            busy_work();
+        });
+        let json = suite.to_json();
+        // Metrics land as a keyed object after the quantiles; non-finite
+        // values serialise as null like residuals do.
+        assert!(json.contains(",\"metrics\":{\"ratio\":4.5e0,\"bound\":null}}"), "{json}");
+        // The metric-free row has no metrics key.
+        let plain = json.split("\"name\":\"plain\"").nth(1).expect("plain row");
+        assert!(!plain.contains("\"metrics\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -53,6 +53,18 @@ commands:
            --corrupt energy|frac-flow|int-flow|completion|schedule tampers
            with the run before auditing (the audit MUST then fail) — the
            end-to-end self-test of the audit gate
+  fleet    --input FILE [--algorithm c-par|nc-par|dispatch] [--alpha ALPHA]
+           [--machines K] [--threads T] [--audit incremental|batch]
+           [--check-serial 0|1] [--corrupt WHAT] [--max-rows N]
+           sharded multi-machine run: the serial dispatcher records a
+           deterministic dispatch log, per-machine event queues replay as
+           worker-pool tasks (--threads T, default auto), and the
+           event-driven cross-machine auditor gates the merged outcome
+           (--audit incremental, default; batch uses MultiAudit). Unless
+           --check-serial 0, the serial runner is re-run and the sharded
+           outcome must match it bit for bit (DESIGN.md §12). --corrupt
+           as for 'audit' tampers with the outcome so the gate must go
+           red. Exits non-zero on audit failure or bitwise divergence
   stream   --input FILE|- [--algorithm c|nc] [--alpha ALPHA] [--spill CAP]
            [--emit summary|completions] [--every N] [--audit 0|1]
            [--check-batch 0|1] [--assert-active N]
@@ -574,6 +586,7 @@ pub fn run_cli(raw: &[String]) -> Result<String, String> {
         "gantt" => cmd_gantt(&args),
         "sweep" => cmd_sweep(&args),
         "audit" => cmd_audit(&args),
+        "fleet" => crate::fleet_cmd::cmd_fleet(&args),
         "stream" => crate::stream::cmd_stream(&args),
         "record" => crate::trace_cmd::cmd_record(&args),
         "replay" => crate::trace_cmd::cmd_replay(&args),

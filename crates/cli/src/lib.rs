@@ -20,6 +20,7 @@
 
 mod args;
 mod commands;
+mod fleet_cmd;
 mod stream;
 mod trace_cmd;
 

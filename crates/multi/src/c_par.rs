@@ -109,8 +109,16 @@ pub(crate) fn remap_schedule(schedule: &Schedule, ids: &[usize]) -> SimResult<Sc
     Schedule::new(schedule.power_law(), segments)
 }
 
-/// Run C-PAR on `machines` identical machines.
-pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResult<ParOutcome> {
+/// The C-PAR greedy dispatch rule on its own: the machine index chosen for
+/// each job, in release order. Factored out of [`run_c_par`] so the serial
+/// runner and the fleet's [`crate::fleet::DispatchLog`] share one
+/// implementation of the tie-break semantics — the dispatch decisions feeding
+/// the sharded executor are the serial runner's decisions by construction.
+pub(crate) fn greedy_c_par_assignment(
+    instance: &Instance,
+    law: PowerLaw,
+    machines: usize,
+) -> SimResult<Vec<usize>> {
     validate_machines(machines)?;
     let n = instance.len();
     let mut assigned: Vec<Vec<Job>> = vec![Vec::new(); machines];
@@ -148,7 +156,13 @@ pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResu
         assigned[best].push(*job);
         cached[best] = None;
     }
+    Ok(assignment)
+}
 
+/// Run C-PAR on `machines` identical machines.
+pub fn run_c_par(instance: &Instance, law: PowerLaw, machines: usize) -> SimResult<ParOutcome> {
+    let n = instance.len();
+    let assignment = greedy_c_par_assignment(instance, law, machines)?;
     let parts = split_by_assignment(instance, &assignment, machines)?;
     let mut objective = Objective::default();
     let mut per_machine = Vec::with_capacity(machines);

@@ -19,16 +19,23 @@
 #      trace must pass the independent audit; the parallel algorithms
 #      go through the cross-machine auditor, and a deliberately
 #      corrupted report must come back non-zero
-#   7. stream smoke: the bounded-memory streaming core must match the
+#   7. fleet smoke: the sharded multi-machine runners (dispatch log +
+#      per-machine pool tasks, DESIGN.md §12) must match the serial
+#      runners bitwise and pass the incremental cross-machine audit;
+#      a corrupted outcome must come back non-zero naming the tripped
+#      check; with NCSS_SOAK=1 the full k-sweep study regenerates
+#      BENCH_fleet.json and bench-diffs it against the committed
+#      baseline (metrics held to float slack)
+#   8. stream smoke: the bounded-memory streaming core must match the
 #      batch runner bitwise and pass the audit (batch-rebuilt and O(delta)
 #      incremental), ingest stdin, and a corrupted streamed objective must
 #      exit non-zero under both audit modes; with NCSS_SOAK=1 the
 #      ≥10M-release flat-memory + audited-throughput soak bench runs too
 #      (off by default), bench-diffed against the committed baseline
-#   8. bench-diff smoke: each committed BENCH_*.json self-compares to
+#   9. bench-diff smoke: each committed BENCH_*.json self-compares to
 #      zero regressions (exercises the JSON parser + diff engine on the
 #      real artifacts), and the tool's exit-code contract is probed
-#   9. warning-clean `cargo doc --no-deps`
+#  10. warning-clean `cargo doc --no-deps`
 #
 # Run from anywhere; it cd's to the repo root.
 
@@ -50,8 +57,8 @@ fault_start=$(date +%s)
 cargo test --release -q --offline --test fault_contract
 echo "fault contract wall-time: $(($(date +%s) - fault_start))s"
 
-echo "==> cargo test --release -q --offline --test closed_form_quadrature --test audit_property"
-cargo test --release -q --offline --test closed_form_quadrature --test audit_property
+echo "==> cargo test --release -q --offline --test closed_form_quadrature --test audit_property --test fleet_identity"
+cargo test --release -q --offline --test closed_form_quadrature --test audit_property --test fleet_identity
 
 echo "==> audit smoke (ncss-cli audit on a generated trace)"
 cli=target/release/ncss-cli
@@ -79,6 +86,36 @@ if "$cli" audit --algorithm nc-par --machines 3 --input "$trace" --alpha 2 \
     exit 1
 fi
 echo "multi audit smoke passed"
+
+echo "==> fleet smoke (sharded runners vs serial, incremental audit gate)"
+# Every sharded algorithm on a small fleet must reproduce the serial runner
+# bit for bit (the command itself enforces --check-serial 1 by default) and
+# pass the event-driven cross-machine audit.
+for algo in c-par nc-par dispatch; do
+    "$cli" fleet --algorithm "$algo" --machines 4 --threads 3 --input "$trace" \
+        --alpha 2 --audit incremental > /dev/null \
+        || { echo "FAIL: sharded $algo diverged from serial or failed audit" >&2; exit 1; }
+done
+# Mandatory-red probe: a corrupted sharded outcome must exit non-zero AND
+# name the tripped check in the report.
+fleet_log="$(mktemp /tmp/ncss_verify_fleet.XXXXXX.log)"
+if "$cli" fleet --algorithm nc-par --machines 4 --input "$trace" --alpha 2 \
+        --audit incremental --corrupt energy > /dev/null 2> "$fleet_log"; then
+    echo "FAIL: corrupted sharded outcome passed the fleet audit" >&2
+    rm -f "$fleet_log"; exit 1
+fi
+grep -q "energy-recomputed" "$fleet_log" \
+    || { echo "FAIL: fleet audit rejection did not name energy-recomputed" >&2; rm -f "$fleet_log"; exit 1; }
+# A phantom duplicate machine timeline must trip the cross-machine check.
+if "$cli" fleet --algorithm c-par --machines 4 --input "$trace" --alpha 2 \
+        --corrupt schedule > /dev/null 2> "$fleet_log"; then
+    echo "FAIL: duplicated machine timeline passed the fleet audit" >&2
+    rm -f "$fleet_log"; exit 1
+fi
+grep -q "no-double-service" "$fleet_log" \
+    || { echo "FAIL: fleet audit rejection did not name no-double-service" >&2; rm -f "$fleet_log"; exit 1; }
+rm -f "$fleet_log"
+echo "fleet smoke passed"
 
 echo "==> stream smoke (bounded-memory streaming vs batch, bitwise)"
 # The streamed run must agree with the batch runner bitwise and pass the
@@ -177,6 +214,15 @@ if [ "${NCSS_SOAK:-0}" = "1" ]; then
     target/release/bench-diff BENCH_stream.json "$bench_out/BENCH_stream.json" \
         --threshold 10000 --floor-ns 1000000000 \
         || { echo "FAIL: fresh soak artifact regressed vs committed baseline" >&2; rm -rf "$bench_out"; exit 1; }
+    echo "==> fleet k-sweep bench (cargo bench -p ncss-bench --bench perf_fleet)"
+    # Regenerate the k ∈ {2..4096} sharded study and hold it to the committed
+    # baseline: generous timing headroom, but the deterministic `metrics`
+    # columns (degradation ratios, lower-bound envelopes, log-log slopes) are
+    # compared to float slack — any real drift means the algorithm changed.
+    NCSS_BENCH_DIR="$bench_out" cargo bench --offline -p ncss-bench --bench perf_fleet
+    target/release/bench-diff BENCH_fleet.json "$bench_out/BENCH_fleet.json" \
+        --threshold 10000 --floor-ns 1000000000 \
+        || { echo "FAIL: fresh fleet k-sweep regressed vs committed baseline" >&2; rm -rf "$bench_out"; exit 1; }
     rm -rf "$bench_out"
     echo "soak bench passed"
 fi
@@ -202,6 +248,17 @@ rc=0
     > /dev/null 2>&1 || rc=$?
 if [ "$rc" != "1" ]; then
     echo "FAIL: bench-diff exit $rc on an audit verdict flip (want 1)" >&2
+    rm -f "$bench_tmp"; exit 1
+fi
+# Metric-drift probe: a deterministic `metrics` scalar (schema /4) that
+# moves past float slack — here every fleet row's job count — must be a
+# regression (exit 1) regardless of timing headroom.
+sed 's/"jobs":[0-9.e+-]*/"jobs":1e0/g' BENCH_fleet.json > "$bench_tmp"
+rc=0
+"$bench_diff" BENCH_fleet.json "$bench_tmp" --threshold 10000 --floor-ns 1000000000 \
+    > /dev/null 2>&1 || rc=$?
+if [ "$rc" != "1" ]; then
+    echo "FAIL: bench-diff exit $rc on a drifted fleet metric (want 1)" >&2
     rm -f "$bench_tmp"; exit 1
 fi
 # Schema-drift probe: an unknown ncss-bench/N is a named tool error (exit

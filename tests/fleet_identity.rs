@@ -1,0 +1,228 @@
+//! Serial == sharded bitwise identity for the fleet (DESIGN.md §12).
+//!
+//! The sharded executors in `ncss_multi::fleet` claim more than agreement
+//! to tolerance: for every dispatch log, replaying per-machine event queues
+//! as pool tasks must reproduce the serial runners **bit for bit** —
+//! objectives, per-job completions and flows, per-machine timelines, and
+//! the audit verdicts gating the run. This property is what makes the
+//! k-sweep study (`BENCH_fleet.json`) trustworthy: a sharded cell is the
+//! serial algorithm's cell, not an approximation of it.
+//!
+//! Matrix: k ∈ {1, 2, 7, 64} × two workload suites (a diverse
+//! uniform-density suite and a bursty tie-heavy suite) × α ∈ {2, 2.75},
+//! for C-PAR, NC-PAR, and the immediate-dispatch policies, across several
+//! pool widths (1 worker, oversubscribed, auto).
+
+use ncss::audit::{AuditConfig, MultiAudit};
+use ncss::multi::fleet::{
+    audit_fleet, replay_nc_assigned, run_c_par_sharded, run_nc_par_sharded, DispatchLog,
+};
+use ncss::multi::{
+    run_c_par, run_immediate_dispatch, run_nc_par, LeastCount, ParOutcome, RoundRobin,
+    SeededRandom,
+};
+use ncss::pool::Pool;
+use ncss::sim::{Evaluated, Instance, Job, PowerLaw};
+use ncss::workloads::suite::uniform_suite;
+use ncss::workloads::{VolumeDist, WorkloadSpec};
+
+const KS: [usize; 4] = [1, 2, 7, 64];
+const ALPHAS: [f64; 2] = [2.0, 2.75];
+
+/// Suite 1: a spread of the standard uniform-density workloads (sizes,
+/// volume distributions, arrival rates), subsampled for wall-time.
+fn diverse_suite() -> Vec<Instance> {
+    uniform_suite(41).into_iter().step_by(7).collect()
+}
+
+/// Suite 2: bursty, tie-heavy arrivals — coincident releases and bimodal
+/// volumes are where dispatch tie-breaks and availability-slack edge cases
+/// live, so bitwise identity is hardest here.
+fn bursty_suite() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for (n, seed) in [(9usize, 3u64), (26, 5), (48, 8)] {
+        let spec = WorkloadSpec::uniform(
+            n,
+            6.0,
+            VolumeDist::Bimodal { small: 0.05, large: 4.0, p_large: 0.2 },
+        );
+        let inst = spec.generate(seed).expect("bursty spec");
+        // Quantise releases onto a coarse grid to force exact ties.
+        let jobs: Vec<Job> = inst
+            .jobs()
+            .iter()
+            .map(|j| Job::unit_density((j.release * 2.0).floor() / 2.0, j.volume))
+            .collect();
+        out.push(Instance::new(jobs).expect("bursty instance"));
+    }
+    out
+}
+
+fn pools() -> Vec<Pool> {
+    vec![Pool::with_threads(1), Pool::with_threads(13), Pool::auto()]
+}
+
+#[track_caller]
+fn assert_bitwise(serial: &ParOutcome, sharded: &ParOutcome, ctx: &str) {
+    assert_eq!(serial.assignment, sharded.assignment, "{ctx}: assignment");
+    for (what, s, p) in [
+        ("energy", serial.objective.energy, sharded.objective.energy),
+        ("frac_flow", serial.objective.frac_flow, sharded.objective.frac_flow),
+        ("int_flow", serial.objective.int_flow, sharded.objective.int_flow),
+    ] {
+        assert_eq!(s.to_bits(), p.to_bits(), "{ctx}: objective {what} {s:?} vs {p:?}");
+    }
+    for j in 0..serial.per_job.completion.len() {
+        assert_eq!(
+            serial.per_job.completion[j].to_bits(),
+            sharded.per_job.completion[j].to_bits(),
+            "{ctx}: job {j} completion"
+        );
+        assert_eq!(
+            serial.per_job.frac_flow[j].to_bits(),
+            sharded.per_job.frac_flow[j].to_bits(),
+            "{ctx}: job {j} frac flow"
+        );
+        assert_eq!(
+            serial.per_job.int_flow[j].to_bits(),
+            sharded.per_job.int_flow[j].to_bits(),
+            "{ctx}: job {j} int flow"
+        );
+    }
+    assert_eq!(serial.schedules.len(), sharded.schedules.len(), "{ctx}: machine count");
+    for (m, (ss, ps)) in serial.schedules.iter().zip(&sharded.schedules).enumerate() {
+        assert_eq!(ss.segments(), ps.segments(), "{ctx}: machine {m} timeline");
+    }
+}
+
+/// The audit gate agrees too: the event-driven fleet auditor on the sharded
+/// outcome emits the same checks with the same verdicts as the batch
+/// cross-machine auditor on the serial outcome — and both pass. (Residuals
+/// are *not* compared bitwise here: the two auditors accumulate across
+/// machines in different orders, so honest residuals agree in magnitude but
+/// not bits; the bitwise claim is between serial and sharded *runs*, whose
+/// identical inputs make the incremental auditor's residuals equal by
+/// construction.)
+#[track_caller]
+fn assert_audit_parity(inst: &Instance, law: PowerLaw, serial: &ParOutcome, sharded: &ParOutcome, ctx: &str) {
+    let reported =
+        Evaluated { objective: serial.objective, per_job: serial.per_job.clone() };
+    let batch = MultiAudit::default().audit(inst, &serial.schedules, &reported);
+    let incremental = audit_fleet(inst, law, sharded, AuditConfig::default());
+    assert!(batch.passed(), "{ctx}: serial batch audit failed\n{}", batch.render());
+    assert!(
+        incremental.passed(),
+        "{ctx}: sharded incremental audit failed\n{}",
+        incremental.render()
+    );
+    assert_eq!(batch.checks.len(), incremental.checks.len(), "{ctx}: check count");
+    for (b, i) in batch.checks.iter().zip(&incremental.checks) {
+        assert_eq!(b.name, i.name, "{ctx}: check order");
+        assert_eq!(b.passed, i.passed, "{ctx}: {} verdict", b.name);
+    }
+    // The incremental auditor itself IS bitwise across serial vs sharded
+    // inputs: same events in, same residuals out.
+    let on_serial = audit_fleet(inst, law, serial, AuditConfig::default());
+    for (s, p) in on_serial.checks.iter().zip(&incremental.checks) {
+        assert_eq!(
+            s.residual.to_bits(),
+            p.residual.to_bits(),
+            "{ctx}: {} incremental residual serial-input {:?} vs sharded-input {:?}",
+            s.name,
+            s.residual,
+            p.residual
+        );
+    }
+}
+
+#[test]
+fn c_par_sharded_is_bitwise_serial_across_the_matrix() {
+    let pools = pools();
+    for (si, suite) in [diverse_suite(), bursty_suite()].iter().enumerate() {
+        for (ii, inst) in suite.iter().enumerate() {
+            for &alpha in &ALPHAS {
+                let law = PowerLaw::new(alpha).unwrap();
+                for &k in &KS {
+                    let ctx = format!("c-par suite{si}/inst{ii} n={} k={k} a={alpha}", inst.len());
+                    let serial = run_c_par(inst, law, k).expect("serial c-par");
+                    let pool = &pools[(ii + k) % pools.len()];
+                    let sharded =
+                        run_c_par_sharded(inst, law, k, pool).expect("sharded c-par");
+                    assert_bitwise(&serial, &sharded, &ctx);
+                    assert_audit_parity(inst, law, &serial, &sharded, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nc_par_sharded_is_bitwise_serial_across_the_matrix() {
+    let pools = pools();
+    for (si, suite) in [diverse_suite(), bursty_suite()].iter().enumerate() {
+        for (ii, inst) in suite.iter().enumerate() {
+            for &alpha in &ALPHAS {
+                let law = PowerLaw::new(alpha).unwrap();
+                for &k in &KS {
+                    let ctx = format!("nc-par suite{si}/inst{ii} n={} k={k} a={alpha}", inst.len());
+                    let serial = run_nc_par(inst, law, k).expect("serial nc-par");
+                    let pool = &pools[(ii + k) % pools.len()];
+                    let sharded =
+                        run_nc_par_sharded(inst, law, k, pool).expect("sharded nc-par");
+                    assert_bitwise(&serial, &sharded, &ctx);
+                    assert_audit_parity(inst, law, &serial, &sharded, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn immediate_dispatch_policies_shard_bitwise() {
+    // The volume-blind policies drive the lower-bound study; their sharded
+    // replay must be the serial run bit for bit, including the seeded one
+    // (same seed -> same decisions on both paths).
+    let pool = Pool::auto();
+    let inst = &bursty_suite()[1];
+    let law = PowerLaw::new(2.75).unwrap();
+    for k in [2usize, 7, 64] {
+        let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn ncss::multi::ImmediateDispatch>>)> = vec![
+            ("round-robin", Box::new(|| Box::<RoundRobin>::default())),
+            ("least-count", Box::new(|| Box::<LeastCount>::default())),
+            ("seeded-random", Box::new(|| Box::new(SeededRandom::new(97)))),
+        ];
+        for (name, mk) in policies {
+            let ctx = format!("dispatch {name} k={k}");
+            let serial = {
+                let mut p = mk();
+                run_immediate_dispatch(inst, law, k, p.as_mut()).expect("serial dispatch")
+            };
+            let sharded = {
+                let mut p = mk();
+                let log = DispatchLog::from_policy(inst, k, p.as_mut()).expect("log");
+                replay_nc_assigned(inst, law, &log, &pool).expect("sharded dispatch")
+            };
+            assert_bitwise(&serial, &sharded, &ctx);
+            assert_audit_parity(inst, law, &serial, &sharded, &ctx);
+        }
+    }
+}
+
+#[test]
+fn dispatch_log_is_replayable_and_self_consistent() {
+    // The log is the contract between the serial dispatcher and the pool
+    // tasks: replaying the same log twice (any pool) gives the same bits,
+    // and the log's assignment is exactly the serial runner's.
+    let inst = &diverse_suite()[2];
+    let law = PowerLaw::new(2.0).unwrap();
+    for &k in &KS {
+        let log = DispatchLog::nc_par(inst, law, k).expect("nc-par log");
+        let serial = run_nc_par(inst, law, k).expect("serial");
+        assert_eq!(log.assignment(), serial.assignment, "k={k}");
+        let a = ncss::multi::fleet::replay_nc(inst, law, &log, &Pool::with_threads(2))
+            .expect("replay A");
+        let b = ncss::multi::fleet::replay_nc(inst, law, &log, &Pool::with_threads(9))
+            .expect("replay B");
+        assert_bitwise(&a, &b, &format!("replay-twice k={k}"));
+    }
+}
