@@ -12,15 +12,19 @@
 //! The formulas below are re-derived from the segment's *law parameters*
 //! (Lemma 2 of the paper: with `β = 1 − 1/α`, the weight's `β`-th power is
 //! linear in time), deliberately **not** by calling the simulator's
-//! `ncss_sim::kernel` methods, so an algebra slip in the simulators cannot
-//! silently certify itself. The math is of course the same math — which is
-//! why the audit keeps a *sampled quadrature cross-check tier*: every
+//! `ncss_sim::kernel` integrators, so an algebra slip in the simulators
+//! cannot silently certify itself. Scalar exponentiation, however, routes
+//! through the run's compiled [`PowKernel`](ncss_sim::PowKernel) strategy
+//! (`pl.pow_beta`, `pl.power`, …) — the audit must evaluate `x^β` with the
+//! *same* primitive the schedulers used, or the differential oracles stop
+//! being bitwise within a run. The math is of course the same math — which
+//! is why the audit keeps a *sampled quadrature cross-check tier*: every
 //! `cross_check_stride`-th integral in an audit is still measured by
 //! tanh-sinh quadrature of the pointwise speed/power curve
-//! ([`crate::quad::integrate`]), so a shared-formula error would surface as
-//! a mismatch between the sampled and analytic values inside the very same
-//! check. Generic laws without closed forms (none today) would fall back
-//! to full quadrature.
+//! ([`crate::quad::integrate`]), so a shared-formula (or shared-kernel)
+//! error would surface as a mismatch between the sampled and analytic
+//! values inside the very same check. Generic laws without closed forms
+//! (none today) would fall back to full quadrature.
 //!
 //! The scale factor `k` of a segment multiplies speed pointwise, so volume
 //! scales by `k` and energy by `k^α`; all functions here handle it.
@@ -81,11 +85,12 @@ fn vi_ratio_series(y: f64, p: f64, sign: f64) -> f64 {
 }
 
 /// Volume processed in `[0, τ]` by growth from level zero:
-/// `u(τ)/ρ = (ρβτ)^{1/β}/ρ`, factored as `ρ^{(1−β)/β}·(βτ)^{1/β}` so the
-/// level `u(τ)` — which can be subnormal or overflow while the *volume*
-/// is perfectly representable — never appears as an intermediate.
-fn zero_growth_volume(b: f64, rho: f64, tau: f64) -> f64 {
-    rho.powf((1.0 - b) / b) * (b * tau).powf(1.0 / b)
+/// `u(τ)/ρ = (ρβτ)^{1/β}/ρ`, factored as `ρ^{1/(α−1)}·(βτ)^{1/β}` (note
+/// `(1−β)/β = 1/(α−1)`) so the level `u(τ)` — which can be subnormal or
+/// overflow while the *volume* is perfectly representable — never appears
+/// as an intermediate.
+fn zero_growth_volume(pl: PowerLaw, rho: f64, tau: f64) -> f64 {
+    pl.root_alpha_m1(rho) * pl.root_beta(pl.beta() * tau)
 }
 
 /// Processed volume over the whole segment: `∫ k·s(t) dt`.
@@ -113,14 +118,14 @@ pub fn volume_over(pl: PowerLaw, seg: &Segment, tau: f64) -> f64 {
             // Drained fraction of w0^β; ≥ 1 means the job empties inside
             // [0, tau] (the W = 0 clamp). NaN drains (w0 = tau = 0) take
             // the min to 1 and the w0 factor makes the volume 0.
-            let y = (rho * b * tau / w0.powf(b)).min(1.0);
+            let y = (rho * b * tau / pl.pow_beta(w0)).min(1.0);
             (w0 / rho) * one_minus_pow1m(y, 1.0 / b)
         }
         SpeedLaw::Growth { u0, rho } => {
             if u0 <= 0.0 {
-                zero_growth_volume(b, rho, tau)
+                zero_growth_volume(pl, rho, tau)
             } else {
-                let y = rho * b * tau / u0.powf(b);
+                let y = rho * b * tau / pl.pow_beta(u0);
                 (u0 / rho) * powp1_minus_one(y, 1.0 / b)
             }
         }
@@ -146,9 +151,9 @@ pub fn energy(pl: PowerLaw, seg: &Segment) -> f64 {
     // `0.0 * X * tau` zero branches propagate NaN inputs.
     let base = match seg.law {
         SpeedLaw::Idle => 0.0,
-        SpeedLaw::Constant { speed } => speed.powf(pl.alpha()) * tau,
+        SpeedLaw::Constant { speed } => pl.power(speed) * tau,
         SpeedLaw::Decay { w0, rho } => {
-            let y = rho * b * tau / w0.powf(b);
+            let y = rho * b * tau / pl.pow_beta(w0);
             if y > 0.0 {
                 w0 * tau * (one_minus_pow1m(y.min(1.0), q) / (q * y))
             } else {
@@ -159,9 +164,9 @@ pub fn energy(pl: PowerLaw, seg: &Segment) -> f64 {
             if u0 <= 0.0 {
                 // u_end = v·ρ, so e = u_end·τ·β/(1+β) groups as
                 // (v·τ)·ρ·β/(1+β) with the stable v.
-                (zero_growth_volume(b, rho, tau) * tau) * rho * b / (1.0 + b)
+                (zero_growth_volume(pl, rho, tau) * tau) * rho * b / (1.0 + b)
             } else {
-                let y = rho * b * tau / u0.powf(b);
+                let y = rho * b * tau / pl.pow_beta(u0);
                 if y > 0.0 {
                     u0 * tau * (powp1_minus_one(y, q) / (q * y))
                 } else {
@@ -170,7 +175,7 @@ pub fn energy(pl: PowerLaw, seg: &Segment) -> f64 {
             }
         }
     };
-    seg.scale.powf(pl.alpha()) * base
+    pl.power(seg.scale) * base
 }
 
 /// Absolute time within the segment at which the cumulative processed
@@ -196,14 +201,15 @@ pub fn time_at_volume(pl: PowerLaw, seg: &Segment, v: f64) -> f64 {
             // Volume fraction of w0 delivered; ≥ 1 means the crossing sits
             // at (or past) the drain time.
             let z = (rho * base_v / w0).min(1.0);
-            w0.powf(b) * one_minus_pow1m(z, b) / (rho * b)
+            pl.pow_beta(w0) * one_minus_pow1m(z, b) / (rho * b)
         }
         SpeedLaw::Growth { u0, rho } => {
             if u0 <= 0.0 {
-                // (ρ·v)^β/(ρβ) factored so ρ·v never underflows.
-                base_v.powf(b) * rho.powf(b - 1.0) / b
+                // (ρ·v)^β/(ρβ) factored so ρ·v never underflows
+                // (ρ^{β−1} = 1/ρ^{1/α} rides the speed_for_power chain).
+                pl.pow_beta(base_v) / (pl.speed_for_power(rho) * b)
             } else {
-                u0.powf(b) * powp1_minus_one(rho * base_v / u0, b) / (rho * b)
+                pl.pow_beta(u0) * powp1_minus_one(rho * base_v / u0, b) / (rho * b)
             }
         }
     };
@@ -248,7 +254,7 @@ pub fn weighted_volume(pl: PowerLaw, seg: &Segment, c: f64) -> f64 {
             //   `F_e = 1 − (1−y)^e`, whose subtraction is benign once
             //   `p·y` is order one.
             let p = 1.0 / b;
-            let y = rho * b * t_cap / w0.powf(b);
+            let y = rho * b * t_cap / pl.pow_beta(w0);
             if y > 0.0 {
                 let f = one_minus_pow1m(y.min(1.0), p);
                 let v = (w0 / rho) * f;
@@ -266,12 +272,12 @@ pub fn weighted_volume(pl: PowerLaw, seg: &Segment, c: f64) -> f64 {
         }
         SpeedLaw::Growth { u0, rho } => {
             let p = 1.0 / b;
-            let y = if u0 > 0.0 { rho * b * t_cap / u0.powf(b) } else { f64::INFINITY };
+            let y = if u0 > 0.0 { rho * b * t_cap / pl.pow_beta(u0) } else { f64::INFINITY };
             if y.is_infinite() {
                 // Growth from (numerically) level zero: `u0^β ≪ ρβτ`.
                 // The mean-fill ratio of `u(τ) ∝ τ^{1/β}` is exactly
                 // `β/(1+β)`.
-                let v = zero_growth_volume(b, rho, t_cap);
+                let v = zero_growth_volume(pl, rho, t_cap);
                 (d - t_cap) * v + v * t_cap * b / (1.0 + b)
             } else if y > 0.0 {
                 let g = powp1_minus_one(y, p);

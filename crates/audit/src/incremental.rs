@@ -60,6 +60,7 @@ use crate::closed_form;
 use crate::quad::integrate;
 use crate::report::{AuditReport, Stopwatch};
 use crate::schedule_audit::{residual, sampled, AuditConfig};
+use ncss_sim::profile::{Phase, PhaseScope};
 use ncss_sim::{Job, JobId, Objective, PowerLaw, Segment, SegmentIndex, SimResult, SpeedLaw};
 
 /// An eagerly tripped check: emitted by [`IncrementalAudit::on_segment`] /
@@ -325,6 +326,7 @@ impl IncrementalAudit {
     /// Record job `id`'s release. Ids must be the stream's arrival indices
     /// (dense from 0); re-releasing a live id resets its segment history.
     pub fn on_release(&mut self, id: JobId, job: Job) {
+        let _p = PhaseScope::enter(Phase::Audit);
         self.released = self.released.max(id as u64 + 1);
         let mut segs = self.seg_pool.pop().unwrap_or_default();
         // A tampered feed can serve a job before releasing it: adopt the
@@ -358,6 +360,7 @@ impl IncrementalAudit {
     /// retained history. Returns a [`Trip`] if a time-axis check left
     /// tolerance at this segment.
     pub fn on_segment(&mut self, seg: Segment) -> Option<Trip> {
+        let _p = PhaseScope::enter(Phase::Audit);
         let i = self.seg_count;
         self.seg_count += 1;
         let pl = self.law;
@@ -447,6 +450,7 @@ impl IncrementalAudit {
         frac_flow: f64,
         int_flow: f64,
     ) -> Option<Trip> {
+        let _p = PhaseScope::enter(Phase::Audit);
         let Some(job) = self.active.remove(&id) else {
             // Completion for a job never released (or audited twice):
             // nothing to derive against, which is itself a finding.
@@ -965,6 +969,7 @@ impl IncrementalMultiAudit {
 
     /// Record job `id`'s release to the fleet.
     pub fn on_release(&mut self, id: JobId, job: Job) {
+        let _p = PhaseScope::enter(Phase::Audit);
         self.released = self.released.max(id as u64 + 1);
         let mut segs = Vec::new();
         for (m, ms) in self.machines.iter_mut().enumerate() {
@@ -999,6 +1004,7 @@ impl IncrementalMultiAudit {
     /// # Panics
     /// Panics if `m` is outside the fleet declared at construction.
     pub fn on_segment(&mut self, m: usize, seg: Segment) -> Option<Trip> {
+        let _p = PhaseScope::enter(Phase::Audit);
         let pl = self.laws[m];
         let ms = &mut self.machines[m];
         let i = ms.seg_count;
@@ -1060,6 +1066,7 @@ impl IncrementalMultiAudit {
         frac_flow: f64,
         int_flow: f64,
     ) -> Option<Trip> {
+        let _p = PhaseScope::enter(Phase::Audit);
         let Some(mut job) = self.active.remove(&id) else {
             let detail = format!("job {id}: completed but never released");
             self.comp.fold(f64::INFINITY, || detail.clone());

@@ -1,6 +1,6 @@
 //! Fleet k-sweep: the sharded C-PAR/NC-PAR replay across k ∈ {2..4096}
 //! plus the `Ω(k^{1−1/α})` dispatch-degradation study, writing
-//! `BENCH_fleet.json` (schema ncss-bench/4, with `metrics` columns).
+//! `BENCH_fleet.json` (schema ncss-bench/5, with `metrics` columns).
 //!
 //! Two row families (methodology in EXPERIMENTS.md, "Fleet k-sweep"):
 //!
@@ -98,6 +98,9 @@ fn main() {
             vec![
                 ("frac_objective".into(), c_out.objective.fractional()),
                 ("jobs".into(), n as f64),
+                // Deterministic item count under the name bench-diff
+                // normalises throughput by (ns/item deltas).
+                ("work_items".into(), n as f64),
             ],
             warmup,
             iters,
@@ -121,6 +124,7 @@ fn main() {
                     nc_out.objective.fractional() / c_out.objective.fractional(),
                 ),
                 ("k_pow_bound".into(), (k as f64).powf(1.0 - 1.0 / alpha)),
+                ("work_items".into(), n as f64),
             ],
             warmup,
             iters,

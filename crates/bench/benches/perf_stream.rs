@@ -419,19 +419,41 @@ fn main() {
     let rss_before = rss_bytes();
     let prefix = Poisson::new(97, rate).take(2_000);
 
+    // Every soak row carries the deterministic event count as the
+    // `work_items` metric, so `bench-diff` can report normalised ns/event
+    // throughput deltas between runs (and flag a baseline comparison whose
+    // n silently changed).
+    let work_items = vec![("work_items".to_string(), soak_n as f64)];
+
     let r = gate_c(&prefix, law);
-    suite.bench_report_with("stream_c/soak", Some(&r), 0, 1, || {
-        let (obj, stats) = soak_c(law, soak_n, 97, rate);
-        assert!(obj.is_finite(), "soak objective overflowed");
-        assert_flat("stream_c/soak", &stats, soak_n);
-    });
+    suite.bench_report_mode_metrics_with(
+        "stream_c/soak",
+        Some(&r),
+        AuditMode::Batch,
+        work_items.clone(),
+        0,
+        1,
+        || {
+            let (obj, stats) = soak_c(law, soak_n, 97, rate);
+            assert!(obj.is_finite(), "soak objective overflowed");
+            assert_flat("stream_c/soak", &stats, soak_n);
+        },
+    );
 
     let r = gate_nc(&prefix, law);
-    suite.bench_report_with("stream_nc_uniform/soak", Some(&r), 0, 1, || {
-        let (obj, stats) = soak_nc(law, soak_n, 97, rate);
-        assert!(obj.is_finite(), "soak objective overflowed");
-        assert_flat("stream_nc_uniform/soak", &stats, soak_n);
-    });
+    suite.bench_report_mode_metrics_with(
+        "stream_nc_uniform/soak",
+        Some(&r),
+        AuditMode::Batch,
+        work_items.clone(),
+        0,
+        1,
+        || {
+            let (obj, stats) = soak_nc(law, soak_n, 97, rate);
+            assert!(obj.is_finite(), "soak objective overflowed");
+            assert_flat("stream_nc_uniform/soak", &stats, soak_n);
+        },
+    );
 
     // Audited-throughput soak rows: the same release stream with an
     // incremental auditor attached to every event. The row's verdict is the
@@ -446,10 +468,11 @@ fn main() {
     // cost for no additional coverage kind (see EXPERIMENTS.md).
     let soak_cfg = AuditConfig { cross_check_stride: 512, ..AuditConfig::default() };
     let (r, _, _) = soak_c_audited(law, soak_n.min(50_000), 97, rate, soak_cfg);
-    suite.bench_report_mode_with(
+    suite.bench_report_mode_metrics_with(
         "stream_c/soak_audited",
         Some(&r),
         AuditMode::Incremental,
+        work_items.clone(),
         0,
         1,
         || {
@@ -464,10 +487,11 @@ fn main() {
     );
 
     let (r, _, _) = soak_nc_audited(law, soak_n.min(50_000), 97, rate, soak_cfg);
-    suite.bench_report_mode_with(
+    suite.bench_report_mode_metrics_with(
         "stream_nc_uniform/soak_audited",
         Some(&r),
         AuditMode::Incremental,
+        work_items,
         0,
         1,
         || {
@@ -481,6 +505,29 @@ fn main() {
         },
     );
 
+    // Phase attribution for the soak rows (schema ncss-bench/5 `phases`):
+    // a *separate* profiled pass per row — never the timed one, whose
+    // quantiles must stay free of timestamping overhead — capped at 1M
+    // events, since attribution is about proportions, not totals. Runs
+    // after every timed row above so the enabled profiler never overlaps
+    // a measurement.
+    {
+        use ncss_sim::profile::{enable_phase_profiling, take_phase_report};
+        let attr_n = soak_n.min(1_000_000);
+        enable_phase_profiling();
+        let _ = soak_c(law, attr_n, 97, rate);
+        suite.attach_phases("stream_c/soak", &take_phase_report());
+        enable_phase_profiling();
+        let _ = soak_nc(law, attr_n, 97, rate);
+        suite.attach_phases("stream_nc_uniform/soak", &take_phase_report());
+        enable_phase_profiling();
+        let _ = soak_c_audited(law, attr_n, 97, rate, soak_cfg);
+        suite.attach_phases("stream_c/soak_audited", &take_phase_report());
+        enable_phase_profiling();
+        let _ = soak_nc_audited(law, attr_n, 97, rate, soak_cfg);
+        suite.attach_phases("stream_nc_uniform/soak_audited", &take_phase_report());
+    }
+
     // RSS growth across all four soaks (the audited pair included), best
     // effort: a leak proportional to n would show up as hundreds of MB
     // here; flat cores stay in the noise.
@@ -492,10 +539,17 @@ fn main() {
         );
     }
 
-    // Audited throughput must stay within 2x of the un-audited soak
-    // (≥ 0.5x throughput): the always-on audit is a tax, not a cliff. The
-    // absolute slack keeps tiny smoke runs (NCSS_STREAM_SOAK_N=1000) from
-    // flaking on scheduler jitter.
+    // The always-on audit is a tax, not a cliff: the *extra* cost of the
+    // audited soak over the plain one must stay within an absolute
+    // per-event budget. (This used to be a ratio guard — audited ≤ 2×
+    // plain — but a ratio punishes core speedups: once the fused serve()
+    // path dropped the plain soak under ~300 ns/event, an unchanged audit
+    // tax tripped it with no audit regression at all.) The 1.5 µs/event
+    // budget is ~2× the measured tax and still catches the real cliffs —
+    // an unamortised quadrature tier or an O(active)-per-event accrual
+    // slip costs several µs/event. The absolute slack keeps tiny smoke
+    // runs (NCSS_STREAM_SOAK_N=1000) from flaking on scheduler jitter.
+    const AUDIT_TAX_BUDGET_NS_PER_EVENT: f64 = 1500.0;
     let mean_of = |name: &str| {
         suite
             .results()
@@ -507,10 +561,13 @@ fn main() {
     for core in ["stream_c", "stream_nc_uniform"] {
         let plain = mean_of(&format!("{core}/soak"));
         let audited = mean_of(&format!("{core}/soak_audited"));
+        let tax = (audited as f64) - (plain as f64);
+        let budget = AUDIT_TAX_BUDGET_NS_PER_EVENT * soak_n as f64 + 5e7;
         assert!(
-            (audited as f64) <= 2.0 * (plain as f64) + 5e7,
+            tax <= budget,
             "{core}: audited soak {audited} ns vs un-audited {plain} ns — \
-             audited throughput fell below 0.5x"
+             audit tax {:.0} ns/event exceeds the {AUDIT_TAX_BUDGET_NS_PER_EVENT} ns/event budget",
+            tax / soak_n as f64
         );
     }
 

@@ -27,6 +27,14 @@ Named \"metrics\" values (schema ncss-bench/4 — derived scalars such as
 the fleet k-sweep's degradation ratio) are compared to float slack: any
 real drift, loss, or nullification of a baseline metric fails the diff.
 
+Rows where both documents carry the deterministic \"work_items\" metric
+additionally print a normalised per-item throughput delta
+(median_ns / work_items) — informational, never a failure, since the
+quantile comparison already gates the timing. \"work_items\" itself is
+exempt from the metric gate: it is a workload size, and the normalised
+delta is how soaks of different lengths are compared. \"phases\"
+attribution blocks (schema ncss-bench/5) parse but are not diffed.
+
   --threshold PCT        relative slowdown to flag, percent (default 25)
   --floor-ns N           absolute slowdown floor, nanoseconds (default 50000)
   --residual-factor F    residual growth factor to flag (default 10)
@@ -125,6 +133,9 @@ fn main() -> ExitCode {
     for f in &report.improvements {
         println!("  improved   {f}");
     }
+    for f in &report.throughput {
+        println!("  throughput {f}");
+    }
     for name in &report.added {
         println!("  added      {name} (no baseline; not compared)");
     }
@@ -136,6 +147,7 @@ fn main() -> ExitCode {
             Kind::Verdict => "VERDICT",
             Kind::Mode => "MODE",
             Kind::Metric => "METRIC",
+            Kind::Throughput => "THROUGHPUT",
             Kind::Missing => "MISSING",
         };
         println!("  {tag:<10} {f}");

@@ -31,7 +31,18 @@
 //!   committed traces, so *any* real drift means the algorithm changed;
 //! * entries present in the baseline but missing from the candidate are
 //!   regressions (a silently dropped bench reads as "covered" when it
-//!   isn't); new entries are reported but never fail the diff.
+//!   isn't); new entries are reported but never fail the diff;
+//! * rows where **both** documents carry the deterministic
+//!   [`WORK_ITEMS_METRIC`] metric also get a normalised per-item
+//!   throughput delta (`median_ns / work_items`) in
+//!   [`DiffReport::throughput`] — informational only, since the quantile
+//!   comparison already gates the timing; `work_items` itself is exempt
+//!   from the metric gate (it is a workload size, and normalisation is
+//!   how soaks of different lengths are compared);
+//! * `phases` attribution blocks (new in `ncss-bench/5` — per-phase
+//!   profiler totals from a separately profiled pass) parse into
+//!   [`BenchEntry::phases`] but are never diffed: they exist to explain a
+//!   quantile regression, and carry a single profiled run's jitter.
 //!
 //! The JSON reader is a minimal recursive-descent parser scoped to what the
 //! harness emits (objects, arrays, strings, numbers, `null`, booleans) —
@@ -285,6 +296,12 @@ pub struct BenchEntry {
     /// `None` values were serialised as `null` (non-finite). Rows from
     /// older schemas parse with an empty map.
     pub metrics: BTreeMap<String, Option<f64>>,
+    /// Per-phase attribution rows (`phases` object, new in `ncss-bench/5`):
+    /// phase name → `(total ns, scope count)` from a separately profiled
+    /// pass. Attribution context for diagnosing a quantile regression, not
+    /// itself diffed — phase totals come from one profiled run and carry
+    /// full run-to-run jitter.
+    pub phases: BTreeMap<String, (u64, u64)>,
 }
 
 /// The quantile keys of a bench entry, in document order.
@@ -295,7 +312,8 @@ pub const QUANTILES: [&str; 5] = ["min_ns", "mean_ns", "median_ns", "p95_ns", "m
 /// harness whose rows this reader would misinterpret. The diff refuses it
 /// with a named error (exit 2 in `bench-diff` — tool error, not a perf
 /// regression) instead of guessing.
-pub const KNOWN_SCHEMAS: [&str; 3] = ["ncss-bench/2", "ncss-bench/3", "ncss-bench/4"];
+pub const KNOWN_SCHEMAS: [&str; 4] =
+    ["ncss-bench/2", "ncss-bench/3", "ncss-bench/4", "ncss-bench/5"];
 
 /// A parsed `BENCH_<suite>.json` document.
 #[derive(Debug, Clone, PartialEq)]
@@ -424,6 +442,23 @@ impl BenchDoc {
                     return Err(format!("{ctx} ({name:?}): \"metrics\" is not an object"))
                 }
             }
+            // `phases` arrived with ncss-bench/5 and is omitted entirely on
+            // rows without an attribution pass, so absence is not an error.
+            let mut phases = BTreeMap::new();
+            match entry.get("phases") {
+                None => {}
+                Some(Json::Object(map)) => {
+                    for (k, v) in map {
+                        let pctx = format!("{ctx} ({name:?}): phase {k:?}");
+                        let ns = req_u64(v, "ns", &pctx)?;
+                        let count = req_u64(v, "count", &pctx)?;
+                        phases.insert(k.clone(), (ns, count));
+                    }
+                }
+                Some(_) => {
+                    return Err(format!("{ctx} ({name:?}): \"phases\" is not an object"))
+                }
+            }
             entries.push(BenchEntry {
                 name,
                 audit,
@@ -432,6 +467,7 @@ impl BenchDoc {
                 checks,
                 quantiles,
                 metrics,
+                phases,
             });
         }
         Ok(Self { suite, schema, entries })
@@ -496,6 +532,9 @@ pub enum Kind {
     /// non-finite, or disappeared — a derived result (e.g. a degradation
     /// ratio) changed, not just a timing.
     Metric,
+    /// A per-item throughput delta (informational, never a regression —
+    /// see [`DiffReport::throughput`]).
+    Throughput,
     /// A baseline entry or check is missing from the candidate.
     Missing,
 }
@@ -521,6 +560,12 @@ impl fmt::Display for Finding {
     }
 }
 
+/// The metric name under which benches record their deterministic item
+/// count (events processed, jobs dispatched). When *both* rows of a diff
+/// carry it, [`diff`] also reports the per-item throughput delta — the
+/// normalised number a human wants when comparing soak rows.
+pub const WORK_ITEMS_METRIC: &str = "work_items";
+
 /// The outcome of comparing two bench documents.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DiffReport {
@@ -528,6 +573,13 @@ pub struct DiffReport {
     pub regressions: Vec<Finding>,
     /// Timings that improved past the same threshold (informational).
     pub improvements: Vec<Finding>,
+    /// Per-item throughput deltas (`median_ns / work_items`) for rows
+    /// where both documents carry the [`WORK_ITEMS_METRIC`] metric.
+    /// Informational: the quantile comparison already gates the timing,
+    /// and `work_items` itself is exempt from the metric gate (it is a
+    /// workload size — a short soak against a long baseline is exactly
+    /// the comparison this normalisation exists for).
+    pub throughput: Vec<Finding>,
     /// Candidate entries with no baseline counterpart (informational).
     pub added: Vec<String>,
     /// Number of (entry, quantile) and (entry, check) pairs compared.
@@ -694,8 +746,15 @@ pub fn diff(base: &BenchDoc, new: &BenchDoc, opts: &DiffOptions) -> DiffReport {
         // Named metrics: deterministic derived scalars, compared to float
         // slack. A metric the baseline has and the candidate lost (or that
         // went non-finite) is flagged; candidate-only metrics are new
-        // coverage and pass silently, like added entries.
+        // coverage and pass silently, like added entries. `work_items` is
+        // the one exception: it is a workload *size*, not a derived scalar,
+        // and pinning it would forbid diffing a short verification soak
+        // against the committed full-length baseline — the normalised
+        // throughput report below is how differing counts are compared.
         for (key, bv) in &b.metrics {
+            if key == WORK_ITEMS_METRIC {
+                continue;
+            }
             report.compared += 1;
             let what = format!("{}#{}", b.name, key);
             match (bv, n.metrics.get(key)) {
@@ -727,6 +786,28 @@ pub fn diff(base: &BenchDoc, new: &BenchDoc, opts: &DiffOptions) -> DiffReport {
                 }),
                 // A baseline null never comparable; skip.
                 (None, _) => {}
+            }
+        }
+
+        // Throughput: when both rows carry the deterministic work_items
+        // metric, report the normalised ns/item delta on the median.
+        if let (Some(Some(bw)), Some(Some(nw))) =
+            (b.metrics.get(WORK_ITEMS_METRIC), n.metrics.get(WORK_ITEMS_METRIC))
+        {
+            if *bw > 0.0 && *nw > 0.0 {
+                let bt = b.quantiles[2] as f64 / bw;
+                let nt = n.quantiles[2] as f64 / nw;
+                report.throughput.push(Finding {
+                    kind: Kind::Throughput,
+                    what: format!("{}@ns_per_item", b.name),
+                    base: bt,
+                    new: nt,
+                    detail: format!(
+                        "{bt:.1} ns/item -> {nt:.1} ns/item ({:+.1}%, {} items)",
+                        (nt / bt - 1.0) * 100.0,
+                        nw,
+                    ),
+                });
             }
         }
     }
@@ -1026,6 +1107,103 @@ mod tests {
         // metric-free baseline never flags a metric-carrying candidate.
         let report = diff(&lost, &base, &DiffOptions::default());
         assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    fn doc5(entries: &str) -> String {
+        format!("{{\"suite\":\"stream\",\"schema\":\"ncss-bench/5\",\"results\":[{entries}]}}")
+    }
+
+    #[test]
+    fn schema_5_phases_parse_and_default_empty() {
+        let text = doc5(&entry4(
+            "stream_c/soak",
+            1000,
+            ",\"phases\":{\"dispatch\":{\"ns\":400,\"count\":10},\"root-find\":{\"ns\":100,\"count\":10}}",
+        ));
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert_eq!(parsed.schema, "ncss-bench/5");
+        let p = &parsed.entries[0].phases;
+        assert_eq!(p.get("dispatch"), Some(&(400, 10)));
+        assert_eq!(p.get("root-find"), Some(&(100, 10)));
+        // Phase-free /5 rows and all older-schema rows parse to empty maps.
+        let plain = BenchDoc::parse(&doc5(&entry4("stream_c/soak", 1000, ""))).unwrap();
+        assert!(plain.entries[0].phases.is_empty());
+        // Malformed phases are named errors.
+        let bad = doc5(&entry4("s/1", 1000, ",\"phases\":{\"dispatch\":{\"ns\":1}}"));
+        let err = BenchDoc::parse(&bad).unwrap_err();
+        assert!(err.contains("count"), "{err}");
+        let bad = doc5(&entry4("s/1", 1000, ",\"phases\":[]"));
+        assert!(BenchDoc::parse(&bad).is_err());
+        // Phases never flag a diff on their own (attribution jitters).
+        let shifted = BenchDoc::parse(&doc5(&entry4(
+            "stream_c/soak",
+            1000,
+            ",\"phases\":{\"dispatch\":{\"ns\":900,\"count\":10}}",
+        )))
+        .unwrap();
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert!(diff(&parsed, &shifted, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn work_items_rows_report_throughput_deltas() {
+        let base = BenchDoc::parse(&doc5(&entry4(
+            "stream_c/soak",
+            850_000,
+            ",\"metrics\":{\"work_items\":1e3}",
+        )))
+        .unwrap();
+        let new = BenchDoc::parse(&doc5(&entry4(
+            "stream_c/soak",
+            261_000,
+            ",\"metrics\":{\"work_items\":1e3}",
+        )))
+        .unwrap();
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert!(report.passed(), "faster is never a regression");
+        assert_eq!(report.throughput.len(), 1);
+        let t = &report.throughput[0];
+        assert_eq!(t.kind, Kind::Throughput);
+        assert_eq!(t.what, "stream_c/soak@ns_per_item");
+        assert!((t.base - 850.0).abs() < 1e-9 && (t.new - 261.0).abs() < 1e-9, "{t:?}");
+        assert!(t.detail.contains("ns/item"), "{}", t.detail);
+        // A row without the metric on either side reports no throughput.
+        let plain = BenchDoc::parse(&doc5(&entry4("stream_c/soak", 850_000, ""))).unwrap();
+        assert!(diff(&plain, &new, &DiffOptions::default()).throughput.is_empty());
+        assert!(diff(&base, &plain, &DiffOptions::default()).throughput.is_empty());
+    }
+
+    #[test]
+    fn work_items_is_exempt_from_the_metric_gate() {
+        // A short verification soak (1e3 items) diffed against the full
+        // committed baseline (1e7 items): the count difference must not be
+        // a metric regression — the throughput delta is the comparison —
+        // while any *other* metric still gates at float slack.
+        let base = BenchDoc::parse(&doc5(&entry4(
+            "stream_c/soak",
+            850_000,
+            ",\"metrics\":{\"work_items\":1e7,\"jobs\":5e1}",
+        )))
+        .unwrap();
+        let new = BenchDoc::parse(&doc5(&entry4(
+            "stream_c/soak",
+            261_000,
+            ",\"metrics\":{\"work_items\":1e3,\"jobs\":5e1}",
+        )))
+        .unwrap();
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert!(report.passed(), "work_items drift flagged: {:?}", report.regressions);
+        assert_eq!(report.throughput.len(), 1);
+
+        let drifted = BenchDoc::parse(&doc5(&entry4(
+            "stream_c/soak",
+            261_000,
+            ",\"metrics\":{\"work_items\":1e3,\"jobs\":6e1}",
+        )))
+        .unwrap();
+        let report = diff(&base, &drifted, &DiffOptions::default());
+        assert!(!report.passed(), "a drifted real metric must still fail");
+        assert!(report.regressions.iter().any(|f| f.what == "stream_c/soak#jobs"));
     }
 
     #[test]

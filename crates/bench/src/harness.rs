@@ -194,6 +194,15 @@ pub struct Measurement {
     /// byte-identical to the `ncss-bench/3` layout. `bench-diff` compares
     /// metrics by relative drift the way it compares residuals.
     pub metrics: Vec<(String, f64)>,
+    /// Per-phase attribution from the `ncss_sim::profile` scoped timers:
+    /// `(phase name, total ns, scope count)` rows from a *separate*
+    /// profiled pass — never the timed iterations themselves, since the
+    /// thread-local timestamping would contaminate the quantiles.
+    /// Serialised as a `"phases":{...}` object (schema `ncss-bench/5`)
+    /// only when non-empty; phase totals answer "which stage got slower"
+    /// when a timing row regresses, not "how fast is it" (use the
+    /// quantiles for that).
+    pub phases: Vec<(String, u64, u64)>,
 }
 
 impl Measurement {
@@ -208,9 +217,21 @@ impl Measurement {
                 .collect();
             format!(",\"metrics\":{{{}}}", rows.join(","))
         };
+        let phases = if self.phases.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .phases
+                .iter()
+                .map(|(k, ns, count)| {
+                    format!("{}:{{\"ns\":{ns},\"count\":{count}}}", json_string(k))
+                })
+                .collect();
+            format!(",\"phases\":{{{}}}", rows.join(","))
+        };
         format!(
             "{{\"name\":{},\"audit\":{},\"audit_mode\":{},\"audit_timing\":{},\"warmup\":{},\"iters\":{},\
-             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}{}}}",
+             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}{}{}}}",
             json_string(&self.name),
             json_string(self.audit.as_str()),
             json_string(self.audit_mode.as_str()),
@@ -223,6 +244,7 @@ impl Measurement {
             self.p95_ns,
             self.max_ns,
             metrics,
+            phases,
         )
     }
 }
@@ -414,6 +436,7 @@ impl Suite {
             p95_ns: percentile(&samples, 95.0),
             max_ns: *samples.last().expect("at least one sample"),
             metrics,
+            phases: Vec::new(),
         };
         eprintln!(
             "  {:<44} median {:>12} ns   p95 {:>12} ns   ({} iters, audit {})",
@@ -426,12 +449,29 @@ impl Suite {
         self.results.push(m);
     }
 
+    /// Attach a per-phase attribution report to the named (already
+    /// recorded) row. The report must come from a *separate* profiled
+    /// pass of the same workload — enable profiling, run once, call
+    /// `take_phase_report()` — never from the timed iterations, whose
+    /// quantiles must stay free of timestamping overhead. Panics if the
+    /// row does not exist (a typo would otherwise drop the attribution
+    /// silently).
+    pub fn attach_phases(&mut self, name: &str, report: &ncss_sim::profile::PhaseReport) {
+        let row = self
+            .results
+            .iter_mut()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("attach_phases: no bench row named {name}"));
+        row.phases =
+            report.rows().into_iter().map(|(k, ns, count)| (k.to_string(), ns, count)).collect();
+    }
+
     /// Serialise all measurements to the suite's JSON document.
     #[must_use]
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self.results.iter().map(Measurement::json).collect();
         format!(
-            "{{\"suite\":{},\"schema\":\"ncss-bench/4\",\"results\":[{}]}}\n",
+            "{{\"suite\":{},\"schema\":\"ncss-bench/5\",\"results\":[{}]}}\n",
             json_string(&self.name),
             results.join(",")
         )
@@ -514,10 +554,11 @@ mod tests {
         });
         let json = suite.to_json();
         assert!(json.starts_with("{\"suite\":\"json\\\"test\""));
-        assert!(json.contains("\"schema\":\"ncss-bench/4\""));
-        // Rows without metrics serialise without a metrics key at all, so
-        // pre-/4 readers see the exact /3 row layout.
+        assert!(json.contains("\"schema\":\"ncss-bench/5\""));
+        // Rows without metrics/phases serialise without those keys at
+        // all, so pre-/4 readers see the exact /3 row layout.
         assert!(!json.contains("\"metrics\""));
+        assert!(!json.contains("\"phases\""));
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
         // Every entry carries an audit verdict; plain bench() records it
         // as "skipped".
@@ -628,6 +669,40 @@ mod tests {
         let plain = json.split("\"name\":\"plain\"").nth(1).expect("plain row");
         assert!(!plain.contains("\"metrics\""), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn phases_attach_to_named_rows_and_serialise() {
+        use ncss_sim::profile::{enable_phase_profiling, take_phase_report, Phase, PhaseScope};
+        let mut suite = Suite::new("phases");
+        suite.bench_with("hot/1", 0, 2, || {
+            busy_work();
+        });
+        suite.bench_with("cold/1", 0, 2, || {
+            busy_work();
+        });
+        // Separate attribution pass, then attach to the recorded row.
+        enable_phase_profiling();
+        {
+            let _p = PhaseScope::enter(Phase::Dispatch);
+            busy_work();
+        }
+        let report = take_phase_report();
+        suite.attach_phases("hot/1", &report);
+        let json = suite.to_json();
+        assert!(json.contains("\"phases\":{\"dispatch\":{\"ns\":"), "{json}");
+        // The row without an attribution pass carries no phases key.
+        let cold = json.split("\"name\":\"cold/1\"").nth(1).expect("cold row");
+        assert!(!cold.contains("\"phases\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "no bench row named")]
+    fn attach_phases_rejects_unknown_rows() {
+        use ncss_sim::profile::take_phase_report;
+        let mut suite = Suite::new("phases-typo");
+        suite.attach_phases("missing", &take_phase_report());
     }
 
     #[test]

@@ -50,9 +50,13 @@ commands:
            parallel-machine algorithms c-par | nc-par | dispatch (audited
            across machines; --machines K, default 2).
            step-integrated algorithms (nc-nonuniform) need a looser --rel-tol
-           --corrupt energy|frac-flow|int-flow|completion|schedule tampers
-           with the run before auditing (the audit MUST then fail) — the
-           end-to-end self-test of the audit gate
+           --corrupt energy|frac-flow|int-flow|completion|schedule|kernel
+           tampers with the run before auditing (the audit MUST then
+           fail) — the end-to-end self-test of the audit gate. kernel
+           re-runs under a mis-selected power kernel (reports the honest
+           alpha, evaluates with the next integer's chains) and audits
+           the segments under the honest kernel: energy-recomputed must
+           go red
   fleet    --input FILE [--algorithm c-par|nc-par|dispatch] [--alpha ALPHA]
            [--machines K] [--threads T] [--audit incremental|batch]
            [--check-serial 0|1] [--corrupt WHAT] [--max-rows N]
@@ -188,7 +192,12 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
     let name = args.require("algorithm")?;
     let o = run_algorithm(&name, &inst, law)?;
     let mut t = Table::new(
-        format!("{name} on {} jobs (alpha = {})", inst.len(), law.alpha()),
+        format!(
+            "{name} on {} jobs (alpha = {}, kernel = {})",
+            inst.len(),
+            law.alpha(),
+            law.kernel_name()
+        ),
         &["energy", "frac flow", "int flow", "frac objective", "int objective"],
     );
     t.row(vec![fmt_f(o.energy), fmt_f(o.frac_flow), fmt_f(o.int_flow), fmt_f(o.fractional()), fmt_f(o.integral())]);
@@ -383,7 +392,7 @@ fn corrupt_reported(reported: &mut Evaluated, what: &str) -> Result<(), String> 
         other => {
             return Err(format!(
                 "unknown --corrupt component '{other}' \
-                 (energy | frac-flow | int-flow | completion | schedule)"
+                 (energy | frac-flow | int-flow | completion | schedule | kernel)"
             ))
         }
     }
@@ -479,13 +488,29 @@ fn cmd_audit(args: &ParsedArgs) -> Result<String, String> {
         let r = run_known_weight_sharing(&inst, law).map_err(|e| e.to_string())?;
         let mut reported = Evaluated { objective: r.objective, per_job: r.per_job };
         if let Some(what) = corrupt {
+            if what == "kernel" {
+                return Err("--corrupt kernel needs a schedule-producing algorithm".into());
+            }
             corrupt_reported(&mut reported, what)?;
         }
         auditor.audit_outcome(&inst, &reported.objective, &reported.per_job)
     } else {
-        let (mut schedule, mut reported) = evaluated_of(&name, &inst, law)?;
+        // --corrupt kernel re-runs the algorithm under a law whose
+        // compiled kernel does not match its alpha (the mis-selection
+        // fault hook), then audits the segments under the honest kernel:
+        // the reported energy came off the wrong chains, so the
+        // energy re-derivation must go red.
+        let run_law = if corrupt.map(String::as_str) == Some("kernel") {
+            PowerLaw::misselected_for_fault_injection(law.alpha())
+        } else {
+            law
+        };
+        let (mut schedule, mut reported) = evaluated_of(&name, &inst, run_law)?;
         if let Some(what) = corrupt {
-            if what == "schedule" {
+            if what == "kernel" {
+                schedule =
+                    Schedule::new(law, schedule.segments().to_vec()).map_err(|e| e.to_string())?;
+            } else if what == "schedule" {
                 // Drop the final segment: delivered volume no longer covers
                 // the instance, so volume conservation must fail.
                 let mut segments = schedule.segments().to_vec();

@@ -29,9 +29,36 @@
 use crate::clairvoyant::ActiveKey;
 use ncss_sim::arena::{ArenaSnapshot, JobArena};
 use ncss_sim::kernel::{DecayKernel, GrowthKernel};
+use ncss_sim::profile::{Phase, PhaseScope};
 use ncss_sim::spill::{SpillRing, SpillSnapshot};
 use ncss_sim::{Job, JobId, Objective, PowerLaw, Segment, SimError, SimResult, SpeedLaw};
 use std::collections::BinaryHeap;
+
+/// Initial capacity of the active-job heap. One stream exists per run (the
+/// fleet layer replays dispatch logs rather than nesting streams), so a
+/// generous pre-size trades a few KiB for an allocation-free steady state;
+/// streams whose active set outgrows it just fall back to amortized
+/// doubling.
+const HEAP_PRESIZE: usize = 1024;
+
+/// Exact total-weight resync cadence. `W(t)` is maintained incrementally
+/// (one multiply per event) and re-derived from the per-job remainders over
+/// the arena slices every this many events, bounding accumulation drift at
+/// a few thousand rounding errors — far below the audit tolerances — while
+/// removing the O(active) per-event recompute. The counter is part of the
+/// stream snapshot, so a resumed run resyncs on the same events as an
+/// uninterrupted one (bitwise-resume contract).
+const WEIGHT_RESYNC_EVERY: u32 = 4096;
+
+/// Cancellation guard for the incremental total weight: when one event
+/// removes weight `delta` and leaves less than `delta * GUARD` behind, the
+/// subtraction was catastrophic (the survivors' weights were absorbed into
+/// the big value's rounding) and the total is re-derived exactly right
+/// away. On homogeneous workloads this never fires; on mixed-magnitude
+/// (fault-injection) workloads it bounds the relative error of the kept
+/// total near `ulp / GUARD`. The trigger depends only on snapshotted values,
+/// so resumed runs resync on the same events.
+const WEIGHT_CANCEL_GUARD: f64 = 1e-3;
 
 /// Configuration of a stream's segment-retention policy.
 #[derive(Debug, Clone, Copy)]
@@ -144,12 +171,22 @@ pub struct StreamStats {
 }
 
 /// Heap key: [`ActiveKey`] ordering (highest density, earliest release,
-/// smallest id) plus the arena slot the job lives in. The slot does not
-/// participate in the ordering.
+/// smallest id) plus the arena slot the job lives in and the slot's
+/// generation at push time. Neither the slot nor the generation
+/// participates in the ordering.
+///
+/// The generation implements *lazy deletion*: retiring a slot bumps its
+/// generation, so any key still in the heap for that slot goes stale and is
+/// skipped (popped and discarded) when it surfaces, instead of requiring an
+/// O(n) sift-out. The current C policy only ever completes the top job, so
+/// stale keys cannot arise today — the machinery is what lets future
+/// policies (cancellation, re-prioritisation in the algorithm zoo) reuse
+/// this heap without restructuring it.
 #[derive(Debug, Clone, Copy)]
 struct StreamKey {
     key: ActiveKey,
     slot: usize,
+    gen: u32,
 }
 
 impl PartialEq for StreamKey {
@@ -199,11 +236,17 @@ pub struct CStream {
     law: PowerLaw,
     arena: JobArena,
     heap: BinaryHeap<StreamKey>,
+    /// Generation counter per arena slot, bumped on retire; heap keys
+    /// carrying an older generation are stale and lazily deleted.
+    slot_gen: Vec<u32>,
     spill: SpillRing,
     keep_segments: bool,
     t: f64,
     watermark: f64,
     total_w: f64,
+    /// Events since the last exact `total_w` resync (see
+    /// [`WEIGHT_RESYNC_EVERY`]).
+    events_since_sync: u32,
     last_seg: Option<Segment>,
     ingested: usize,
     completed: usize,
@@ -219,12 +262,14 @@ impl CStream {
         Self {
             law,
             arena: JobArena::new(),
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(HEAP_PRESIZE),
+            slot_gen: Vec::new(),
             spill: config.ring(),
             keep_segments: config.keep_segments,
             t: 0.0,
             watermark: f64::NEG_INFINITY,
             total_w: 0.0,
+            events_since_sync: 0,
             last_seg: None,
             ingested: 0,
             completed: 0,
@@ -248,11 +293,22 @@ impl CStream {
         }
         self.watermark = job.release;
         self.advance_to(job.release, sink)?;
-        let slot = self.arena.alloc(job, id);
-        self.heap.push(StreamKey {
-            key: ActiveKey { density: job.density, release: job.release, id },
-            slot,
-        });
+        let slot = {
+            let _p = PhaseScope::enter(Phase::Dispatch);
+            let slot = self.arena.alloc(job, id);
+            if slot >= self.slot_gen.len() {
+                self.slot_gen.resize(slot + 1, 0);
+            }
+            slot
+        };
+        {
+            let _p = PhaseScope::enter(Phase::HeapOps);
+            self.heap.push(StreamKey {
+                key: ActiveKey { density: job.density, release: job.release, id },
+                slot,
+                gen: self.slot_gen[slot],
+            });
+        }
         self.total_w += job.weight();
         self.ingested += 1;
         Ok(id)
@@ -278,6 +334,15 @@ impl CStream {
     /// The event loop. With `finishing` no further release bounds segments,
     /// so a non-finite completion time cannot make progress and is a
     /// numeric error (same contract as the batch loop had).
+    ///
+    /// Per service interval the loop makes exactly one fused
+    /// [`DecayKernel::serve`] call (2 power-kernel evaluations when the top
+    /// job completes, 3 when the interval is truncated at `bound`), touches
+    /// only the in-service job's arena slot (waiting jobs settle their flow
+    /// lazily via [`JobArena::settle_waiting`]), maintains `W(t)` with one
+    /// multiply (exact resync every [`WEIGHT_RESYNC_EVERY`] events), and
+    /// emits completions allocation-free: [`CCompletion`] is `Copy` and
+    /// goes straight to the caller's sink.
     fn drain_events<F: FnMut(CCompletion)>(
         &mut self,
         bound: f64,
@@ -285,6 +350,16 @@ impl CStream {
         sink: &mut F,
     ) -> SimResult<()> {
         loop {
+            // Lazily delete stale keys (slot generation moved on) before
+            // reading the top. See [`StreamKey`]; never fires under the
+            // current complete-at-top-only policy.
+            while let Some(&k) = self.heap.peek() {
+                if self.slot_gen[k.slot] == k.gen {
+                    break;
+                }
+                let _p = PhaseScope::enter(Phase::HeapOps);
+                self.heap.pop();
+            }
             let Some(&top) = self.heap.peek() else {
                 // Idle until the next release (gap segments stay implicit).
                 if self.t < bound && bound.is_finite() {
@@ -296,18 +371,28 @@ impl CStream {
             let rho = top.key.density;
             let kernel = DecayKernel { law: self.law, w0: self.total_w, rho };
             let rem = self.arena.remaining(slot);
-            let t_complete = self.t + kernel.time_to_volume(rem);
-            if finishing && !t_complete.is_finite() {
+            let sv = {
+                let _p = PhaseScope::enter(Phase::RootFind);
+                kernel.serve(rem, bound - self.t)
+            };
+            if finishing && !(self.t + sv.tau).is_finite() {
                 // Kernel overflow at extreme weight scales: with no further
                 // release to bound the segment, the event loop cannot make
                 // progress — report instead of spinning or emitting NaN.
-                return Err(SimError::Numeric { what: "run_c: completion time", value: t_complete });
+                return Err(SimError::Numeric {
+                    what: "run_c: completion time",
+                    value: self.t + sv.tau,
+                });
             }
-            let completes = t_complete <= bound;
-            let t_end = if completes { t_complete } else { bound };
-            let tau = t_end - self.t;
+            let t_end = if sv.completes { self.t + sv.tau } else { bound };
+            let tau = sv.tau;
 
-            if tau > 0.0 {
+            // Guard on *clock-visible* progress: a service interval shorter
+            // than the clock's ulp (huge-W, tiny-volume degeneracies) closes
+            // no segment and accrues nothing — same as a zero-length
+            // interval; the job's waiting flow settles at completion below.
+            if t_end > self.t {
+                let _p = PhaseScope::enter(Phase::Dispatch);
                 let seg = Segment::new(
                     self.t,
                     t_end,
@@ -318,17 +403,33 @@ impl CStream {
                     self.spill.push(seg);
                 }
                 self.last_seg = Some(seg);
-                self.energy += kernel.energy(tau);
-                // Waiting jobs hold constant remaining volume over the
-                // segment; the in-service job's follows the kernel.
-                self.arena.accrue_waiting(tau, slot);
-                self.arena.add_frac_flow(slot, rho * (rem * tau - kernel.volume_integral(tau)));
-                self.arena.set_remaining(slot, (rem - kernel.volume(tau)).max(0.0));
+                self.energy += sv.step.energy;
+                // Waiting stretches settle lazily: bring the in-service
+                // job's flow current through the interval start, add the
+                // drain-side flow analytically, and mark it accounted
+                // through the interval end. Every *other* active job keeps
+                // deferring (its remainder is constant while it waits).
+                self.arena.settle_waiting(slot, self.t);
+                self.arena.add_frac_flow(slot, rho * (rem * tau - sv.step.volume_integral));
+                self.arena.set_remaining(
+                    slot,
+                    if sv.completes { 0.0 } else { (rem - sv.step.volume).max(0.0) },
+                );
+                self.arena.set_accrued(slot, t_end);
             }
             self.t = t_end;
 
-            if completes {
-                self.heap.pop();
+            let rem_end = if sv.completes {
+                {
+                    let _p = PhaseScope::enter(Phase::HeapOps);
+                    self.heap.pop();
+                }
+                let _p = PhaseScope::enter(Phase::Dispatch);
+                // Settle any outstanding waiting stretch first: a no-op when
+                // the job was served this event (remaining is already 0),
+                // but a zero-length completion (volume below W's ulp) skips
+                // the service block entirely and still owes its waiting flow.
+                self.arena.settle_waiting(slot, self.t);
                 self.arena.set_remaining(slot, 0.0);
                 let job = self.arena.job(slot);
                 let frac = self.arena.frac_flow(slot);
@@ -344,12 +445,34 @@ impl CStream {
                     int_flow: int,
                 });
                 self.arena.retire(slot);
+                self.slot_gen[slot] = self.slot_gen[slot].wrapping_add(1);
+                0.0
+            } else {
+                self.arena.remaining(slot)
+            };
+            // Incremental total-weight maintenance: one multiply per event,
+            // snapped back to the exactly re-derived slice sum every
+            // WEIGHT_RESYNC_EVERY events (and to exactly 0 when the active
+            // set empties) so drift never accumulates past a few thousand
+            // rounding errors.
+            {
+                let _p = PhaseScope::enter(Phase::Dispatch);
+                let delta = rho * (rem - rem_end);
+                self.total_w -= delta;
+                if self.arena.live() == 0 {
+                    self.total_w = 0.0;
+                    self.events_since_sync = 0;
+                } else {
+                    self.events_since_sync += 1;
+                    if self.events_since_sync >= WEIGHT_RESYNC_EVERY
+                        || self.total_w < delta * WEIGHT_CANCEL_GUARD
+                    {
+                        self.events_since_sync = 0;
+                        self.total_w = self.arena.total_weight();
+                    }
+                }
             }
-            // Recompute the total weight from scratch over the arena slices:
-            // closed forms are exact, but re-deriving from the per-job
-            // remainders kills accumulation drift over millions of events.
-            self.total_w = self.arena.total_weight();
-            if !completes {
+            if !sv.completes {
                 return Ok(());
             }
         }
@@ -419,6 +542,7 @@ impl CStream {
             heap: self
                 .heap
                 .iter()
+                .filter(|k| self.slot_gen[k.slot] == k.gen) // drop lazily-deleted keys
                 .map(|k| HeapEntry {
                     density: k.key.density,
                     release: k.key.release,
@@ -430,6 +554,7 @@ impl CStream {
             t: self.t,
             watermark: self.watermark,
             total_w: self.total_w,
+            events_since_sync: self.events_since_sync,
             last_seg: self.last_seg,
             ingested: self.ingested,
             completed: self.completed,
@@ -454,7 +579,9 @@ impl CStream {
         if snap.heap.len() != arena.live() {
             return bad("stream snapshot: heap size disagrees with live jobs");
         }
-        let mut heap = BinaryHeap::with_capacity(snap.heap.len());
+        // Snapshots carry no stale keys (filtered at capture), so every
+        // restored key starts at generation zero.
+        let mut heap = BinaryHeap::with_capacity(snap.heap.len().max(HEAP_PRESIZE));
         for e in &snap.heap {
             if e.slot >= arena.capacity() {
                 return bad("stream snapshot: heap entry slot out of range");
@@ -462,21 +589,28 @@ impl CStream {
             heap.push(StreamKey {
                 key: ActiveKey { density: e.density, release: e.release, id: e.id },
                 slot: e.slot,
+                gen: 0,
             });
         }
+        let slot_gen = vec![0; arena.capacity()];
         if snap.completed > snap.ingested || snap.ingested - snap.completed != arena.live() {
             return bad("stream snapshot: ingested/completed/live counts disagree");
+        }
+        if snap.events_since_sync >= WEIGHT_RESYNC_EVERY {
+            return bad("stream snapshot: resync counter out of range");
         }
         let spill = SpillRing::restore(snap.spill)?;
         Ok(Self {
             law,
             arena,
             heap,
+            slot_gen,
             spill,
             keep_segments: snap.keep_segments,
             t: snap.t,
             watermark: snap.watermark,
             total_w: snap.total_w,
+            events_since_sync: snap.events_since_sync,
             last_seg: snap.last_seg,
             ingested: snap.ingested,
             completed: snap.completed,
@@ -523,6 +657,8 @@ pub struct CStreamSnapshot {
     pub watermark: f64,
     /// Cached total remaining weight `W(t)`.
     pub total_w: f64,
+    /// Events since the last exact total-weight resync (< 4096).
+    pub events_since_sync: u32,
     /// Last closed segment (for the `W(t⁻)` left limit).
     pub last_seg: Option<Segment>,
     /// Jobs offered.
@@ -642,10 +778,15 @@ impl NcStream {
         let start = self.t_free.max(job.release);
         let rho = job.density;
         let kernel = GrowthKernel { law: self.law, u0: k_j, rho };
-        let tau = kernel.time_to_volume(job.volume);
-        if !tau.is_finite() {
-            return Err(SimError::Numeric { what: "run_nc_uniform: service time", value: tau });
+        let sv = {
+            let _p = PhaseScope::enter(Phase::RootFind);
+            kernel.serve_volume(job.volume)
+        };
+        if !sv.tau.is_finite() {
+            return Err(SimError::Numeric { what: "run_nc_uniform: service time", value: sv.tau });
         }
+        let (tau, step) = (sv.tau, sv.step);
+        let _p = PhaseScope::enter(Phase::Dispatch);
         if tau > 0.0 {
             self.spill.push(Segment::new(
                 start,
@@ -654,11 +795,11 @@ impl NcStream {
                 SpeedLaw::Growth { u0: k_j, rho },
             ));
         }
-        self.energy += kernel.energy(tau);
+        self.energy += step.energy;
         // Fractional flow: full volume waits from release to service start,
         // then drains along the growth curve.
         let frac = rho * job.volume * (start - job.release)
-            + rho * (job.volume * tau - kernel.volume_integral(tau));
+            + rho * (job.volume * tau - step.volume_integral);
         let completion = start + tau;
         let int = job.weight() * (completion - job.release);
         self.frac_sum += frac;

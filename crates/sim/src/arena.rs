@@ -94,6 +94,7 @@ pub struct JobArena {
     density: Vec<f64>,
     remaining: Vec<f64>,
     frac_flow: Vec<f64>,
+    acc_t: Vec<f64>,
     id: Vec<JobId>,
     free: Vec<usize>,
     live: usize,
@@ -117,6 +118,7 @@ impl JobArena {
                 self.density[slot] = job.density;
                 self.remaining[slot] = job.volume;
                 self.frac_flow[slot] = 0.0;
+                self.acc_t[slot] = job.release;
                 self.id[slot] = id;
                 slot
             }
@@ -126,6 +128,7 @@ impl JobArena {
                 self.density.push(job.density);
                 self.remaining.push(job.volume);
                 self.frac_flow.push(0.0);
+                self.acc_t.push(job.release);
                 self.id.push(id);
                 self.release.len() - 1
             }
@@ -143,6 +146,7 @@ impl JobArena {
         self.density[slot] = 0.0;
         self.remaining[slot] = 0.0;
         self.frac_flow[slot] = 0.0;
+        self.acc_t[slot] = 0.0;
         self.free.push(slot);
         self.live -= 1;
     }
@@ -199,6 +203,35 @@ impl JobArena {
         accrue_waiting_flow(&self.density, &self.remaining, &mut self.frac_flow, tau, in_service);
     }
 
+    /// Settle the *deferred* waiting-flow accrual of one slot through `now`.
+    ///
+    /// The streaming core does not touch waiting jobs per event (that would
+    /// be O(active) work each time); instead each slot remembers the time
+    /// `acc_t` through which its fractional flow is already accounted, and
+    /// the whole waiting stretch `ρ·R·(now − acc_t)` is added in **one
+    /// multiply** when the job next enters service or completes. Because a
+    /// waiting job's remainder `R` is constant over the stretch, the settled
+    /// total equals the per-event accrual up to f64 associativity — and is
+    /// typically *more* accurate, not less.
+    pub fn settle_waiting(&mut self, slot: usize, now: f64) {
+        self.frac_flow[slot] +=
+            self.density[slot] * self.remaining[slot] * (now - self.acc_t[slot]);
+        self.acc_t[slot] = now;
+    }
+
+    /// Mark the flow of `slot` as accounted through `now` without accruing
+    /// (used at the end of a service interval, whose drain-side flow is
+    /// added analytically by the kernel).
+    pub fn set_accrued(&mut self, slot: usize, now: f64) {
+        self.acc_t[slot] = now;
+    }
+
+    /// Time through which the flow of `slot` is already accounted.
+    #[must_use]
+    pub fn accrued_through(&self, slot: usize) -> f64 {
+        self.acc_t[slot]
+    }
+
     /// Number of live (allocated, not yet retired) jobs.
     #[must_use]
     pub fn live(&self) -> usize {
@@ -232,6 +265,7 @@ impl JobArena {
             density: self.density.clone(),
             remaining: self.remaining.clone(),
             frac_flow: self.frac_flow.clone(),
+            acc_t: self.acc_t.clone(),
             id: self.id.clone(),
             free: self.free.clone(),
             live: self.live,
@@ -254,6 +288,7 @@ impl JobArena {
             snap.density.len(),
             snap.remaining.len(),
             snap.frac_flow.len(),
+            snap.acc_t.len(),
             snap.id.len(),
         ]
         .iter()
@@ -282,6 +317,7 @@ impl JobArena {
             density: snap.density,
             remaining: snap.remaining,
             frac_flow: snap.frac_flow,
+            acc_t: snap.acc_t,
             id: snap.id,
             free: snap.free,
             live: snap.live,
@@ -305,6 +341,8 @@ pub struct ArenaSnapshot {
     pub remaining: Vec<f64>,
     /// Per-slot accrued fractional flow.
     pub frac_flow: Vec<f64>,
+    /// Per-slot time through which flow is accounted (deferred accrual).
+    pub acc_t: Vec<f64>,
     /// Per-slot external [`JobId`]s.
     pub id: Vec<JobId>,
     /// Free (retired, reusable) slots in pop order.
@@ -391,6 +429,22 @@ mod tests {
         let mut bad = good;
         bad.peak_live = 0;
         assert!(JobArena::restore(bad).is_err(), "peak below live");
+    }
+
+    #[test]
+    fn deferred_settle_matches_eager_accrual() {
+        // Settling once over [release, now] equals accruing the same stretch
+        // eagerly in one piece; acc_t advances so a second settle is a no-op.
+        let mut a = JobArena::new();
+        let s = a.alloc(Job::new(1.0, 2.0, 3.0), 0);
+        assert_eq!(a.accrued_through(s), 1.0, "accounted through release at alloc");
+        a.settle_waiting(s, 2.5);
+        assert_eq!(a.frac_flow(s), 3.0 * 2.0 * 1.5);
+        a.settle_waiting(s, 2.5);
+        assert_eq!(a.frac_flow(s), 9.0, "repeated settle at same time adds zero");
+        a.set_accrued(s, 4.0);
+        a.settle_waiting(s, 5.0);
+        assert_eq!(a.frac_flow(s), 9.0 + 6.0, "stretch [4,5] only");
     }
 
     #[test]

@@ -22,6 +22,64 @@
 
 use crate::power::PowerLaw;
 
+/// Everything a streaming event loop needs to know about advancing a
+/// [`DecayKernel`] by `τ`, computed in one pass.
+///
+/// The fields are **bitwise identical** to calling [`DecayKernel::weight_at`],
+/// [`DecayKernel::energy`], [`DecayKernel::volume`], and
+/// [`DecayKernel::volume_integral`] separately — [`DecayKernel::step`] just
+/// evaluates the shared sub-expressions (`w0^β`, `W(τ)`, the energy) once
+/// instead of up to four times, which is what makes it the hot-path entry
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayStep {
+    /// Remaining weight at the end of the step, `W(τ)` (clamped at 0).
+    pub w_end: f64,
+    /// Energy consumed over the step, `∫₀^τ W dt`.
+    pub energy: f64,
+    /// Volume of the in-service job processed over the step.
+    pub volume: f64,
+    /// `∫₀^τ volume(x) dx`, for fractional flow-time accrual.
+    pub volume_integral: f64,
+}
+
+/// The growth-side mirror of [`DecayStep`], produced by
+/// [`GrowthKernel::step`]. Same bitwise contract: each field equals the
+/// corresponding individual method call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthStep {
+    /// Power level at the end of the step, `u(τ)`.
+    pub u_end: f64,
+    /// Energy consumed over the step, `∫₀^τ u dt`.
+    pub energy: f64,
+    /// Volume processed over the step.
+    pub volume: f64,
+    /// `∫₀^τ volume(x) dx`.
+    pub volume_integral: f64,
+}
+
+/// Outcome of [`DecayKernel::serve`]: one planned service interval, either
+/// running to the job's completion or truncated at the caller's horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayServe {
+    /// Duration actually served (`min(time-to-completion, dt)`).
+    pub tau: f64,
+    /// True when the job's remaining volume drained within `dt`.
+    pub completes: bool,
+    /// The fused step quantities over `tau`.
+    pub step: DecayStep,
+}
+
+/// Outcome of [`GrowthKernel::serve_volume`]: the interval that processes a
+/// fixed volume (a growth curve always completes it in finite time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthServe {
+    /// Duration of the interval.
+    pub tau: f64,
+    /// The fused step quantities over `tau`.
+    pub step: GrowthStep,
+}
+
 /// Decaying kernel: Algorithm C processing a job of density `rho` while the
 /// total remaining active weight is `w0` at local time 0.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,13 +96,13 @@ impl DecayKernel {
     /// Remaining weight after `tau` time units: `(w0^β − ρβτ)^{1/β}`,
     /// clamped at zero (the curve reaches zero in finite time).
     #[must_use]
+    #[inline]
     pub fn weight_at(&self, tau: f64) -> f64 {
-        let b = self.law.beta();
-        let x = self.w0.powf(b) - self.rho * b * tau;
+        let x = self.law.pow_beta(self.w0) - self.rho * self.law.beta() * tau;
         if x <= 0.0 {
             0.0
         } else {
-            x.powf(1.0 / b)
+            self.law.root_beta(x)
         }
     }
 
@@ -59,8 +117,7 @@ impl DecayKernel {
     pub fn time_to_weight(&self, w_target: f64) -> f64 {
         debug_assert!(w_target <= self.w0 + 1e-12 * self.w0.abs());
         debug_assert!(w_target >= 0.0);
-        let b = self.law.beta();
-        (self.w0.powf(b) - w_target.powf(b)) / (self.rho * b)
+        (self.law.pow_beta(self.w0) - self.law.pow_beta(w_target)) / (self.rho * self.law.beta())
     }
 
     /// Time for the whole weight to drain to zero.
@@ -73,8 +130,15 @@ impl DecayKernel {
     /// `∫P dt = ∫W dt = (w0^{1+β} − W(τ)^{1+β}) / (ρ(1+β))`.
     #[must_use]
     pub fn energy(&self, tau: f64) -> f64 {
-        let b = self.law.beta();
-        (self.w0.powf(1.0 + b) - self.weight_at(tau).powf(1.0 + b)) / (self.rho * (1.0 + b))
+        self.energy_to_weight(self.weight_at(tau))
+    }
+
+    /// Energy consumed draining from `w0` down to `w_end` (a `weight_at`
+    /// value): the shared body of [`Self::energy`] and [`Self::step`].
+    #[inline]
+    fn energy_to_weight(&self, w_end: f64) -> f64 {
+        (self.law.pow_one_plus_beta(self.w0) - self.law.pow_one_plus_beta(w_end))
+            / (self.rho * self.law.one_plus_beta())
     }
 
     /// Volume of the processed job completed in `[0, τ]`: all weight drained
@@ -106,6 +170,96 @@ impl DecayKernel {
         }
         self.time_to_weight(w_for_x.max(self.weight_at(tau))).min(tau)
     }
+
+    /// Advance the kernel by `tau` in one fused pass.
+    ///
+    /// Returns the same values as [`Self::weight_at`], [`Self::energy`],
+    /// [`Self::volume`], and [`Self::volume_integral`] at `tau` — **bitwise**
+    /// — but evaluates `w0^β`, the end weight, and the energy once each
+    /// instead of re-deriving them per quantity (4 power-kernel calls total
+    /// versus 12 for the separate methods). The streaming cores call this
+    /// once per service interval.
+    #[must_use]
+    #[inline]
+    pub fn step(&self, tau: f64) -> DecayStep {
+        let w_end = self.weight_at(tau);
+        let energy = self.energy_to_weight(w_end);
+        DecayStep {
+            w_end,
+            energy,
+            volume: (self.w0 - w_end) / self.rho,
+            volume_integral: (self.w0 * tau - energy) / self.rho,
+        }
+    }
+
+    /// Plan serving `rem` volume of the in-service job with at most `dt`
+    /// time available, in one fused pass — the event loop's sole kernel
+    /// entry point for Algorithm C.
+    ///
+    /// This is cheaper than `time_to_volume` followed by [`Self::step`]
+    /// because it exploits two identities:
+    ///
+    /// * the end weight on completion is **exact**: `W = w0 − ρ·rem` (no
+    ///   `(·)^{1/β}` inversion of the linearized curve is ever needed);
+    /// * `x^{1+β} = x · x^β`, so once `w0^β` and `W(τ)^β` are in hand the
+    ///   energy needs no further power-kernel call.
+    ///
+    /// Per event that's 2 `pow_beta` calls when the job completes and
+    /// 2 `pow_beta` + 1 `root_beta` when it is truncated at `dt`, versus 6+
+    /// through the individual methods. The completing branch also makes
+    /// `step.volume == rem` exactly, so callers can retire the job without
+    /// a residual-volume epsilon.
+    ///
+    /// `rem` must satisfy `ρ·rem ≤ w0` up to accumulated rounding (the
+    /// in-service job's weight is part of `w0`); small negative targets
+    /// from drift are clamped to 0.
+    #[must_use]
+    #[inline]
+    pub fn serve(&self, rem: f64, dt: f64) -> DecayServe {
+        let wb0 = self.law.pow_beta(self.w0);
+        let w_target = (self.w0 - self.rho * rem).max(0.0);
+        let wbt = self.law.pow_beta(w_target);
+        let rho_beta = self.rho * self.law.beta();
+        let tau_c = (wb0 - wbt) / rho_beta;
+        let inv_e = self.rho * self.law.one_plus_beta();
+        if tau_c <= dt {
+            let energy = (self.w0 * wb0 - w_target * wbt) / inv_e;
+            DecayServe {
+                tau: tau_c,
+                completes: true,
+                step: DecayStep {
+                    w_end: w_target,
+                    energy,
+                    volume: rem,
+                    volume_integral: (self.w0 * tau_c - energy) / self.rho,
+                },
+            }
+        } else {
+            // x = W(dt)^β on the linearized curve; reuse it for the energy
+            // instead of re-deriving w_end^β. Overflowed inputs make x NaN
+            // (inf − inf); keep propagating NaN so the caller's numeric
+            // guard sees it, rather than feeding it to the kernel chains.
+            let x = wb0 - rho_beta * dt;
+            let w_end = if x > 0.0 {
+                self.law.root_beta(x)
+            } else if x.is_nan() {
+                f64::NAN
+            } else {
+                0.0
+            };
+            let energy = (self.w0 * wb0 - w_end * x) / inv_e;
+            DecayServe {
+                tau: dt,
+                completes: false,
+                step: DecayStep {
+                    w_end,
+                    energy,
+                    volume: (self.w0 - w_end) / self.rho,
+                    volume_integral: (self.w0 * dt - energy) / self.rho,
+                },
+            }
+        }
+    }
 }
 
 /// Growing kernel: Algorithm NC processing a job of density `rho` with power
@@ -124,9 +278,10 @@ pub struct GrowthKernel {
 impl GrowthKernel {
     /// Power level after `tau`: `(u0^β + ρβτ)^{1/β}`.
     #[must_use]
+    #[inline]
     pub fn u_at(&self, tau: f64) -> f64 {
-        let b = self.law.beta();
-        (self.u0.powf(b) + self.rho * b * tau).powf(1.0 / b)
+        self.law
+            .root_beta(self.law.pow_beta(self.u0) + self.rho * self.law.beta() * tau)
     }
 
     /// Machine speed after `tau`: `u(τ)^{1/α}`.
@@ -139,15 +294,21 @@ impl GrowthKernel {
     #[must_use]
     pub fn time_to_u(&self, u_target: f64) -> f64 {
         debug_assert!(u_target + 1e-12 * u_target.abs() >= self.u0);
-        let b = self.law.beta();
-        (u_target.powf(b) - self.u0.powf(b)) / (self.rho * b)
+        (self.law.pow_beta(u_target) - self.law.pow_beta(self.u0)) / (self.rho * self.law.beta())
     }
 
     /// Energy consumed in `[0, τ]`: `(u(τ)^{1+β} − u0^{1+β}) / (ρ(1+β))`.
     #[must_use]
     pub fn energy(&self, tau: f64) -> f64 {
-        let b = self.law.beta();
-        (self.u_at(tau).powf(1.0 + b) - self.u0.powf(1.0 + b)) / (self.rho * (1.0 + b))
+        self.energy_to_u(self.u_at(tau))
+    }
+
+    /// Energy consumed growing from `u0` up to `u_end` (a `u_at` value):
+    /// the shared body of [`Self::energy`] and [`Self::step`].
+    #[inline]
+    fn energy_to_u(&self, u_end: f64) -> f64 {
+        (self.law.pow_one_plus_beta(u_end) - self.law.pow_one_plus_beta(self.u0))
+            / (self.rho * self.law.one_plus_beta())
     }
 
     /// Volume processed in `[0, τ]`: `(u(τ) − u0) / ρ`.
@@ -180,6 +341,50 @@ impl GrowthKernel {
             return 0.0;
         }
         tau - self.time_to_u(u_for_x)
+    }
+
+    /// Advance the kernel by `tau` in one fused pass — the growth-side
+    /// mirror of [`DecayKernel::step`], with the same bitwise contract
+    /// against the individual methods.
+    #[must_use]
+    #[inline]
+    pub fn step(&self, tau: f64) -> GrowthStep {
+        let u_end = self.u_at(tau);
+        let energy = self.energy_to_u(u_end);
+        GrowthStep {
+            u_end,
+            energy,
+            volume: (u_end - self.u0) / self.rho,
+            volume_integral: (energy - self.u0 * tau) / self.rho,
+        }
+    }
+
+    /// Plan the interval that processes exactly `v` volume, in one fused
+    /// pass — the event loop's sole kernel entry point for Algorithm NC
+    /// (a growth curve always finishes a finite volume in finite time).
+    ///
+    /// Exploits the same identities as [`DecayKernel::serve`]: the end
+    /// level is exact (`u_end = u0 + ρ·v`), and `x^{1+β} = x·x^β` turns the
+    /// energy into a multiply once `u0^β` and `u_end^β` are known. Two
+    /// `pow_beta` calls per offer, no `root_beta`, and `step.volume == v`
+    /// exactly. Returns a non-finite `tau` only if the inputs overflow.
+    #[must_use]
+    #[inline]
+    pub fn serve_volume(&self, v: f64) -> GrowthServe {
+        let ub0 = self.law.pow_beta(self.u0);
+        let u_end = self.u0 + self.rho * v;
+        let ube = self.law.pow_beta(u_end);
+        let tau = (ube - ub0) / (self.rho * self.law.beta());
+        let energy = (u_end * ube - self.u0 * ub0) / (self.rho * self.law.one_plus_beta());
+        GrowthServe {
+            tau,
+            step: GrowthStep {
+                u_end,
+                energy,
+                volume: v,
+                volume_integral: (energy - self.u0 * tau) / self.rho,
+            },
+        }
     }
 }
 
@@ -344,6 +549,101 @@ mod tests {
             let dw_dt = rho * w.powf(1.0 / alpha); // |dW/dt| at time 0
             assert!(approx_eq(w / t, beta * dw_dt, 1e-10));
         }
+    }
+
+    #[test]
+    fn fused_step_is_bitwise_equal_to_individual_methods() {
+        // The streaming cores depend on step() being a pure fusion: every
+        // field must be bit-identical to the corresponding method call,
+        // under every kernel variant.
+        for &alpha in &[1.5, 2.0, 2.5, 3.0, 4.0, 2.75, 7.3] {
+            let l = law(alpha);
+            for &tau in &[0.0, 0.3, 1.1, 5.0] {
+                let kd = DecayKernel { law: l, w0: 6.0, rho: 1.3 };
+                let s = kd.step(tau);
+                assert_eq!(s.w_end.to_bits(), kd.weight_at(tau).to_bits(), "α={alpha}");
+                assert_eq!(s.energy.to_bits(), kd.energy(tau).to_bits(), "α={alpha}");
+                assert_eq!(s.volume.to_bits(), kd.volume(tau).to_bits(), "α={alpha}");
+                assert_eq!(
+                    s.volume_integral.to_bits(),
+                    kd.volume_integral(tau).to_bits(),
+                    "α={alpha}"
+                );
+                let kg = GrowthKernel { law: l, u0: 0.4, rho: 2.0 };
+                let g = kg.step(tau);
+                assert_eq!(g.u_end.to_bits(), kg.u_at(tau).to_bits(), "α={alpha}");
+                assert_eq!(g.energy.to_bits(), kg.energy(tau).to_bits(), "α={alpha}");
+                assert_eq!(g.volume.to_bits(), kg.volume(tau).to_bits(), "α={alpha}");
+                assert_eq!(
+                    g.volume_integral.to_bits(),
+                    kg.volume_integral(tau).to_bits(),
+                    "α={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serve_agrees_with_step_and_completes_exactly() {
+        for &alpha in &[1.5, 2.0, 2.5, 3.0, 2.75, 7.3] {
+            let l = law(alpha);
+            let kd = DecayKernel { law: l, w0: 6.0, rho: 1.3 };
+            // Truncated at the horizon: same numbers as step(dt).
+            let rem = 4.0 / kd.rho; // more volume than a short dt can drain
+            let sv = kd.serve(rem, 0.2);
+            assert!(!sv.completes);
+            assert_eq!(sv.tau, 0.2);
+            let st = kd.step(0.2);
+            assert!(approx_eq(sv.step.w_end, st.w_end, 1e-13), "α={alpha}");
+            assert!(approx_eq(sv.step.energy, st.energy, 1e-13), "α={alpha}");
+            assert!(approx_eq(sv.step.volume, st.volume, 1e-13), "α={alpha}");
+            assert!(approx_eq(sv.step.volume_integral, st.volume_integral, 1e-13));
+
+            // Completing: volume and end weight are exact, tau matches the
+            // inverse map, energy matches the τ-parameterized form.
+            let rem = 1.75;
+            let sv = kd.serve(rem, f64::INFINITY);
+            assert!(sv.completes);
+            assert_eq!(sv.step.volume, rem, "completion volume is exact");
+            assert_eq!(sv.step.w_end, kd.w0 - kd.rho * rem, "end weight is exact");
+            assert!(approx_eq(sv.tau, kd.time_to_volume(rem), 1e-12), "α={alpha}");
+            assert!(approx_eq(sv.step.energy, kd.energy(sv.tau), 1e-10), "α={alpha}");
+
+            // Growth side: serve_volume vs time_to_volume + step.
+            let kg = GrowthKernel { law: l, u0: 0.4, rho: 2.0 };
+            let v = 1.3;
+            let gs = kg.serve_volume(v);
+            assert_eq!(gs.step.volume, v);
+            assert_eq!(gs.step.u_end, kg.u0 + kg.rho * v, "end level is exact");
+            assert!(approx_eq(gs.tau, kg.time_to_volume(v), 1e-12), "α={alpha}");
+            let st = kg.step(gs.tau);
+            assert!(approx_eq(gs.step.energy, st.energy, 1e-10), "α={alpha}");
+            assert!(approx_eq(gs.step.volume_integral, st.volume_integral, 1e-10));
+        }
+    }
+
+    #[test]
+    fn serve_handles_horizon_edge_cases() {
+        let kd = DecayKernel { law: law(3.0), w0: 2.0, rho: 1.0 };
+        // dt = 0 with volume left: nothing happens.
+        let sv = kd.serve(1.0, 0.0);
+        assert!(!sv.completes);
+        assert_eq!(sv.step.volume, 0.0);
+        assert_eq!(sv.step.energy, 0.0);
+        assert_eq!(sv.step.w_end, kd.w0);
+        // rem = 0: completes instantly.
+        let sv = kd.serve(0.0, 0.0);
+        assert!(sv.completes);
+        assert_eq!(sv.tau, 0.0);
+        // Draining the whole weight (single-job case): w_end exactly 0.
+        let sv = kd.serve(2.0, f64::INFINITY);
+        assert!(sv.completes);
+        assert_eq!(sv.step.w_end, 0.0);
+        // Growth from the u = 0 fixed point still escapes.
+        let kg = GrowthKernel { law: law(3.0), u0: 0.0, rho: 1.0 };
+        let gs = kg.serve_volume(1.0);
+        assert!(gs.tau.is_finite() && gs.tau > 0.0);
+        assert!(approx_eq(gs.tau, kg.time_to_volume(1.0), 1e-12));
     }
 
     #[test]

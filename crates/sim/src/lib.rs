@@ -41,5 +41,5 @@ pub use error::{SimError, SimResult};
 pub use spill::{SpillRing, SpillSnapshot};
 pub use job::{Instance, Job, JobId};
 pub use objective::{evaluate, Evaluated, Objective, PerJob};
-pub use power::PowerLaw;
+pub use power::{PowKernel, PowerLaw};
 pub use schedule::{Schedule, ScheduleBuilder, Segment, SegmentIndex, SpeedLaw};

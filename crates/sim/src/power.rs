@@ -1,11 +1,81 @@
-//! The power function `P(s) = s^α`.
+//! The power function `P(s) = s^α` and its compiled evaluation kernel.
 //!
 //! The paper analyses power-law functions with α > 1 (typically α ≈ 3 for
 //! CMOS dynamic power). All closed forms in [`crate::kernel`] specialise to
 //! this family; [`PowerLaw`] centralises the exponent arithmetic so that the
-//! many `1 - 1/α` style constants appear exactly once.
+//! many `1 − 1/α` style constants appear exactly once.
+//!
+//! ## The power-kernel strategy (DESIGN.md §13)
+//!
+//! Every scheduler decision, root-find, and closed-form audit integral in
+//! the workspace bottoms out in a handful of fixed real exponents of α:
+//! `α`, `1/α`, `β = 1 − 1/α`, `1/β`, `1 + β`, `α − 1`, `1/(α − 1)`, and
+//! `α/(α − 1)`. [`PowerLaw::new`] therefore *compiles* a [`PowKernel`]
+//! strategy once per run:
+//!
+//! * **α = 2** ([`PowKernel::Quadratic`]): every exponent is a square,
+//!   a square root, or a product of the two — no `powf` at all.
+//! * **α = 3** ([`PowKernel::Cubic`]): cube/cube-root chains
+//!   (`x^{2/3} = ∛x·∛x`, `x^{3/2} = x·√x`, `x^{5/3} = x·∛x·∛x`).
+//! * **α = 3/2** ([`PowKernel::ThreeHalves`]): the mirror-image chains
+//!   (`β = 1/3`).
+//! * **2α ∈ ℤ** ([`PowKernel::HalfInteger`]): `P(s) = s^{k/2}` evaluates
+//!   as a `√`-seeded multiply chain; the fractional β-direction maps fall
+//!   back to the cached-exponent path.
+//! * **anything else** ([`PowKernel::General`]): `powf` (`exp(c·ln s)` in
+//!   the libm) with every reciprocal exponent precomputed at construction,
+//!   so no per-call divisions remain on the hot path.
+//!
+//! The specialised chains agree with the `powf` reference to a few ulp
+//! (≤ 1e-15 relative; property-tested across magnitudes `1e±150` in
+//! `tests/pow_kernel.rs`) but cost single-digit nanoseconds instead of
+//! tens. Because the kernel is part of the [`PowerLaw`] value itself,
+//! every consumer of a run's law — batch runners, streaming cores, sharded
+//! fleet replays, audit closed forms — evaluates through the *same*
+//! strategy, which is what keeps the differential oracles
+//! (batch == stream, serial == sharded) bitwise *within* a run.
 
 use crate::error::{SimError, SimResult};
+
+/// The evaluation strategy [`PowerLaw::new`] compiled for its α.
+///
+/// See the [module docs](self) for the selection rules. The variant is
+/// observable (via [`PowerLaw::kernel`] / [`PowerLaw::kernel_name`]) so CI
+/// can assert that e.g. an α = 2 run actually selected the multiply/`sqrt`
+/// chains rather than silently falling back to `powf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowKernel {
+    /// α = 2: squares and square roots only.
+    Quadratic,
+    /// α = 3: cube / cube-root chains.
+    Cubic,
+    /// α = 3/2: the β = 1/3 mirror of the cubic chains.
+    ThreeHalves,
+    /// `2α` is a small integer (α = k/2): `P(s)` runs as a `√`-seeded
+    /// multiply chain; β-direction maps use the cached-exponent path.
+    HalfInteger,
+    /// Cached-exponent `exp(c·ln s)` path (`powf` with all reciprocals
+    /// precomputed).
+    General,
+}
+
+impl PowKernel {
+    /// Stable lowercase name, for CLI/CI assertions.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Quadratic => "quadratic",
+            Self::Cubic => "cubic",
+            Self::ThreeHalves => "three-halves",
+            Self::HalfInteger => "half-integer",
+            Self::General => "general",
+        }
+    }
+}
+
+/// Largest `2α` the half-integer multiply chain covers; beyond this the
+/// chain's accumulated rounding stops beating `powf`'s single rounding.
+const HALF_INT_MAX_TWICE_ALPHA: f64 = 64.0;
 
 /// Power-law power function `P(s) = s^α` with `α > 1`.
 ///
@@ -19,27 +89,78 @@ use crate::error::{SimError, SimResult};
 /// // The paper's speed-setting rule: run so that power equals weight.
 /// assert!((p.speed_for_power(27.0) - 3.0).abs() < 1e-12);
 /// assert!(PowerLaw::new(0.9).is_err()); // needs α > 1
+/// // The cube law compiles to cbrt/multiply chains, not powf.
+/// assert_eq!(p.kernel_name(), "cubic");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLaw {
     alpha: f64,
+    kernel: PowKernel,
+    /// `2α` as an integer, for the half-integer multiply chain (0 unless
+    /// [`PowKernel::HalfInteger`]).
+    half_k: i32,
+    // Cached exponents — every reciprocal the kernels and audit integrals
+    // need, computed once here so no division survives on the hot path.
+    beta: f64,          // 1 − 1/α
+    inv_alpha: f64,     // 1/α
+    inv_beta: f64,      // 1/β = α/(α − 1)
+    one_plus_beta: f64, // 1 + β = 2 − 1/α
+    alpha_m1: f64,      // α − 1
+    inv_alpha_m1: f64,  // 1/(α − 1)
 }
 
 impl PowerLaw {
-    /// Construct `P(s) = s^α`. Fails unless `α > 1` and finite: the paper's
-    /// algorithms (and the convexity arguments behind them) need a strictly
-    /// super-linear power function.
+    /// Construct `P(s) = s^α` and compile its [`PowKernel`]. Fails unless
+    /// `α > 1` and finite: the paper's algorithms (and the convexity
+    /// arguments behind them) need a strictly super-linear power function.
     pub fn new(alpha: f64) -> SimResult<Self> {
         if !(alpha.is_finite() && alpha > 1.0) {
             return Err(SimError::InvalidAlpha { alpha });
         }
-        Ok(Self { alpha })
+        let twice = 2.0 * alpha;
+        let (kernel, half_k) = if alpha == 2.0 {
+            (PowKernel::Quadratic, 0)
+        } else if alpha == 3.0 {
+            (PowKernel::Cubic, 0)
+        } else if alpha == 1.5 {
+            (PowKernel::ThreeHalves, 0)
+        } else if twice == twice.trunc() && twice <= HALF_INT_MAX_TWICE_ALPHA {
+            (PowKernel::HalfInteger, twice as i32)
+        } else {
+            (PowKernel::General, 0)
+        };
+        Ok(Self {
+            alpha,
+            kernel,
+            half_k,
+            beta: 1.0 - 1.0 / alpha,
+            inv_alpha: 1.0 / alpha,
+            inv_beta: alpha / (alpha - 1.0),
+            one_plus_beta: 1.0 + (1.0 - 1.0 / alpha),
+            alpha_m1: alpha - 1.0,
+            inv_alpha_m1: 1.0 / (alpha - 1.0),
+        })
     }
 
     /// The cube law `P(s) = s³` that dominates practice.
     #[must_use]
     pub fn cube() -> Self {
-        Self { alpha: 3.0 }
+        Self::new(3.0).expect("alpha = 3 is valid")
+    }
+
+    /// Deliberately pair α with the *wrong* specialised chains — a
+    /// fault-injection constructor for CI's mandatory-red kernel probe.
+    ///
+    /// The returned law reports [`Self::alpha`] faithfully but evaluates
+    /// every map with the constants of `α + 1`, so a run driven by it
+    /// produces objectives an honest auditor (constructed from the same α
+    /// via [`PowerLaw::new`]) must reject via `energy-recomputed`. Never
+    /// use outside deliberate corruption probes.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn misselected_for_fault_injection(alpha: f64) -> Self {
+        let wrong = Self::new(alpha + 1.0).expect("alpha + 1 > 1");
+        Self { alpha, ..wrong }
     }
 
     /// The exponent α.
@@ -48,18 +169,52 @@ impl PowerLaw {
         self.alpha
     }
 
+    /// The evaluation strategy compiled for this α.
+    #[must_use]
+    pub fn kernel(&self) -> PowKernel {
+        self.kernel
+    }
+
+    /// Stable name of the compiled strategy (e.g. `quadratic`), for CLI
+    /// output and CI assertions.
+    #[must_use]
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
     /// `β = 1 − 1/α ∈ (0, 1)`, the exponent governing every weight-evolution
     /// closed form (`W^β` is linear in time under both C and NC dynamics).
     #[must_use]
     pub fn beta(&self) -> f64 {
-        1.0 - 1.0 / self.alpha
+        self.beta
     }
 
-    /// Instantaneous power at speed `s`.
+    /// `1 + β = 2 − 1/α`, the energy-antiderivative exponent.
     #[must_use]
+    pub fn one_plus_beta(&self) -> f64 {
+        self.one_plus_beta
+    }
+
+    /// Instantaneous power at speed `s`: `s^α`.
+    #[must_use]
+    #[inline]
     pub fn power(&self, s: f64) -> f64 {
         debug_assert!(s >= 0.0);
-        s.powf(self.alpha)
+        match self.kernel {
+            PowKernel::Quadratic => s * s,
+            PowKernel::Cubic => s * s * s,
+            PowKernel::ThreeHalves => s * s.sqrt(),
+            PowKernel::HalfInteger => {
+                // s^{k/2}: integer part by multiply chain, odd half by √s.
+                let whole = s.powi(self.half_k / 2);
+                if self.half_k % 2 == 0 {
+                    whole
+                } else {
+                    whole * s.sqrt()
+                }
+            }
+            PowKernel::General => s.powf(self.alpha),
+        }
     }
 
     /// The speed whose power equals `p`, i.e. `P⁻¹(p) = p^{1/α}`.
@@ -67,24 +222,108 @@ impl PowerLaw {
     /// This is the paper's ubiquitous speed-setting rule "run so that the
     /// power equals (some) weight".
     #[must_use]
+    #[inline]
     pub fn speed_for_power(&self, p: f64) -> f64 {
         debug_assert!(p >= 0.0);
-        p.powf(1.0 / self.alpha)
+        match self.kernel {
+            PowKernel::Quadratic => p.sqrt(),
+            PowKernel::Cubic => p.cbrt(),
+            PowKernel::ThreeHalves => {
+                // p^{2/3} = ∛p·∛p (squaring after the root cannot overflow).
+                let c = p.cbrt();
+                c * c
+            }
+            _ => p.powf(self.inv_alpha),
+        }
+    }
+
+    /// `x^β` — the linear-in-time transform of the weight level.
+    #[must_use]
+    #[inline]
+    pub fn pow_beta(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0);
+        match self.kernel {
+            PowKernel::Quadratic => x.sqrt(),
+            PowKernel::Cubic => {
+                // x^{2/3} = ∛x·∛x.
+                let c = x.cbrt();
+                c * c
+            }
+            PowKernel::ThreeHalves => x.cbrt(),
+            _ => x.powf(self.beta),
+        }
+    }
+
+    /// `x^{1/β}` — the inverse of [`Self::pow_beta`].
+    #[must_use]
+    #[inline]
+    pub fn root_beta(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0);
+        match self.kernel {
+            PowKernel::Quadratic => x * x,
+            PowKernel::Cubic => x * x.sqrt(), // x^{3/2}
+            PowKernel::ThreeHalves => x * x * x,
+            _ => x.powf(self.inv_beta),
+        }
+    }
+
+    /// `x^{1+β}` — the energy antiderivative of the weight level.
+    #[must_use]
+    #[inline]
+    pub fn pow_one_plus_beta(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0);
+        match self.kernel {
+            PowKernel::Quadratic => x * x.sqrt(), // x^{3/2}
+            PowKernel::Cubic => {
+                // x^{5/3} = x·∛x·∛x.
+                let c = x.cbrt();
+                x * c * c
+            }
+            PowKernel::ThreeHalves => x * x.cbrt(), // x^{4/3}
+            _ => x.powf(self.one_plus_beta),
+        }
     }
 
     /// Marginal power `P'(s) = α s^{α−1}`; used by the offline-optimum KKT
     /// conditions.
     #[must_use]
+    #[inline]
     pub fn power_deriv(&self, s: f64) -> f64 {
         debug_assert!(s >= 0.0);
-        self.alpha * s.powf(self.alpha - 1.0)
+        match self.kernel {
+            PowKernel::Quadratic => 2.0 * s,
+            PowKernel::Cubic => 3.0 * (s * s),
+            PowKernel::ThreeHalves => 1.5 * s.sqrt(),
+            _ => self.alpha * s.powf(self.alpha_m1),
+        }
     }
 
     /// Inverse of the marginal power: the speed with `P'(s) = y`.
     #[must_use]
+    #[inline]
     pub fn speed_for_power_deriv(&self, y: f64) -> f64 {
         debug_assert!(y >= 0.0);
-        (y / self.alpha).powf(1.0 / (self.alpha - 1.0))
+        let z = y * self.inv_alpha;
+        match self.kernel {
+            PowKernel::Quadratic => z,
+            PowKernel::Cubic => z.sqrt(),
+            PowKernel::ThreeHalves => z * z,
+            _ => z.powf(self.inv_alpha_m1),
+        }
+    }
+
+    /// `x^{1/(α−1)}` — the factor that peels a density off a volume in the
+    /// zero-level growth closed form (`(1−β)/β = 1/(α−1)`).
+    #[must_use]
+    #[inline]
+    pub fn root_alpha_m1(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0);
+        match self.kernel {
+            PowKernel::Quadratic => x,
+            PowKernel::Cubic => x.sqrt(),
+            PowKernel::ThreeHalves => x * x,
+            _ => x.powf(self.inv_alpha_m1),
+        }
     }
 
     /// Convex conjugate `P*(y) = sup_{s ≥ 0} (s·y − P(s))`.
@@ -97,7 +336,9 @@ impl PowerLaw {
         if y <= 0.0 {
             return 0.0;
         }
-        (self.alpha - 1.0) * (y / self.alpha).powf(self.alpha / (self.alpha - 1.0))
+        let z = y * self.inv_alpha;
+        // α/(α−1) = 1/β, so the conjugate rides the root_beta chain.
+        self.alpha_m1 * self.root_beta(z)
     }
 }
 
@@ -116,6 +357,20 @@ mod tests {
     }
 
     #[test]
+    fn kernel_selection_rules() {
+        assert_eq!(PowerLaw::new(2.0).unwrap().kernel(), PowKernel::Quadratic);
+        assert_eq!(PowerLaw::new(3.0).unwrap().kernel(), PowKernel::Cubic);
+        assert_eq!(PowerLaw::new(1.5).unwrap().kernel(), PowKernel::ThreeHalves);
+        assert_eq!(PowerLaw::new(2.5).unwrap().kernel(), PowKernel::HalfInteger);
+        assert_eq!(PowerLaw::new(4.0).unwrap().kernel(), PowKernel::HalfInteger);
+        assert_eq!(PowerLaw::new(2.75).unwrap().kernel(), PowKernel::General);
+        assert_eq!(PowerLaw::new(7.3).unwrap().kernel(), PowKernel::General);
+        // Beyond the chain cutoff the general path takes over.
+        assert_eq!(PowerLaw::new(40.0).unwrap().kernel(), PowKernel::General);
+        assert_eq!(PowerLaw::new(2.0).unwrap().kernel_name(), "quadratic");
+    }
+
+    #[test]
     fn cube_law() {
         let p = PowerLaw::cube();
         assert_eq!(p.alpha(), 3.0);
@@ -124,11 +379,64 @@ mod tests {
     }
 
     #[test]
+    fn specialised_chains_match_powf() {
+        // Each specialised map against its powf definition, at moderate
+        // magnitudes (the 1e±150 sweep lives in tests/pow_kernel.rs).
+        for &alpha in &[1.5, 2.0, 2.5, 3.0, 4.0, 2.75] {
+            let p = PowerLaw::new(alpha).unwrap();
+            let b = p.beta();
+            for &x in &[0.03, 0.7, 1.0, 3.3, 117.0] {
+                assert!(approx_eq(p.power(x), x.powf(alpha), 1e-13), "power α={alpha} x={x}");
+                assert!(
+                    approx_eq(p.speed_for_power(x), x.powf(1.0 / alpha), 1e-13),
+                    "speed_for_power α={alpha} x={x}"
+                );
+                assert!(approx_eq(p.pow_beta(x), x.powf(b), 1e-13), "pow_beta α={alpha} x={x}");
+                assert!(
+                    approx_eq(p.root_beta(x), x.powf(1.0 / b), 1e-13),
+                    "root_beta α={alpha} x={x}"
+                );
+                assert!(
+                    approx_eq(p.pow_one_plus_beta(x), x.powf(1.0 + b), 1e-13),
+                    "pow_one_plus_beta α={alpha} x={x}"
+                );
+                assert!(
+                    approx_eq(p.power_deriv(x), alpha * x.powf(alpha - 1.0), 1e-13),
+                    "power_deriv α={alpha} x={x}"
+                );
+                assert!(
+                    approx_eq(
+                        p.speed_for_power_deriv(x),
+                        (x / alpha).powf(1.0 / (alpha - 1.0)),
+                        1e-13
+                    ),
+                    "speed_for_power_deriv α={alpha} x={x}"
+                );
+                assert!(
+                    approx_eq(p.root_alpha_m1(x), x.powf(1.0 / (alpha - 1.0)), 1e-13),
+                    "root_alpha_m1 α={alpha} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misselected_kernel_is_visibly_wrong() {
+        let honest = PowerLaw::new(2.0).unwrap();
+        let wrong = PowerLaw::misselected_for_fault_injection(2.0);
+        assert_eq!(wrong.alpha(), 2.0, "reports the honest alpha");
+        // ...but evaluates with α = 3's chains: 2² vs 2³.
+        assert_eq!(honest.power(2.0), 4.0);
+        assert_eq!(wrong.power(2.0), 8.0);
+    }
+
+    #[test]
     fn power_and_inverse_roundtrip() {
         for &alpha in &[1.5, 2.0, 2.5, 3.0, 4.0] {
             let p = PowerLaw::new(alpha).unwrap();
             for &s in &[0.1, 0.7, 1.0, 3.3, 100.0] {
                 assert!(approx_eq(p.speed_for_power(p.power(s)), s, 1e-12));
+                assert!(approx_eq(p.root_beta(p.pow_beta(s)), s, 1e-12));
             }
         }
     }

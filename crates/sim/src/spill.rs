@@ -50,9 +50,20 @@ pub struct SpillRing {
 
 impl SpillRing {
     /// A ring holding at most `capacity` resident segments (≥ 1).
+    ///
+    /// Small bounded rings pre-allocate their full backing store up front
+    /// so the steady-state `push`/`drain` cycle of a streaming run never
+    /// touches the allocator (the unbounded batch ring still grows lazily).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { buf: VecDeque::new(), capacity: capacity.max(1), dropped: 0, total: 0, peak: 0 }
+        let capacity = capacity.max(1);
+        // VecDeque keeps one spare slot; +1 avoids a doubling at the cap.
+        let buf = if capacity <= 1 << 20 {
+            VecDeque::with_capacity(capacity + 1)
+        } else {
+            VecDeque::new()
+        };
+        Self { buf, capacity, dropped: 0, total: 0, peak: 0 }
     }
 
     /// A ring with no practical bound — what the batch wrappers use, where

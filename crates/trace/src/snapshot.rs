@@ -77,12 +77,12 @@ impl Checkpoint {
 const SEGMENT_BYTES: usize = 49;
 /// Encoded size of one [`HeapEntry`] (2 f64 + 2 u64).
 const HEAP_ENTRY_BYTES: usize = 32;
-/// Encoded size of one arena row (5 f64 columns + u64 id).
-const ARENA_ROW_BYTES: usize = 48;
+/// Encoded size of one arena row (6 f64 columns + u64 id).
+const ARENA_ROW_BYTES: usize = 56;
 
 fn put_arena(out: &mut Vec<u8>, a: &ArenaSnapshot) {
     put_usize(out, a.release.len());
-    for col in [&a.release, &a.volume, &a.density, &a.remaining, &a.frac_flow] {
+    for col in [&a.release, &a.volume, &a.density, &a.remaining, &a.frac_flow, &a.acc_t] {
         for &v in col.iter() {
             put_f64(out, v);
         }
@@ -100,14 +100,14 @@ fn put_arena(out: &mut Vec<u8>, a: &ArenaSnapshot) {
 
 fn take_arena(c: &mut Cursor<'_>) -> Result<ArenaSnapshot, String> {
     let n = c.count(ARENA_ROW_BYTES, "arena.slots")?;
-    let mut cols: [Vec<f64>; 5] = Default::default();
+    let mut cols: [Vec<f64>; 6] = Default::default();
     for col in &mut cols {
         col.reserve_exact(n);
         for _ in 0..n {
             col.push(c.f64("arena.column")?);
         }
     }
-    let [release, volume, density, remaining, frac_flow] = cols;
+    let [release, volume, density, remaining, frac_flow, acc_t] = cols;
     let mut id = Vec::with_capacity(n);
     for _ in 0..n {
         id.push(c.usize("arena.id")?);
@@ -119,7 +119,18 @@ fn take_arena(c: &mut Cursor<'_>) -> Result<ArenaSnapshot, String> {
     }
     let live = c.usize("arena.live")?;
     let peak_live = c.usize("arena.peak_live")?;
-    Ok(ArenaSnapshot { release, volume, density, remaining, frac_flow, id, free, live, peak_live })
+    Ok(ArenaSnapshot {
+        release,
+        volume,
+        density,
+        remaining,
+        frac_flow,
+        acc_t,
+        id,
+        free,
+        live,
+        peak_live,
+    })
 }
 
 fn put_spill(out: &mut Vec<u8>, s: &SpillSnapshot) {
@@ -161,6 +172,7 @@ fn put_c(out: &mut Vec<u8>, s: &CStreamSnapshot) {
     put_f64(out, s.t);
     put_f64(out, s.watermark);
     put_f64(out, s.total_w);
+    put_u64(out, u64::from(s.events_since_sync));
     match &s.last_seg {
         Some(seg) => {
             put_bool(out, true);
@@ -193,6 +205,8 @@ fn take_c(c: &mut Cursor<'_>) -> Result<CStreamSnapshot, String> {
     let t = c.f64("c.t")?;
     let watermark = c.f64("c.watermark")?;
     let total_w = c.f64("c.total_w")?;
+    let events_since_sync = u32::try_from(c.u64("c.events_since_sync")?)
+        .map_err(|_| "c.events_since_sync: exceeds u32".to_string())?;
     let last_seg =
         if c.bool("c.has_last_seg")? { Some(take_segment(c, "c.last_seg")?) } else { None };
     let ingested = c.usize("c.ingested")?;
@@ -209,6 +223,7 @@ fn take_c(c: &mut Cursor<'_>) -> Result<CStreamSnapshot, String> {
         t,
         watermark,
         total_w,
+        events_since_sync,
         last_seg,
         ingested,
         completed,

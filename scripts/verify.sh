@@ -18,7 +18,10 @@
 #   6. audit smoke: every schedule-producing algorithm on a generated
 #      trace must pass the independent audit; the parallel algorithms
 #      go through the cross-machine auditor, and a deliberately
-#      corrupted report must come back non-zero
+#      corrupted report must come back non-zero; the kernel gate checks
+#      that alpha=2 compiles the specialised quadratic power kernel and
+#      that a mis-selected kernel (--corrupt kernel) trips the
+#      energy-recomputed check
 #   7. fleet smoke: the sharded multi-machine runners (dispatch log +
 #      per-machine pool tasks, DESIGN.md §12) must match the serial
 #      runners bitwise and pass the incremental cross-machine audit;
@@ -29,9 +32,13 @@
 #   8. stream smoke: the bounded-memory streaming core must match the
 #      batch runner bitwise and pass the audit (batch-rebuilt and O(delta)
 #      incremental), ingest stdin, and a corrupted streamed objective must
-#      exit non-zero under both audit modes; with NCSS_SOAK=1 the
-#      ≥10M-release flat-memory + audited-throughput soak bench runs too
-#      (off by default), bench-diffed against the committed baseline
+#      exit non-zero under both audit modes; the default lane always runs
+#      a short soak (NCSS_STREAM_SOAK_N=200000) through bench-diff against
+#      the committed baseline — unlimited timing headroom (the normalised
+#      ns/item report is the comparison), zero tolerance on audit-verdict,
+#      mode, or metric flips; with NCSS_SOAK=1 the full ≥10M-release
+#      flat-memory + audited-throughput soak bench runs too (off by
+#      default), bench-diffed against the committed baseline
 #   9. bench-diff smoke: each committed BENCH_*.json self-compares to
 #      zero regressions (exercises the JSON parser + diff engine on the
 #      real artifacts), and the tool's exit-code contract is probed
@@ -73,6 +80,25 @@ done
 "$cli" audit --algorithm nc-nonuniform --input "$trace" --alpha 2 --rel-tol 1e-2 > /dev/null \
     || { echo "FAIL: audit rejected nc-nonuniform" >&2; exit 1; }
 echo "audit smoke passed"
+
+echo "==> kernel gate (compiled power-kernel strategy)"
+# alpha = 2 must compile the specialised quadratic chains — the soak
+# bench's attribution and the audit's shared-kernel doctrine (DESIGN.md
+# §13) both assume the selection table.
+"$cli" run --algorithm c --input "$trace" --alpha 2 | grep -q "kernel = quadratic" \
+    || { echo "FAIL: alpha=2 did not report the quadratic kernel" >&2; exit 1; }
+# Mandatory-red probe: a mis-selected kernel (reports alpha = 2, evaluates
+# with the cubic chains) must trip the honest energy re-derivation.
+kern_log="$(mktemp /tmp/ncss_verify_kern.XXXXXX.log)"
+if "$cli" audit --algorithm c --input "$trace" --alpha 2 --corrupt kernel \
+        > "$kern_log" 2>&1; then
+    echo "FAIL: mis-selected kernel passed the audit" >&2
+    rm -f "$kern_log"; exit 1
+fi
+grep -q "energy-recomputed" "$kern_log" \
+    || { echo "FAIL: kernel probe did not name energy-recomputed" >&2; rm -f "$kern_log"; exit 1; }
+rm -f "$kern_log"
+echo "kernel gate passed"
 
 echo "==> multi-machine audit smoke (cross-machine auditor via ncss-cli)"
 for algo in c-par nc-par dispatch; do
@@ -157,6 +183,22 @@ if "$cli" stream --algorithm nc --input "$trace" --alpha 2 \
     exit 1
 fi
 echo "stream smoke passed"
+
+echo "==> short soak gate (perf_stream at 200k releases through bench-diff)"
+# A fast always-on cut of the 10M soak: regenerate BENCH_stream.json at
+# 200k releases and bench-diff it against the committed full-length
+# baseline. Raw quantiles get unlimited headroom (a shorter soak is just
+# faster; the normalised ns/item throughput report is the real
+# comparison), but an audit-verdict flip, an audit-mode flip, a drifted
+# metric, or a vanished row fails with zero tolerance.
+short_out="$(mktemp -d /tmp/ncss_verify_short.XXXXXX)"
+NCSS_STREAM_SOAK_N=200000 NCSS_BENCH_DIR="$short_out" \
+    cargo bench --offline -p ncss-bench --bench perf_stream > /dev/null
+target/release/bench-diff BENCH_stream.json "$short_out/BENCH_stream.json" \
+    --threshold 1000000 --floor-ns 100000000000 \
+    || { echo "FAIL: short soak flipped a verdict/mode/metric vs the committed baseline" >&2; rm -rf "$short_out"; exit 1; }
+rm -rf "$short_out"
+echo "short soak gate passed"
 
 echo "==> replay gate (committed golden traces + crash/tamper probes)"
 # Every committed golden trace must strict-read, replay with bitwise-equal
@@ -262,8 +304,9 @@ if [ "$rc" != "1" ]; then
     rm -f "$bench_tmp"; exit 1
 fi
 # Schema-drift probe: an unknown ncss-bench/N is a named tool error (exit
-# 2), never a parse panic and never a silent pass.
-sed 's|ncss-bench/2|ncss-bench/9|' BENCH_algorithms.json > "$bench_tmp"
+# 2), never a parse panic and never a silent pass. Version-agnostic so the
+# probe survives schema bumps of the committed artifacts.
+sed 's|"schema":"ncss-bench/[0-9]*"|"schema":"ncss-bench/9"|' BENCH_algorithms.json > "$bench_tmp"
 rc=0
 "$bench_diff" BENCH_algorithms.json "$bench_tmp" > /dev/null 2>&1 || rc=$?
 if [ "$rc" != "2" ]; then
